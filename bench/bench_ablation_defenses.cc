@@ -1,0 +1,150 @@
+/// Extension ablation (paper Section VI, future work): how FedRecAttack and
+/// the explicit-boost baseline fare against byzantine-robust aggregation
+/// (trimmed mean, median, norm-bound, Krum) and how visible they are to a
+/// gradient-anomaly detector. The paper argues these defenses fit FR poorly
+/// because benign gradients already vary widely and cold-item rows have very
+/// few (mostly malicious) contributors.
+
+#include <map>
+
+#include "bench_common.h"
+
+#include "attack/target_select.h"
+#include "common/string_util.h"
+#include "data/public_view.h"
+#include "data/synthetic.h"
+#include "fed/detector.h"
+
+namespace fedrec {
+namespace {
+
+/// Runs one experiment while screening every round with the detector;
+/// returns (final metrics, mean detector recall, mean false-positive rate).
+struct DefendedResult {
+  MetricsResult metrics;
+  double recall = 0.0;
+  double false_positive_rate = 0.0;
+};
+
+DefendedResult RunDefended(const ExperimentSpec& spec, double z_threshold,
+                           ThreadPool* pool) {
+  Result<Dataset> dataset = GenerateByName(spec.dataset, spec.seed, spec.scale);
+  dataset.status().CheckOK();
+  Rng rng(spec.seed + 1);
+  LeaveOneOutSplit split = SplitLeaveOneOut(dataset.value(), rng);
+  const PublicInteractions view = PublicInteractions::Sample(
+      split.train, spec.xi, rng, PublicSamplingMode::kCeil);
+  Rng target_rng(spec.seed + 2);
+  const auto targets = SelectTargetItems(split.train, spec.num_targets,
+                                         TargetSelection::kUnpopular, target_rng);
+
+  FedConfig config;
+  config.model.dim = spec.dim;
+  config.model.learning_rate = spec.learning_rate;
+  config.clients_per_round = spec.clients_per_round;
+  config.epochs = spec.epochs;
+  config.clip_norm = spec.clip_norm;
+  config.aggregator.kind = spec.aggregator;
+  config.seed = spec.seed + 3;
+
+  AttackOptions attack_options;
+  attack_options.kind = spec.attack;
+  attack_options.target_items = targets;
+  attack_options.kappa = spec.kappa;
+  attack_options.clip_norm = spec.clip_norm;
+  attack_options.users_per_step = spec.users_per_step;
+  attack_options.boost = spec.boost;
+  attack_options.seed = spec.seed + 4;
+  AttackInputs inputs;
+  inputs.train = &split.train;
+  inputs.public_view = &view;
+  inputs.num_benign_users = split.train.num_users();
+  inputs.dim = spec.dim;
+  auto attack = CreateAttack(attack_options, inputs);
+  attack.status().CheckOK();
+
+  const std::size_t num_malicious =
+      attack.value() == nullptr
+          ? 0
+          : static_cast<std::size_t>(
+                spec.rho * static_cast<double>(split.train.num_users()) + 0.5);
+
+  MetricsConfig metrics_config;
+  Evaluator evaluator(split.train, split.test_items, metrics_config,
+                      spec.seed + 5);
+  Simulation sim(split.train, config, num_malicious, attack.value().get(), pool);
+
+  double recall_sum = 0.0, fpr_sum = 0.0;
+  std::size_t screened_rounds = 0;
+  sim.SetRoundObserver([&](const std::vector<ClientUpdate>& updates,
+                           const std::vector<bool>& is_malicious) {
+    bool any_malicious = false;
+    for (bool m : is_malicious) any_malicious |= m;
+    if (!any_malicious) return;
+    const DetectionReport report = ScreenUploads(updates, z_threshold);
+    const DetectionQuality quality = EvaluateDetection(report, is_malicious);
+    recall_sum += quality.recall;
+    fpr_sum += quality.false_positive_rate;
+    ++screened_rounds;
+  });
+
+  const auto records = sim.Run(&evaluator, targets, spec.epochs);
+  DefendedResult result;
+  result.metrics = records.back().metrics;
+  if (screened_rounds > 0) {
+    result.recall = recall_sum / static_cast<double>(screened_rounds);
+    result.false_positive_rate = fpr_sum / static_cast<double>(screened_rounds);
+  }
+  return result;
+}
+
+int Main(int argc, const char* const* argv) {
+  FlagParser flags;
+  flags.Parse(argc, argv).CheckOK();
+  BenchOptions options = ParseBenchOptions(flags);
+  auto pool = MakePool(options);
+  const double z = flags.GetDouble("z", 3.5);
+
+  const std::map<std::string, AggregatorKind> aggregators{
+      {"sum (Eq. 7)", AggregatorKind::kSum},
+      {"trimmed-mean", AggregatorKind::kTrimmedMean},
+      {"median", AggregatorKind::kMedian},
+      {"norm-bound", AggregatorKind::kNormBound},
+      {"krum", AggregatorKind::kKrum},
+  };
+
+  TextTable table(
+      "Defense ablation (ml-100k, rho=5%): attack vs robust aggregation "
+      "+ anomaly detector");
+  table.SetHeader({"Attack", "Aggregator", "ER@5", "ER@10", "HR@10",
+                   "Detector recall", "Detector FPR"});
+
+  for (const std::string attack : {"fedrecattack", "eb"}) {
+    for (const auto& [name, kind] : aggregators) {
+      ExperimentSpec spec;
+      spec.dataset = "ml-100k";
+      spec.attack = attack;
+      spec.xi = 0.01;
+      spec.rho = 0.05;
+      spec.boost = 8.0f;
+      spec.aggregator = kind;
+      ApplyScale(options, spec);
+      const DefendedResult result = RunDefended(spec, z, pool.get());
+      table.AddRow({attack, name, Fmt4(result.metrics.er_at[0]),
+                    Fmt4(result.metrics.er_at[1]),
+                    Fmt4(result.metrics.hit_ratio), Fmt4(result.recall),
+                    Fmt4(result.false_positive_rate)});
+    }
+    table.AddSeparator();
+  }
+  EmitTable(table, options);
+  std::puts(
+      "(expected: robust rules do not reliably stop the attack on cold rows;"
+      " detector recall stays low at benign-like upload shapes)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedrec
+
+int main(int argc, char** argv) { return fedrec::Main(argc, argv); }

@@ -1,0 +1,149 @@
+/// Micro-benchmarks (google-benchmark) of the hot kernels behind the
+/// simulation and the attack: BPR local step, full-catalog scoring, top-K
+/// selection, poisoned-gradient computation, and the aggregation rules.
+
+#include <benchmark/benchmark.h>
+
+#include "attack/fedrecattack.h"
+#include "common/math.h"
+#include "data/public_view.h"
+#include "data/synthetic.h"
+#include "fed/aggregator.h"
+#include "fed/client.h"
+#include "model/bpr.h"
+#include "model/topk.h"
+
+namespace fedrec {
+namespace {
+
+void BM_Dot(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(dim), b(dim);
+  for (auto& v : a) v = rng.NextFloat();
+  for (auto& v : b) v = rng.NextFloat();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Dot)->Arg(32)->Arg(128);
+
+void BM_ScoreAllItems(benchmark::State& state) {
+  const std::size_t items = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Matrix V(items, 32);
+  V.FillGaussian(rng, 0.0f, 0.1f);
+  std::vector<float> user(32), scores(items);
+  for (auto& v : user) v = rng.NextFloat();
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < items; ++j) scores[j] = Dot(user, V.Row(j));
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(items));
+}
+BENCHMARK(BM_ScoreAllItems)->Arg(1682)->Arg(3706);
+
+void BM_TopK(benchmark::State& state) {
+  const std::size_t items = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  Rng rng(3);
+  std::vector<float> scores(items);
+  for (auto& s : scores) s = rng.NextFloat();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopKIndices(scores, k, nullptr));
+  }
+}
+BENCHMARK(BM_TopK)->Args({1682, 10})->Args({3706, 10});
+
+void BM_ClientTrainRound(benchmark::State& state) {
+  const std::size_t interactions = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  FedConfig config;
+  config.model.dim = 32;
+  Matrix V(2000, 32);
+  V.FillGaussian(rng, 0.0f, 0.1f);
+  std::vector<std::uint32_t> positives;
+  for (std::size_t i = 0; i < interactions; ++i) {
+    positives.push_back(static_cast<std::uint32_t>(i * 7 % 2000));
+  }
+  std::sort(positives.begin(), positives.end());
+  positives.erase(std::unique(positives.begin(), positives.end()),
+                  positives.end());
+  Client client(0, positives, config.model, Rng(5));
+  client.ResampleNegatives(2000, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.TrainRound(V, config));
+  }
+}
+BENCHMARK(BM_ClientTrainRound)->Arg(30)->Arg(106);
+
+void BM_PoisonGradient(benchmark::State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  SyntheticConfig data_config;
+  data_config.num_users = users;
+  data_config.num_items = 1682;
+  data_config.mean_interactions_per_user = 30.0;
+  data_config.seed = 6;
+  const Dataset data = GenerateSynthetic(data_config);
+  Rng rng(7);
+  const auto view = PublicInteractions::Sample(data, 0.01, rng,
+                                               PublicSamplingMode::kCeil);
+  FedRecAttackConfig config;
+  config.target_items = {11};
+  config.approx_epochs_first = 1;
+  FedRecAttack attack(config, &view, users, 32);
+  Matrix V(1682, 32);
+  V.FillGaussian(rng, 0.0f, 0.1f);
+  attack.ApproximateUsers(V, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack.ComputePoisonGradient(V, nullptr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(users));
+}
+BENCHMARK(BM_PoisonGradient)->Arg(256)->Arg(943)->Unit(benchmark::kMillisecond);
+
+void BM_Aggregate(benchmark::State& state) {
+  const auto kind = static_cast<AggregatorKind>(state.range(0));
+  Rng rng(8);
+  std::vector<ClientUpdate> updates;
+  for (std::uint32_t c = 0; c < 64; ++c) {
+    ClientUpdate update;
+    update.user = c;
+    update.item_gradients = SparseRowMatrix(32);
+    for (int r = 0; r < 60; ++r) {
+      auto row = update.item_gradients.RowMutable(rng.NextBounded(1682));
+      for (auto& v : row) v = static_cast<float>(rng.NextGaussian(0.0, 0.05));
+    }
+    updates.push_back(std::move(update));
+  }
+  AggregatorOptions options;
+  options.kind = kind;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AggregateUpdates(updates, 1682, 32, options));
+  }
+}
+BENCHMARK(BM_Aggregate)
+    ->Arg(static_cast<int>(AggregatorKind::kSum))
+    ->Arg(static_cast<int>(AggregatorKind::kTrimmedMean))
+    ->Arg(static_cast<int>(AggregatorKind::kMedian))
+    ->Arg(static_cast<int>(AggregatorKind::kKrum))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WeightedSample(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<double> weights(3706);
+  for (auto& w : weights) w = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.WeightedSampleWithoutReplacement(weights, 60));
+  }
+}
+BENCHMARK(BM_WeightedSample);
+
+}  // namespace
+}  // namespace fedrec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/// Reproduces Table IX: ablation of attacker's prior knowledge — FedRecAttack
+/// with xi = 1% vs xi = 0% on all three datasets. Expected shape: highly
+/// effective with 1% public interactions, a complete collapse to zero without
+/// any (the user-matrix approximation of Eq. 19 is impossible at xi = 0).
+
+#include "bench_common.h"
+
+namespace fedrec {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagParser flags;
+  flags.Parse(argc, argv).CheckOK();
+  BenchOptions options = ParseBenchOptions(flags);
+  auto pool = MakePool(options);
+
+  TextTable table("Table IX: FedRecAttack with & without public interactions");
+  table.SetHeader({"Dataset", "Metric", "xi=1%", "xi=0%"});
+
+  for (const char* dataset : {"ml-100k", "ml-1m", "steam-200k"}) {
+    MetricsResult with_xi, without_xi;
+    for (int pass = 0; pass < 2; ++pass) {
+      ExperimentSpec spec;
+      spec.dataset = dataset;
+      spec.attack = "fedrecattack";
+      spec.xi = pass == 0 ? 0.01 : 0.0;
+      spec.rho = 0.05;
+      ApplyScale(options, spec);
+      const MetricsResult m = RunExperiment(spec, pool.get()).final_metrics;
+      (pass == 0 ? with_xi : without_xi) = m;
+    }
+    table.AddRow({dataset, "ER@5", Fmt4(with_xi.er_at[0]),
+                  Fmt4(without_xi.er_at[0])});
+    table.AddRow({"", "ER@10", Fmt4(with_xi.er_at[1]),
+                  Fmt4(without_xi.er_at[1])});
+    table.AddRow({"", "NDCG@10", Fmt4(with_xi.ndcg), Fmt4(without_xi.ndcg)});
+    table.AddSeparator();
+  }
+  EmitTable(table, options);
+  std::puts("(paper: ER@5 .9400/.9659/.9835 at xi=1% vs 0.0000 at xi=0%)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedrec
+
+int main(int argc, char** argv) { return fedrec::Main(argc, argv); }

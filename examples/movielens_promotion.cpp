@@ -1,0 +1,130 @@
+/// Movie-promotion scenario (the paper's motivating setting): an attacker
+/// wants a specific cold movie recommended to as many users as possible on a
+/// MovieLens-100K-shaped federation. Compares FedRecAttack against the
+/// classic shilling attacks at equal cost, and prints the per-epoch exposure
+/// trajectory of the winning attack.
+///
+///   ./movielens_promotion [--scale=0.4] [--epochs=100] [--rho=0.05]
+///
+/// Loading the real MovieLens file instead of the synthetic stand-in:
+///   ./movielens_promotion --ml100k=/path/to/u.data
+
+#include <cstdio>
+
+#include "attack/attack_factory.h"
+#include "attack/target_select.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "data/loaders.h"
+#include "data/public_view.h"
+#include "data/synthetic.h"
+#include "fed/simulation.h"
+#include "model/metrics.h"
+
+using namespace fedrec;
+
+namespace {
+
+struct Outcome {
+  MetricsResult metrics;
+  std::vector<EpochRecord> history;
+};
+
+Outcome RunOne(const Dataset& train, const std::vector<std::int64_t>& tests,
+               const PublicInteractions& view,
+               const std::vector<std::uint32_t>& targets,
+               const std::string& kind, double rho, std::size_t epochs,
+               ThreadPool* pool) {
+  FedConfig config;
+  config.model.dim = 32;
+  config.model.learning_rate = 0.01f;
+  config.clients_per_round =
+      std::max<std::size_t>(8, train.num_users() / 15);
+  config.epochs = epochs;
+  config.seed = 7;
+
+  AttackOptions options;
+  options.kind = kind;
+  options.target_items = targets;
+  options.kappa = 60;
+  options.clip_norm = config.clip_norm;
+  options.users_per_step = 256;
+  AttackInputs inputs;
+  inputs.train = &train;
+  inputs.public_view = &view;
+  inputs.num_benign_users = train.num_users();
+  inputs.dim = config.model.dim;
+  auto attack = CreateAttack(options, inputs);
+  attack.status().CheckOK();
+
+  MetricsConfig metrics_config;
+  Evaluator evaluator(train, tests, metrics_config, 11);
+  const auto malicious = static_cast<std::size_t>(
+      attack.value() == nullptr
+          ? 0
+          : rho * static_cast<double>(train.num_users()) + 0.5);
+  Simulation sim(train, config, malicious, attack.value().get(), pool);
+  Outcome outcome;
+  outcome.history = sim.Run(&evaluator, targets, epochs / 10);
+  outcome.metrics = outcome.history.back().metrics;
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Parse(argc, argv).CheckOK();
+  const double rho = flags.GetDouble("rho", 0.05);
+  const auto epochs = static_cast<std::size_t>(flags.GetInt("epochs", 100));
+
+  // Data: the real u.data if provided, otherwise the calibrated synthetic.
+  Dataset data;
+  const std::string real_path = flags.GetString("ml100k", "");
+  if (!real_path.empty()) {
+    auto loaded = LoadMovieLens100K(real_path);
+    loaded.status().CheckOK();
+    data = std::move(loaded).value();
+  } else {
+    auto generated =
+        GenerateByName("ml-100k", 42, flags.GetDouble("scale", 0.4));
+    generated.status().CheckOK();
+    data = std::move(generated).value();
+  }
+
+  Rng rng(43);
+  const LeaveOneOutSplit split = SplitLeaveOneOut(data, rng);
+  const PublicInteractions view = PublicInteractions::Sample(
+      split.train, 0.01, rng, PublicSamplingMode::kCeil);
+  Rng target_rng(44);
+  const auto targets = SelectTargetItems(split.train, 1,
+                                         TargetSelection::kUnpopular, target_rng);
+  std::printf("promoting cold movie #%u on %s (%zu users, rho=%.0f%%)\n\n",
+              targets[0], data.name().c_str(), data.num_users(), rho * 100);
+
+  ThreadPool pool(DefaultThreadCount());
+  TextTable table("Attack comparison: promoting one cold movie");
+  table.SetHeader({"Attack", "ER@5", "ER@10", "NDCG@10", "HR@10 (accuracy)"});
+
+  Outcome fedrec_outcome;
+  for (const char* kind :
+       {"none", "random", "bandwagon", "popular", "fedrecattack"}) {
+    const Outcome outcome = RunOne(split.train, split.test_items, view, targets,
+                                   kind, rho, epochs, &pool);
+    table.AddRow({kind, std::to_string(outcome.metrics.er_at[0]).substr(0, 6),
+                  std::to_string(outcome.metrics.er_at[1]).substr(0, 6),
+                  std::to_string(outcome.metrics.ndcg).substr(0, 6),
+                  std::to_string(outcome.metrics.hit_ratio).substr(0, 6)});
+    if (std::string(kind) == "fedrecattack") fedrec_outcome = outcome;
+  }
+  std::fputs(table.Render().c_str(), stdout);
+
+  std::puts("\nFedRecAttack exposure trajectory (ER@10 over training):");
+  for (const EpochRecord& record : fedrec_outcome.history) {
+    if (!record.has_metrics) continue;
+    const int bars = static_cast<int>(record.metrics.er_at[1] * 50);
+    std::printf("  epoch %3zu  %6.4f  |%s\n", record.epoch + 1,
+                record.metrics.er_at[1], std::string(bars, '#').c_str());
+  }
+  return 0;
+}

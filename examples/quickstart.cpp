@@ -1,0 +1,104 @@
+/// Quickstart: the smallest end-to-end use of the library.
+///
+/// Builds a synthetic implicit-feedback dataset, trains a federated
+/// matrix-factorization recommender, runs FedRecAttack against it with 5%
+/// malicious users and 1% public interactions, and prints the exposure ratio
+/// of the target item before and after the attack.
+///
+///   ./quickstart [--users=300] [--epochs=60] [--rho=0.05] [--xi=0.01]
+
+#include <cstdio>
+
+#include "attack/attack_factory.h"
+#include "attack/target_select.h"
+#include "common/flags.h"
+#include "data/public_view.h"
+#include "data/synthetic.h"
+#include "fed/simulation.h"
+#include "model/metrics.h"
+
+using namespace fedrec;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Parse(argc, argv).CheckOK();
+
+  // 1. Data: a small synthetic dataset with collaborative structure, split
+  //    leave-one-out for evaluation.
+  SyntheticConfig data_config;
+  data_config.name = "quickstart";
+  data_config.num_users = static_cast<std::size_t>(flags.GetInt("users", 300));
+  data_config.num_items = data_config.num_users * 3 / 2;
+  data_config.mean_interactions_per_user = 20.0;
+  data_config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const Dataset data = GenerateSynthetic(data_config);
+  Rng rng(data_config.seed + 1);
+  const LeaveOneOutSplit split = SplitLeaveOneOut(data, rng);
+  std::printf("dataset: %zu users, %zu items, %zu interactions\n",
+              data.num_users(), data.num_items(), data.num_interactions());
+
+  // 2. The attacker's world: a cold target item and the public fraction xi
+  //    of interactions (likes/comments) it can observe.
+  const double xi = flags.GetDouble("xi", 0.01);
+  const double rho = flags.GetDouble("rho", 0.05);
+  const PublicInteractions public_view = PublicInteractions::Sample(
+      split.train, xi, rng, PublicSamplingMode::kCeil);
+  Rng target_rng(data_config.seed + 2);
+  const auto targets = SelectTargetItems(split.train, 1,
+                                         TargetSelection::kUnpopular, target_rng);
+  std::printf("target item: %u (cold), xi=%.1f%%, rho=%.1f%%\n", targets[0],
+              100 * xi, 100 * rho);
+
+  // 3. Federated protocol configuration (Section III-B of the paper).
+  FedConfig config;
+  config.model.dim = 16;
+  config.model.learning_rate = 0.02f;
+  config.clients_per_round = 24;
+  config.epochs = static_cast<std::size_t>(flags.GetInt("epochs", 60));
+  config.clip_norm = 1.0f;
+  config.seed = data_config.seed + 3;
+
+  MetricsConfig metrics_config;
+  Evaluator evaluator(split.train, split.test_items, metrics_config,
+                      data_config.seed + 4);
+  ThreadPool pool(DefaultThreadCount());
+
+  // 4. Baseline run without any attack.
+  Simulation clean(split.train, config, 0, nullptr, &pool);
+  const auto clean_records = clean.Run(&evaluator, targets, config.epochs);
+  const MetricsResult clean_metrics = clean_records.back().metrics;
+
+  // 5. The same federation under FedRecAttack.
+  AttackOptions attack_options;
+  attack_options.kind = "fedrecattack";
+  attack_options.target_items = targets;
+  attack_options.kappa = 30;
+  attack_options.clip_norm = config.clip_norm;
+  AttackInputs inputs;
+  inputs.train = &split.train;
+  inputs.public_view = &public_view;
+  inputs.num_benign_users = split.train.num_users();
+  inputs.dim = config.model.dim;
+  auto attack = CreateAttack(attack_options, inputs);
+  attack.status().CheckOK();
+
+  const auto num_malicious = static_cast<std::size_t>(
+      rho * static_cast<double>(split.train.num_users()) + 0.5);
+  Simulation attacked(split.train, config, num_malicious, attack.value().get(),
+                      &pool);
+  const auto attacked_records = attacked.Run(&evaluator, targets, config.epochs);
+  const MetricsResult attacked_metrics = attacked_records.back().metrics;
+
+  // 6. Report.
+  std::printf("\n%-22s %10s %10s\n", "", "no attack", "attacked");
+  std::printf("%-22s %10.4f %10.4f\n", "ER@5 (target exposure)",
+              clean_metrics.er_at[0], attacked_metrics.er_at[0]);
+  std::printf("%-22s %10.4f %10.4f\n", "ER@10",
+              clean_metrics.er_at[1], attacked_metrics.er_at[1]);
+  std::printf("%-22s %10.4f %10.4f\n", "NDCG@10 (target)",
+              clean_metrics.ndcg, attacked_metrics.ndcg);
+  std::printf("%-22s %10.4f %10.4f   <- stealthiness: barely moves\n",
+              "HR@10 (accuracy)", clean_metrics.hit_ratio,
+              attacked_metrics.hit_ratio);
+  return 0;
+}

@@ -1,0 +1,122 @@
+/// Game-platform defense scenario: a Steam-200K-shaped federation operator
+/// tries to stop a promotion attack with byzantine-robust aggregation and a
+/// gradient-anomaly detector. Demonstrates the paper's Section VI point: the
+/// defenses that work in classical federated learning transfer poorly to
+/// federated recommendation.
+///
+///   ./steam_defenses [--scale=0.2] [--epochs=80] [--rho=0.05] [--z=3.5]
+
+#include <cstdio>
+
+#include "attack/attack_factory.h"
+#include "attack/target_select.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "data/public_view.h"
+#include "data/synthetic.h"
+#include "fed/detector.h"
+#include "fed/simulation.h"
+#include "model/metrics.h"
+
+using namespace fedrec;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Parse(argc, argv).CheckOK();
+  const double rho = flags.GetDouble("rho", 0.05);
+  const double z_threshold = flags.GetDouble("z", 3.5);
+  const auto epochs = static_cast<std::size_t>(flags.GetInt("epochs", 80));
+
+  auto generated = GenerateByName("steam-200k", 42, flags.GetDouble("scale", 0.2));
+  generated.status().CheckOK();
+  const Dataset data = std::move(generated).value();
+  Rng rng(43);
+  const LeaveOneOutSplit split = SplitLeaveOneOut(data, rng);
+  const PublicInteractions view = PublicInteractions::Sample(
+      split.train, 0.01, rng, PublicSamplingMode::kCeil);
+  Rng target_rng(44);
+  const auto targets = SelectTargetItems(split.train, 1,
+                                         TargetSelection::kUnpopular, target_rng);
+  std::printf("attacker promotes cold game #%u on %s; operator defends\n\n",
+              targets[0], data.name().c_str());
+
+  ThreadPool pool(DefaultThreadCount());
+  TextTable table("FedRecAttack vs server-side defenses (steam scenario)");
+  table.SetHeader({"Defense", "ER@5", "ER@10", "HR@10", "detector recall",
+                   "detector FPR"});
+
+  const std::pair<const char*, AggregatorKind> defenses[] = {
+      {"none (plain sum)", AggregatorKind::kSum},
+      {"norm-bound", AggregatorKind::kNormBound},
+      {"trimmed mean", AggregatorKind::kTrimmedMean},
+      {"median", AggregatorKind::kMedian},
+      {"krum", AggregatorKind::kKrum},
+  };
+
+  for (const auto& [label, aggregator] : defenses) {
+    FedConfig config;
+    config.model.dim = 32;
+    config.clients_per_round =
+        std::max<std::size_t>(8, split.train.num_users() / 15);
+    config.epochs = epochs;
+    config.aggregator.kind = aggregator;
+    // The paper's protocol adds differential-privacy noise to every upload
+    // (Eq. 5) — one of the two reasons Section V-D gives for why gradient
+    // screening fails in FR (benign uploads become widely spread themselves).
+    config.noise_scale = static_cast<float>(flags.GetDouble("mu", 0.25));
+    config.seed = 7;
+
+    AttackOptions options;
+    options.kind = "fedrecattack";
+    options.target_items = targets;
+    // Section V-B: kappa should match the typical benign upload footprint
+    // (~2 gradient rows per interaction), or the row count itself gives the
+    // attacker away to the simplest screening.
+    options.kappa = std::max<std::size_t>(
+        4, 2 * static_cast<std::size_t>(
+                   split.train.AverageInteractionsPerUser() + 0.5));
+    options.users_per_step = 256;
+    AttackInputs inputs;
+    inputs.train = &split.train;
+    inputs.public_view = &view;
+    inputs.num_benign_users = split.train.num_users();
+    inputs.dim = config.model.dim;
+    auto attack = CreateAttack(options, inputs);
+    attack.status().CheckOK();
+
+    MetricsConfig metrics_config;
+    Evaluator evaluator(split.train, split.test_items, metrics_config, 11);
+    const auto malicious = static_cast<std::size_t>(
+        rho * static_cast<double>(split.train.num_users()) + 0.5);
+    Simulation sim(split.train, config, malicious, attack.value().get(), &pool);
+
+    // Screen every round with the anomaly detector and track its quality.
+    double recall_sum = 0.0, fpr_sum = 0.0;
+    std::size_t rounds = 0;
+    sim.SetRoundObserver([&](const std::vector<ClientUpdate>& updates,
+                             const std::vector<bool>& is_malicious) {
+      bool any = false;
+      for (bool m : is_malicious) any |= m;
+      if (!any) return;
+      const DetectionQuality quality =
+          EvaluateDetection(ScreenUploads(updates, z_threshold), is_malicious);
+      recall_sum += quality.recall;
+      fpr_sum += quality.false_positive_rate;
+      ++rounds;
+    });
+
+    const auto records = sim.Run(&evaluator, targets, epochs);
+    const MetricsResult metrics = records.back().metrics;
+    auto fmt = [](double v) { return std::to_string(v).substr(0, 6); };
+    table.AddRow({label, fmt(metrics.er_at[0]), fmt(metrics.er_at[1]),
+                  fmt(metrics.hit_ratio),
+                  fmt(rounds ? recall_sum / static_cast<double>(rounds) : 0.0),
+                  fmt(rounds ? fpr_sum / static_cast<double>(rounds) : 0.0)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::puts(
+      "\nTakeaway: clipped, benign-shaped poisoned gradients on cold-item\n"
+      "rows survive robust aggregation, and the detector cannot separate\n"
+      "them from the naturally high variance of benign uploads (Sec. V-D).");
+  return 0;
+}

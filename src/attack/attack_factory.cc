@@ -1,0 +1,110 @@
+#include "attack/attack_factory.h"
+
+#include "attack/data_poison.h"
+#include "attack/fedrecattack.h"
+#include "attack/model_poison.h"
+#include "attack/shilling.h"
+#include "common/string_util.h"
+
+namespace fedrec {
+
+std::vector<std::string> SupportedAttackKinds() {
+  return {"none", "random", "bandwagon", "popular", "p1",  "p2",
+          "eb",   "pipattack", "p3",     "p4",      "fedrecattack"};
+}
+
+Result<std::unique_ptr<MaliciousCoordinator>> CreateAttack(
+    const AttackOptions& options, const AttackInputs& inputs) {
+  const std::string kind = ToLower(options.kind);
+  if (kind == "none") {
+    return std::unique_ptr<MaliciousCoordinator>(nullptr);
+  }
+  if (options.target_items.empty()) {
+    return Status::InvalidArgument("attack '" + kind + "' needs target items");
+  }
+  if (inputs.train == nullptr) {
+    return Status::InvalidArgument("attack inputs missing the training dataset");
+  }
+  const Dataset& train = *inputs.train;
+
+  ModelPoisonConfig poison;
+  poison.target_items = options.target_items;
+  poison.kappa = options.kappa;
+  poison.clip_norm = options.clip_norm;
+  poison.boost = options.boost;
+  poison.seed = options.seed;
+
+  if (kind == "random") {
+    return std::unique_ptr<MaliciousCoordinator>(
+        new RandomAttack(options.target_items, options.kappa, train.num_items(),
+                         options.seed));
+  }
+  if (kind == "bandwagon") {
+    return std::unique_ptr<MaliciousCoordinator>(
+        new BandwagonAttack(options.target_items, options.kappa,
+                            train.ItemsByPopularity(), options.seed));
+  }
+  if (kind == "popular") {
+    return std::unique_ptr<MaliciousCoordinator>(
+        new PopularAttack(options.target_items, options.kappa,
+                          train.ItemsByPopularity(), options.seed));
+  }
+  if (kind == "p1" || kind == "p2") {
+    SurrogateConfig surrogate;
+    surrogate.dim = inputs.dim;
+    surrogate.epochs = options.surrogate_epochs;
+    surrogate.seed = options.seed ^ 0xABCD;
+    if (kind == "p1") {
+      return std::unique_ptr<MaliciousCoordinator>(
+          new DataPoisonP1(options.target_items, options.kappa, train,
+                           surrogate, options.seed));
+    }
+    return std::unique_ptr<MaliciousCoordinator>(
+        new DataPoisonP2(options.target_items, options.kappa, train, surrogate,
+                         options.seed));
+  }
+  if (kind == "eb") {
+    return std::unique_ptr<MaliciousCoordinator>(
+        new ExplicitBoostAttack(poison, train.num_items()));
+  }
+  if (kind == "p3") {
+    return std::unique_ptr<MaliciousCoordinator>(
+        new P3BoostedGradientAttack(poison, train.num_items()));
+  }
+  if (kind == "p4") {
+    return std::unique_ptr<MaliciousCoordinator>(
+        new P4LittleIsEnoughAttack(poison, train.num_items(), options.z_max));
+  }
+  if (kind == "pipattack") {
+    const std::vector<std::uint32_t> order = train.ItemsByPopularity();
+    const std::size_t head = std::max<std::size_t>(1, order.size() / 10);
+    std::vector<std::uint32_t> popular(order.begin(),
+                                       order.begin() +
+                                           static_cast<std::ptrdiff_t>(head));
+    return std::unique_ptr<MaliciousCoordinator>(
+        new PipAttack(poison, train.num_items(), std::move(popular),
+                      options.alignment));
+  }
+  if (kind == "fedrecattack") {
+    if (inputs.public_view == nullptr) {
+      return Status::InvalidArgument("fedrecattack requires the public view D'");
+    }
+    FedRecAttackConfig config;
+    config.target_items = options.target_items;
+    config.step_size = options.step_size;
+    config.kappa = options.kappa;
+    config.clip_norm = options.clip_norm;
+    config.rec_k = options.rec_k;
+    config.approx_epochs_first = options.approx_epochs_first;
+    config.approx_epochs_round = options.approx_epochs_round;
+    config.approx_lr = options.approx_lr;
+    config.users_per_step = options.users_per_step;
+    config.seed = options.seed;
+    return std::unique_ptr<MaliciousCoordinator>(
+        new FedRecAttack(std::move(config), inputs.public_view,
+                         inputs.num_benign_users, inputs.dim));
+  }
+  return Status::NotFound("unknown attack kind: " + options.kind);
+}
+
+}  // namespace fedrec

@@ -1,0 +1,68 @@
+#ifndef FEDREC_ATTACK_ATTACK_FACTORY_H_
+#define FEDREC_ATTACK_ATTACK_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/public_view.h"
+#include "fed/simulation.h"
+
+/// \file
+/// Construction of any attack in the suite by name — the single entry point
+/// used by the benchmark harness and the examples.
+
+namespace fedrec {
+
+/// Union of every attack's knobs (unused fields are ignored per kind).
+struct AttackOptions {
+  /// One of: "none", "random", "bandwagon", "popular", "p1", "p2",
+  /// "eb", "pipattack", "p3", "p4", "fedrecattack".
+  std::string kind = "none";
+  std::vector<std::uint32_t> target_items;
+  std::size_t kappa = 60;
+  float clip_norm = 1.0f;
+
+  // FedRecAttack.
+  float step_size = 1.0f;
+  std::size_t rec_k = 10;
+  std::size_t approx_epochs_first = 30;
+  std::size_t approx_epochs_round = 2;
+  float approx_lr = 0.05f;
+  std::size_t users_per_step = 0;
+
+  // Model-poisoning baselines.
+  float boost = 4.0f;        ///< amplification (EB/P3/PipAttack)
+  float z_max = 1.5f;        ///< P4 deviation budget
+  float alignment = 1.0f;    ///< PipAttack popularity-alignment weight
+
+  // P1/P2 surrogate.
+  std::size_t surrogate_epochs = 15;
+
+  std::uint64_t seed = 7;
+};
+
+/// Everything an attack may legitimately (or, for the full-knowledge
+/// baselines, by explicit assumption) draw on.
+struct AttackInputs {
+  /// Benign training data. Used for popularity side info (bandwagon, popular,
+  /// pipattack) and as the full-knowledge dataset of P1/P2.
+  const Dataset* train = nullptr;
+  /// D' — required by "fedrecattack".
+  const PublicInteractions* public_view = nullptr;
+  std::size_t num_benign_users = 0;
+  std::size_t dim = 32;
+};
+
+/// Returns the list of supported attack kinds.
+std::vector<std::string> SupportedAttackKinds();
+
+/// Builds the coordinator for `options.kind`; returns nullptr for "none".
+Result<std::unique_ptr<MaliciousCoordinator>> CreateAttack(
+    const AttackOptions& options, const AttackInputs& inputs);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_ATTACK_ATTACK_FACTORY_H_

@@ -1,0 +1,230 @@
+#include "attack/model_poison.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace fedrec {
+
+ModelPoisonAttackBase::ModelPoisonAttackBase(std::string name,
+                                             ModelPoisonConfig config,
+                                             std::size_t num_items)
+    : name_(std::move(name)),
+      config_(std::move(config)),
+      num_items_(num_items),
+      rng_(config_.seed) {
+  FEDREC_CHECK(!config_.target_items.empty());
+  std::sort(config_.target_items.begin(), config_.target_items.end());
+}
+
+float ModelPoisonAttackBase::BoostCoefficient(float score) {
+  // d(-ln sigmoid(x))/dx = -sigmoid(-x): always negative, so a gradient
+  // descent step raises the score.
+  return static_cast<float>(-Sigmoid(-static_cast<double>(score)));
+}
+
+ModelPoisonAttackBase::MaliciousState& ModelPoisonAttackBase::StateForSlot(
+    std::size_t slot, const RoundContext& context) {
+  if (slot >= states_.size()) states_.resize(slot + 1);
+  if (states_[slot] == nullptr) {
+    auto state = std::make_unique<MaliciousState>();
+    state->user_vector = InitUserVector(context.config->model, rng_);
+    // Benign-looking filler profile: random non-target items within the
+    // kappa/2 interaction budget.
+    const std::size_t budget = config_.kappa / 2;
+    const std::size_t filler =
+        budget > config_.target_items.size()
+            ? budget - config_.target_items.size()
+            : 0;
+    std::vector<std::uint32_t> profile;
+    if (filler > 0) {
+      std::vector<std::uint32_t> non_targets;
+      non_targets.reserve(num_items_);
+      for (std::uint32_t j = 0; j < num_items_; ++j) {
+        if (!std::binary_search(config_.target_items.begin(),
+                                config_.target_items.end(), j)) {
+          non_targets.push_back(j);
+        }
+      }
+      const std::size_t want = std::min(filler, non_targets.size());
+      for (std::size_t idx :
+           rng_.SampleWithoutReplacement(non_targets.size(), want)) {
+        profile.push_back(non_targets[idx]);
+      }
+      std::sort(profile.begin(), profile.end());
+    }
+    if (profile.empty()) profile.push_back(0);
+    state->fake_client = std::make_unique<Client>(
+        0, std::move(profile), context.config->model, rng_.Fork(slot + 7919));
+    states_[slot] = std::move(state);
+  }
+  return *states_[slot];
+}
+
+std::vector<ClientUpdate> ModelPoisonAttackBase::ProduceUpdates(
+    const RoundContext& context,
+    std::span<const std::uint32_t> selected_malicious) {
+  std::vector<ClientUpdate> updates;
+  updates.reserve(selected_malicious.size());
+  for (std::uint32_t id : selected_malicious) {
+    FEDREC_CHECK_GE(id, context.num_benign_users);
+    const std::size_t slot = id - context.num_benign_users;
+    MaliciousState& state = StateForSlot(slot, context);
+
+    // Benign-looking filler gradients from the fake profile.
+    state.fake_client->ResampleNegatives(num_items_,
+                                         context.config->negatives_per_positive);
+    ClientUpdate update =
+        state.fake_client->TrainRound(context.model->item_factors(),
+                                      *context.config);
+    update.user = id;
+    update.loss = 0.0;
+    update.pair_count = 0;
+
+    // Strategy-specific poison rows.
+    EmitPoisonRows(context, state, update);
+
+    // Server-side constraints: row clip to C, then the kappa row budget
+    // (targets are kept preferentially when truncation is needed).
+    update.item_gradients.ClipRows(config_.clip_norm);
+    if (update.item_gradients.row_count() > config_.kappa) {
+      SparseRowMatrix trimmed(update.item_gradients.cols());
+      std::size_t kept = 0;
+      for (std::uint32_t t : config_.target_items) {
+        if (kept >= config_.kappa) break;
+        if (update.item_gradients.Contains(t)) {
+          const auto src = update.item_gradients.Row(t);
+          auto dst = trimmed.RowMutable(t);
+          std::copy(src.begin(), src.end(), dst.begin());
+          ++kept;
+        }
+      }
+      for (std::size_t row : update.item_gradients.row_ids()) {
+        if (kept >= config_.kappa) break;
+        if (trimmed.Contains(row)) continue;
+        const auto src = update.item_gradients.Row(row);
+        auto dst = trimmed.RowMutable(row);
+        std::copy(src.begin(), src.end(), dst.begin());
+        ++kept;
+      }
+      update.item_gradients = std::move(trimmed);
+    }
+    updates.push_back(std::move(update));
+  }
+  return updates;
+}
+
+ExplicitBoostAttack::ExplicitBoostAttack(ModelPoisonConfig config,
+                                         std::size_t num_items)
+    : ModelPoisonAttackBase("eb", std::move(config), num_items) {}
+
+void ExplicitBoostAttack::EmitPoisonRows(const RoundContext& context,
+                                         MaliciousState& state,
+                                         ClientUpdate& update) {
+  const Matrix& items = context.model->item_factors();
+  const float lr = context.config->model.learning_rate;
+  for (std::uint32_t target : config().target_items) {
+    const auto v_t = items.Row(target);
+    const float score = Dot(state.user_vector, v_t);
+    const float c = BoostCoefficient(score);
+    // dL/dv_t = c * u_m, amplified by the boost factor before clipping.
+    Axpy(config().boost * c, state.user_vector,
+         update.item_gradients.RowMutable(target));
+    // Local alignment of the malicious vector: u_m <- u_m - lr * c * v_t.
+    Axpy(-lr * c, v_t, std::span<float>(state.user_vector));
+  }
+}
+
+PipAttack::PipAttack(ModelPoisonConfig config, std::size_t num_items,
+                     std::vector<std::uint32_t> popular_items,
+                     float alignment_weight)
+    : ModelPoisonAttackBase("pipattack", std::move(config), num_items),
+      popular_items_(std::move(popular_items)),
+      alignment_weight_(alignment_weight) {
+  FEDREC_CHECK(!popular_items_.empty())
+      << "PipAttack requires popularity side information";
+}
+
+void PipAttack::EmitPoisonRows(const RoundContext& context,
+                               MaliciousState& state, ClientUpdate& update) {
+  const Matrix& items = context.model->item_factors();
+  // Popular-item centroid in the *current* shared embedding space — the
+  // stand-in for [31]'s popularity classifier's "popular" direction.
+  std::vector<float> centroid(items.cols(), 0.0f);
+  for (std::uint32_t p : popular_items_) {
+    Axpy(1.0f / static_cast<float>(popular_items_.size()), items.Row(p),
+         std::span<float>(centroid));
+  }
+  const float lr = context.config->model.learning_rate;
+  for (std::uint32_t target : config().target_items) {
+    const auto v_t = items.Row(target);
+    auto row = update.item_gradients.RowMutable(target);
+    // Explicit boost term.
+    const float score = Dot(state.user_vector, v_t);
+    const float c = BoostCoefficient(score);
+    Axpy(config().boost * c, state.user_vector, row);
+    // Popularity alignment: descend 1/2 * ||v_t - centroid||^2.
+    for (std::size_t d = 0; d < row.size(); ++d) {
+      row[d] += alignment_weight_ * (v_t[d] - centroid[d]);
+    }
+    Axpy(-lr * c, v_t, std::span<float>(state.user_vector));
+  }
+}
+
+P3BoostedGradientAttack::P3BoostedGradientAttack(ModelPoisonConfig config,
+                                                 std::size_t num_items)
+    : ModelPoisonAttackBase("p3", std::move(config), num_items) {}
+
+void P3BoostedGradientAttack::EmitPoisonRows(const RoundContext& context,
+                                             MaliciousState& state,
+                                             ClientUpdate& update) {
+  const Matrix& items = context.model->item_factors();
+  const float lr = context.config->model.learning_rate;
+  // Explicit boosting: the malicious objective's gradient scaled so it
+  // survives aggregation with the benign crowd ([28]'s boosting factor).
+  const float boost = config().boost * static_cast<float>(
+                          context.config->clients_per_round);
+  for (std::uint32_t target : config().target_items) {
+    const auto v_t = items.Row(target);
+    const float score = Dot(state.user_vector, v_t);
+    const float c = BoostCoefficient(score);
+    Axpy(boost * c, state.user_vector,
+         update.item_gradients.RowMutable(target));
+    Axpy(-lr * c, v_t, std::span<float>(state.user_vector));
+  }
+}
+
+P4LittleIsEnoughAttack::P4LittleIsEnoughAttack(ModelPoisonConfig config,
+                                               std::size_t num_items,
+                                               float z_max)
+    : ModelPoisonAttackBase("p4", std::move(config), num_items), z_max_(z_max) {}
+
+void P4LittleIsEnoughAttack::EmitPoisonRows(const RoundContext& context,
+                                            MaliciousState& state,
+                                            ClientUpdate& update) {
+  const Matrix& items = context.model->item_factors();
+  // Empirical coordinate spread of the benign-looking part of this upload —
+  // the population the crafted deviation must hide inside.
+  std::vector<float> coordinates;
+  for (std::size_t row : update.item_gradients.row_ids()) {
+    const auto r = update.item_gradients.Row(row);
+    coordinates.insert(coordinates.end(), r.begin(), r.end());
+  }
+  double sigma = std::sqrt(Variance(coordinates));
+  if (sigma <= 1e-9) sigma = 1e-3;
+
+  for (std::uint32_t target : config().target_items) {
+    (void)items;
+    auto row = update.item_gradients.RowMutable(target);
+    // Per coordinate: deviate z_max sigmas in the direction that raises the
+    // malicious user's score of the target (server update is V -= eta*grad,
+    // so the crafted gradient points against u_m).
+    for (std::size_t d = 0; d < row.size(); ++d) {
+      const float direction = state.user_vector[d] >= 0.0f ? -1.0f : 1.0f;
+      row[d] = static_cast<float>(z_max_ * sigma) * direction;
+    }
+  }
+}
+
+}  // namespace fedrec

@@ -1,0 +1,153 @@
+#include "attack/shilling.h"
+
+#include <algorithm>
+
+namespace fedrec {
+
+FakeProfileAttack::FakeProfileAttack(std::string name,
+                                     std::vector<std::uint32_t> target_items,
+                                     std::size_t kappa, std::size_t num_items,
+                                     std::uint64_t seed)
+    : name_(std::move(name)),
+      target_items_(std::move(target_items)),
+      kappa_(kappa),
+      num_items_(num_items),
+      rng_(seed) {
+  FEDREC_CHECK(!target_items_.empty());
+  FEDREC_CHECK_GT(num_items_, target_items_.size());
+  std::sort(target_items_.begin(), target_items_.end());
+}
+
+std::size_t FakeProfileAttack::filler_count() const {
+  const std::size_t budget = kappa_ / 2;
+  return budget > target_items_.size() ? budget - target_items_.size() : 0;
+}
+
+const std::vector<std::uint32_t>& FakeProfileAttack::ProfileForSlot(
+    std::size_t slot) const {
+  FEDREC_CHECK_LT(slot, fake_clients_.size());
+  FEDREC_CHECK(fake_clients_[slot] != nullptr);
+  return fake_clients_[slot]->positives();
+}
+
+std::vector<ClientUpdate> FakeProfileAttack::ProduceUpdates(
+    const RoundContext& context,
+    std::span<const std::uint32_t> selected_malicious) {
+  std::vector<ClientUpdate> updates;
+  updates.reserve(selected_malicious.size());
+  for (std::uint32_t id : selected_malicious) {
+    FEDREC_CHECK_GE(id, context.num_benign_users);
+    const std::size_t slot = id - context.num_benign_users;
+    if (slot >= fake_clients_.size()) fake_clients_.resize(slot + 1);
+    if (fake_clients_[slot] == nullptr) {
+      std::vector<std::uint32_t> profile = target_items_;
+      std::vector<std::uint32_t> fillers = BuildFillerItems(slot, rng_);
+      profile.insert(profile.end(), fillers.begin(), fillers.end());
+      std::sort(profile.begin(), profile.end());
+      profile.erase(std::unique(profile.begin(), profile.end()), profile.end());
+      fake_clients_[slot] = std::make_unique<Client>(
+          id, std::move(profile), context.config->model, rng_.Fork(slot));
+    }
+    Client& client = *fake_clients_[slot];
+    // Fresh negatives per participation (one participation per epoch).
+    client.ResampleNegatives(num_items_, context.config->negatives_per_positive);
+    updates.push_back(
+        client.TrainRound(context.model->item_factors(), *context.config));
+  }
+  return updates;
+}
+
+RandomAttack::RandomAttack(std::vector<std::uint32_t> target_items,
+                           std::size_t kappa, std::size_t num_items,
+                           std::uint64_t seed)
+    : FakeProfileAttack("random", std::move(target_items), kappa, num_items,
+                        seed) {}
+
+std::vector<std::uint32_t> RandomAttack::BuildFillerItems(std::size_t slot,
+                                                          Rng& rng) {
+  (void)slot;
+  std::vector<std::uint32_t> non_targets;
+  non_targets.reserve(num_items() - target_items().size());
+  for (std::uint32_t j = 0; j < num_items(); ++j) {
+    if (!std::binary_search(target_items().begin(), target_items().end(), j)) {
+      non_targets.push_back(j);
+    }
+  }
+  const std::size_t want = std::min(filler_count(), non_targets.size());
+  std::vector<std::uint32_t> fillers;
+  fillers.reserve(want);
+  for (std::size_t idx : rng.SampleWithoutReplacement(non_targets.size(), want)) {
+    fillers.push_back(non_targets[idx]);
+  }
+  return fillers;
+}
+
+BandwagonAttack::BandwagonAttack(std::vector<std::uint32_t> target_items,
+                                 std::size_t kappa,
+                                 std::vector<std::uint32_t> items_by_popularity,
+                                 std::uint64_t seed)
+    : FakeProfileAttack("bandwagon", std::move(target_items), kappa,
+                        items_by_popularity.size(), seed),
+      items_by_popularity_(std::move(items_by_popularity)) {}
+
+std::vector<std::uint32_t> BandwagonAttack::BuildFillerItems(std::size_t slot,
+                                                             Rng& rng) {
+  (void)slot;
+  const std::size_t want = filler_count();
+  // 10% of fillers from the popular head (top 10% of items), 90% from the
+  // remaining tail, per the paper's description of the baseline.
+  const std::size_t head_size =
+      std::max<std::size_t>(1, items_by_popularity_.size() / 10);
+  std::size_t head_want = want / 10;
+  std::size_t tail_want = want - head_want;
+
+  auto not_target = [this](std::uint32_t item) {
+    return !std::binary_search(target_items().begin(), target_items().end(), item);
+  };
+  std::vector<std::uint32_t> head;
+  for (std::size_t i = 0; i < head_size && i < items_by_popularity_.size(); ++i) {
+    if (not_target(items_by_popularity_[i])) head.push_back(items_by_popularity_[i]);
+  }
+  std::vector<std::uint32_t> tail;
+  for (std::size_t i = head_size; i < items_by_popularity_.size(); ++i) {
+    if (not_target(items_by_popularity_[i])) tail.push_back(items_by_popularity_[i]);
+  }
+  head_want = std::min(head_want, head.size());
+  tail_want = std::min(tail_want, tail.size());
+
+  std::vector<std::uint32_t> fillers;
+  fillers.reserve(head_want + tail_want);
+  for (std::size_t idx : rng.SampleWithoutReplacement(head.size(), head_want)) {
+    fillers.push_back(head[idx]);
+  }
+  for (std::size_t idx : rng.SampleWithoutReplacement(tail.size(), tail_want)) {
+    fillers.push_back(tail[idx]);
+  }
+  return fillers;
+}
+
+PopularAttack::PopularAttack(std::vector<std::uint32_t> target_items,
+                             std::size_t kappa,
+                             std::vector<std::uint32_t> items_by_popularity,
+                             std::uint64_t seed)
+    : FakeProfileAttack("popular", std::move(target_items), kappa,
+                        items_by_popularity.size(), seed),
+      items_by_popularity_(std::move(items_by_popularity)) {}
+
+std::vector<std::uint32_t> PopularAttack::BuildFillerItems(std::size_t slot,
+                                                           Rng& rng) {
+  (void)slot;
+  (void)rng;
+  // Deterministic: the top filler_count() most popular non-target items,
+  // shared by every fake profile.
+  std::vector<std::uint32_t> fillers;
+  for (std::uint32_t item : items_by_popularity_) {
+    if (fillers.size() >= filler_count()) break;
+    if (!std::binary_search(target_items().begin(), target_items().end(), item)) {
+      fillers.push_back(item);
+    }
+  }
+  return fillers;
+}
+
+}  // namespace fedrec

@@ -1,0 +1,105 @@
+#ifndef FEDREC_ATTACK_SHILLING_H_
+#define FEDREC_ATTACK_SHILLING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fed/client.h"
+#include "fed/simulation.h"
+
+/// \file
+/// Shilling-style baseline attacks (Table VII): Random, Bandwagon and Popular.
+/// Each malicious client holds a fake interaction profile — the target items
+/// plus (floor(kappa/2) - |V^tar|) filler items chosen per strategy — and then
+/// *behaves exactly like a benign client*, training on its fake data and
+/// uploading clipped/noised BPR gradients. In centralized recommendation these
+/// attacks poison the training data; ported to FR they poison via gradients of
+/// fake data, which is how the paper evaluates them.
+
+namespace fedrec {
+
+/// Base for every attack whose malicious clients train on fake profiles.
+/// Subclasses decide the filler items of each fake user.
+class FakeProfileAttack : public MaliciousCoordinator {
+ public:
+  /// `kappa` bounds the non-zero gradient rows a benign-looking upload may
+  /// carry; since each BPR pair touches one positive and one negative row, a
+  /// profile of floor(kappa/2) items stays within the bound.
+  FakeProfileAttack(std::string name, std::vector<std::uint32_t> target_items,
+                    std::size_t kappa, std::size_t num_items, std::uint64_t seed);
+
+  std::string name() const override { return name_; }
+
+  std::vector<ClientUpdate> ProduceUpdates(
+      const RoundContext& context,
+      std::span<const std::uint32_t> selected_malicious) override;
+
+  /// Filler items for fake user `slot` (|result| = filler_count()). Pure
+  /// strategy hook; must not include target items.
+  virtual std::vector<std::uint32_t> BuildFillerItems(std::size_t slot,
+                                                      Rng& rng) = 0;
+
+  /// floor(kappa/2) - |V^tar| filler interactions per fake profile.
+  std::size_t filler_count() const;
+
+  /// The fake profile (targets + fillers) of an instantiated malicious user;
+  /// exposed for tests. Aborts when the user never participated.
+  const std::vector<std::uint32_t>& ProfileForSlot(std::size_t slot) const;
+
+ protected:
+  const std::vector<std::uint32_t>& target_items() const { return target_items_; }
+  std::size_t num_items() const { return num_items_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  std::string name_;
+  std::vector<std::uint32_t> target_items_;
+  std::size_t kappa_;
+  std::size_t num_items_;
+  Rng rng_;
+  /// Lazily created fake clients, keyed by (malicious id - num_benign).
+  std::vector<std::unique_ptr<Client>> fake_clients_;
+};
+
+/// Random attack [47]: fillers drawn uniformly.
+class RandomAttack : public FakeProfileAttack {
+ public:
+  RandomAttack(std::vector<std::uint32_t> target_items, std::size_t kappa,
+               std::size_t num_items, std::uint64_t seed);
+
+  std::vector<std::uint32_t> BuildFillerItems(std::size_t slot, Rng& rng) override;
+};
+
+/// Bandwagon attack [48]: 10% of fillers from the top-10% popular items, the
+/// rest uniform from the remainder.
+class BandwagonAttack : public FakeProfileAttack {
+ public:
+  /// `items_by_popularity` is the full popularity ordering (most popular
+  /// first) — attacker-side side information about item popularity.
+  BandwagonAttack(std::vector<std::uint32_t> target_items, std::size_t kappa,
+                  std::vector<std::uint32_t> items_by_popularity,
+                  std::uint64_t seed);
+
+  std::vector<std::uint32_t> BuildFillerItems(std::size_t slot, Rng& rng) override;
+
+ private:
+  std::vector<std::uint32_t> items_by_popularity_;
+};
+
+/// Popular attack [47]: every fake profile uses the most popular items.
+class PopularAttack : public FakeProfileAttack {
+ public:
+  PopularAttack(std::vector<std::uint32_t> target_items, std::size_t kappa,
+                std::vector<std::uint32_t> items_by_popularity,
+                std::uint64_t seed);
+
+  std::vector<std::uint32_t> BuildFillerItems(std::size_t slot, Rng& rng) override;
+
+ private:
+  std::vector<std::uint32_t> items_by_popularity_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_ATTACK_SHILLING_H_

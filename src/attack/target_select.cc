@@ -1,0 +1,51 @@
+#include "attack/target_select.h"
+
+#include <algorithm>
+
+namespace fedrec {
+
+std::vector<std::uint32_t> SelectTargetItems(const Dataset& dataset,
+                                             std::size_t count,
+                                             TargetSelection mode, Rng& rng,
+                                             double cold_quantile) {
+  FEDREC_CHECK_GT(count, 0u);
+  FEDREC_CHECK_LE(count, dataset.num_items());
+  FEDREC_CHECK_GT(cold_quantile, 0.0);
+  FEDREC_CHECK_LE(cold_quantile, 1.0);
+
+  std::vector<std::uint32_t> pool;
+  switch (mode) {
+    case TargetSelection::kRandom: {
+      pool.resize(dataset.num_items());
+      for (std::uint32_t i = 0; i < pool.size(); ++i) pool[i] = i;
+      break;
+    }
+    case TargetSelection::kPopular: {
+      const std::vector<std::uint32_t> order = dataset.ItemsByPopularity();
+      pool.assign(order.begin(),
+                  order.begin() + static_cast<std::ptrdiff_t>(count));
+      return pool;  // deterministic: the top-count items
+    }
+    case TargetSelection::kUnpopular: {
+      const std::vector<std::uint32_t> order = dataset.ItemsByPopularity();
+      std::size_t pool_size = static_cast<std::size_t>(
+          cold_quantile * static_cast<double>(order.size()));
+      pool_size = std::max(pool_size, count);
+      pool_size = std::min(pool_size, order.size());
+      // Coldest `pool_size` items = the tail of the popularity ordering.
+      pool.assign(order.end() - static_cast<std::ptrdiff_t>(pool_size),
+                  order.end());
+      break;
+    }
+  }
+
+  std::vector<std::uint32_t> targets;
+  targets.reserve(count);
+  for (std::size_t idx : rng.SampleWithoutReplacement(pool.size(), count)) {
+    targets.push_back(pool[idx]);
+  }
+  std::sort(targets.begin(), targets.end());
+  return targets;
+}
+
+}  // namespace fedrec

@@ -1,0 +1,36 @@
+#ifndef FEDREC_ATTACK_TARGET_SELECT_H_
+#define FEDREC_ATTACK_TARGET_SELECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+/// \file
+/// Target-item selection. The paper promotes unpopular items (a target that is
+/// already popular needs no attack; the None rows of Tables VI-VIII report
+/// ER = 0, i.e. the chosen targets never appear in any top-K organically).
+
+namespace fedrec {
+
+/// Target pools.
+enum class TargetSelection {
+  /// Uniform over the coldest `quantile` fraction of items (default pool).
+  kUnpopular,
+  /// Uniform over all items.
+  kRandom,
+  /// Most-interacted items (sanity/ablation only; trivially exposed).
+  kPopular,
+};
+
+/// Draws `count` distinct target items from `dataset` according to `mode`.
+/// `cold_quantile` bounds the kUnpopular pool (0.2 = coldest 20%).
+std::vector<std::uint32_t> SelectTargetItems(const Dataset& dataset,
+                                             std::size_t count,
+                                             TargetSelection mode, Rng& rng,
+                                             double cold_quantile = 0.2);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_ATTACK_TARGET_SELECT_H_

@@ -1,0 +1,90 @@
+#ifndef FEDREC_COMMON_CHECK_H_
+#define FEDREC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// \file
+/// Fatal assertion macros in the style of glog/absl CHECK.
+///
+/// The library does not use exceptions (per the project style rules); programming
+/// errors abort with a diagnostic while recoverable errors travel through
+/// `fedrec::Status` (see common/status.h).
+
+namespace fedrec {
+namespace internal_check {
+
+/// Formats and prints a fatal check failure, then aborts. Never returns.
+[[noreturn]] inline void CheckFail(const char* file, int line, const char* expr,
+                                   const std::string& message) {
+  std::fprintf(stderr, "FEDREC_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::abort();
+}
+
+/// Stream collector so callers can append context: FEDREC_CHECK(x) << "context".
+/// Aborts in the destructor, which runs after all streaming completed.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  /// Lvalue self-reference so the voidify trick below can bind a temporary.
+  CheckMessageBuilder& self() { return *this; }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFail(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+/// glog-style voidifier: `operator&` binds looser than `<<` and returns void,
+/// making both ternary branches void while letting callers stream context.
+struct Voidifier {
+  void operator&(CheckMessageBuilder&) {}
+};
+
+}  // namespace internal_check
+}  // namespace fedrec
+
+/// Aborts with a diagnostic when `condition` is false. Additional context may be
+/// streamed: `FEDREC_CHECK(n > 0) << "n=" << n;`
+#define FEDREC_CHECK(condition)                                              \
+  (condition) ? (void)0                                                      \
+              : ::fedrec::internal_check::Voidifier() &                      \
+                    ::fedrec::internal_check::CheckMessageBuilder(           \
+                        __FILE__, __LINE__, #condition)                      \
+                        .self()
+
+#define FEDREC_CHECK_OP(a, op, b) \
+  FEDREC_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define FEDREC_CHECK_EQ(a, b) FEDREC_CHECK_OP(a, ==, b)
+#define FEDREC_CHECK_NE(a, b) FEDREC_CHECK_OP(a, !=, b)
+#define FEDREC_CHECK_LT(a, b) FEDREC_CHECK_OP(a, <, b)
+#define FEDREC_CHECK_LE(a, b) FEDREC_CHECK_OP(a, <=, b)
+#define FEDREC_CHECK_GT(a, b) FEDREC_CHECK_OP(a, >, b)
+#define FEDREC_CHECK_GE(a, b) FEDREC_CHECK_OP(a, >=, b)
+
+/// Debug-only check, compiled out under NDEBUG (condition not evaluated).
+#ifdef NDEBUG
+#define FEDREC_DCHECK(condition) FEDREC_CHECK(true)
+#else
+#define FEDREC_DCHECK(condition) FEDREC_CHECK(condition)
+#endif
+
+#endif  // FEDREC_COMMON_CHECK_H_

@@ -1,0 +1,103 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fedrec {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open file for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failure on file: " + path);
+  }
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    return Status::IOError("write failure on file: " + path);
+  }
+  return Status::OK();
+}
+
+std::vector<CsvRow> ParseDelimited(const std::string& content, char delimiter,
+                                   bool skip_header) {
+  std::vector<CsvRow> rows;
+  std::size_t start = 0;
+  bool header_pending = skip_header;
+  while (start <= content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    std::string_view line(content.data() + start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) {
+      if (header_pending) {
+        header_pending = false;
+      } else {
+        CsvRow row;
+        for (std::string_view field : SplitString(line, delimiter)) {
+          row.emplace_back(field);
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+    if (end == content.size()) break;
+    start = end + 1;
+  }
+  return rows;
+}
+
+Result<std::vector<CsvRow>> ReadDelimitedFile(const std::string& path,
+                                              char delimiter, bool skip_header) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return ParseDelimited(content.value(), delimiter, skip_header);
+}
+
+std::vector<std::string> SplitOnSeparator(const std::string& line,
+                                          const std::string& separator) {
+  std::vector<std::string> parts;
+  if (separator.empty()) {
+    parts.push_back(line);
+    return parts;
+  }
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = line.find(separator, start);
+    if (pos == std::string::npos) {
+      parts.push_back(line.substr(start));
+      break;
+    }
+    parts.push_back(line.substr(start, pos - start));
+    start = pos + separator.size();
+  }
+  return parts;
+}
+
+Status WriteDelimitedFile(const std::string& path, char delimiter,
+                          const std::vector<CsvRow>& rows) {
+  std::string content;
+  for (const CsvRow& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) content += delimiter;
+      content += row[i];
+    }
+    content += '\n';
+  }
+  return WriteStringToFile(path, content);
+}
+
+}  // namespace fedrec

@@ -1,0 +1,45 @@
+#ifndef FEDREC_COMMON_CSV_H_
+#define FEDREC_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Minimal delimiter-separated-values reader/writer. Sufficient for the
+/// MovieLens (tab / '::' separated) and Steam (comma separated) file formats
+/// plus the harness's result exports; no quoting/escaping dialects.
+
+namespace fedrec {
+
+/// One parsed record: the fields of a line.
+using CsvRow = std::vector<std::string>;
+
+/// Reads `path` and splits each line on `delimiter`. Skips empty lines.
+/// When `skip_header` is true the first non-empty line is dropped.
+Result<std::vector<CsvRow>> ReadDelimitedFile(const std::string& path,
+                                              char delimiter,
+                                              bool skip_header = false);
+
+/// Splits the in-memory `content` the same way ReadDelimitedFile would.
+std::vector<CsvRow> ParseDelimited(const std::string& content, char delimiter,
+                                   bool skip_header = false);
+
+/// Splits a line on a multi-character separator (MovieLens-1M uses "::").
+std::vector<std::string> SplitOnSeparator(const std::string& line,
+                                          const std::string& separator);
+
+/// Writes rows joined by `delimiter`, one line per row.
+Status WriteDelimitedFile(const std::string& path, char delimiter,
+                          const std::vector<CsvRow>& rows);
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes (overwrites) `content` to `path`.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_COMMON_CSV_H_

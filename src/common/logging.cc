@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <ctime>
+
+namespace fedrec {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal_log {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) < g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Trim the path to its basename for compact output.
+  const char* base = file_;
+  for (const char* p = file_; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level_), base, line_,
+               stream_.str().c_str());
+}
+
+}  // namespace internal_log
+}  // namespace fedrec

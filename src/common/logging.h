@@ -1,0 +1,53 @@
+#ifndef FEDREC_COMMON_LOGGING_H_
+#define FEDREC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+/// \file
+/// Leveled stderr logging. The simulation and bench harness log progress at
+/// kInfo; tests set the level to kWarning to stay quiet.
+
+namespace fedrec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+/// Accumulates one log line and emits it (with level tag and timestamp) on
+/// destruction if the level passes the global threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace fedrec
+
+#define FEDREC_LOG(level)                                                 \
+  ::fedrec::internal_log::LogMessage(::fedrec::LogLevel::k##level,        \
+                                     __FILE__, __LINE__)
+
+#endif  // FEDREC_COMMON_LOGGING_H_

@@ -1,0 +1,83 @@
+#include "common/math.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fedrec {
+
+float Dot(std::span<const float> a, std::span<const float> b) {
+  FEDREC_DCHECK(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  FEDREC_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(float alpha, std::span<float> x) {
+  for (float& v : x) v *= alpha;
+}
+
+void Fill(std::span<float> x, float value) {
+  for (float& v : x) v = value;
+}
+
+float L2NormSquared(std::span<const float> x) {
+  float acc = 0.0f;
+  for (float v : x) acc += v * v;
+  return acc;
+}
+
+float L2Norm(std::span<const float> x) { return std::sqrt(L2NormSquared(x)); }
+
+float ClipL2(std::span<float> x, float max_norm) {
+  FEDREC_CHECK_GE(max_norm, 0.0f);
+  const float norm = L2Norm(x);
+  if (norm <= max_norm || norm == 0.0f) return 1.0f;
+  const float factor = max_norm / norm;
+  Scale(factor, x);
+  return factor;
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double LogSigmoid(double x) {
+  // log sigmoid(x) = -log(1 + e^-x) = x - log(1 + e^x); pick the stable branch.
+  if (x >= 0.0) return -std::log1p(std::exp(-x));
+  return x - std::log1p(std::exp(x));
+}
+
+double AttackG(double x) { return x >= 0.0 ? x : std::expm1(x); }
+
+double AttackGPrime(double x) { return x >= 0.0 ? 1.0 : std::exp(x); }
+
+double Mean(std::span<const float> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (float v : x) acc += v;
+  return acc / static_cast<double>(x.size());
+}
+
+double Variance(std::span<const float> x) {
+  if (x.size() < 2) return 0.0;
+  const double mean = Mean(x);
+  double acc = 0.0;
+  for (float v : x) {
+    const double d = v - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(x.size() - 1);
+}
+
+}  // namespace fedrec

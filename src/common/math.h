@@ -1,0 +1,60 @@
+#ifndef FEDREC_COMMON_MATH_H_
+#define FEDREC_COMMON_MATH_H_
+
+#include <cstddef>
+#include <span>
+
+/// \file
+/// Dense float kernels used throughout the recommender, federated-protocol and
+/// attack code paths: dot products, AXPY updates, L2 norms / clipping, and the
+/// numerically stable sigmoid family that Bayesian Personalized Ranking needs.
+
+namespace fedrec {
+
+/// Dot product <a, b>; spans must have equal length.
+float Dot(std::span<const float> a, std::span<const float> b);
+
+/// y += alpha * x.
+void Axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha.
+void Scale(float alpha, std::span<float> x);
+
+/// Sets all elements to `value`.
+void Fill(std::span<float> x, float value);
+
+/// Euclidean norm ||x||_2.
+float L2Norm(std::span<const float> x);
+
+/// Squared Euclidean norm.
+float L2NormSquared(std::span<const float> x);
+
+/// Scales `x` in place so that ||x||_2 <= max_norm (no-op when already within
+/// the bound or when the vector is zero). Returns the scaling factor applied.
+/// This is the per-row gradient clipping of Eq. (23) and the C bound of Eq. (9).
+float ClipL2(std::span<float> x, float max_norm);
+
+/// Logistic sigmoid 1 / (1 + e^-x), stable for large |x|.
+double Sigmoid(double x);
+
+/// log(sigmoid(x)) computed without overflow/underflow for large |x|.
+double LogSigmoid(double x);
+
+/// The paper's g(x) of Eq. (14): identity for x >= 0, e^x - 1 below.
+/// Continuous and once-differentiable at 0; bounded below by -1, so the score
+/// of a target item is never pushed far past the recommendation boundary —
+/// this is the mechanism behind the attack's stealthiness (Section V-D).
+double AttackG(double x);
+
+/// Derivative g'(x): 1 for x >= 0, e^x below. Continuous at 0.
+double AttackGPrime(double x);
+
+/// Mean of a span (0 for an empty span).
+double Mean(std::span<const float> x);
+
+/// Unbiased sample variance (0 when fewer than two elements).
+double Variance(std::span<const float> x);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_COMMON_MATH_H_

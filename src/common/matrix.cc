@@ -1,0 +1,142 @@
+#include "common/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace fedrec {
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::FillGaussian(Rng& rng, float mean, float stddev) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng.NextGaussian(mean, stddev));
+  }
+}
+
+void Matrix::FillUniform(Rng& rng, float lo, float hi) {
+  FEDREC_CHECK_LE(lo, hi);
+  for (float& v : data_) {
+    v = lo + (hi - lo) * rng.NextFloat();
+  }
+}
+
+void Matrix::Add(const Matrix& other, float alpha) {
+  FEDREC_CHECK_EQ(rows_, other.rows_);
+  FEDREC_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+float Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+std::size_t Matrix::CountNonZeroRows() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const auto row = Row(i);
+    for (float v : row) {
+      if (v != 0.0f) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t SparseRowMatrix::FindSlot(std::size_t row) const {
+  auto it = std::lower_bound(
+      lookup_.begin(), lookup_.end(), row,
+      [](const std::pair<std::size_t, std::size_t>& e, std::size_t r) {
+        return e.first < r;
+      });
+  if (it != lookup_.end() && it->first == row) return it->second;
+  return kNpos;
+}
+
+std::span<float> SparseRowMatrix::RowMutable(std::size_t row) {
+  std::size_t slot = FindSlot(row);
+  if (slot == kNpos) {
+    slot = index_.size();
+    index_.push_back(row);
+    values_.resize(values_.size() + cols_, 0.0f);
+    auto it = std::lower_bound(
+        lookup_.begin(), lookup_.end(), row,
+        [](const std::pair<std::size_t, std::size_t>& e, std::size_t r) {
+          return e.first < r;
+        });
+    lookup_.insert(it, {row, slot});
+  }
+  return std::span<float>(values_.data() + slot * cols_, cols_);
+}
+
+std::span<const float> SparseRowMatrix::Row(std::size_t row) const {
+  const std::size_t slot = FindSlot(row);
+  FEDREC_CHECK(slot != kNpos) << "row " << row << " absent from sparse upload";
+  return std::span<const float>(values_.data() + slot * cols_, cols_);
+}
+
+bool SparseRowMatrix::Contains(std::size_t row) const {
+  return FindSlot(row) != kNpos;
+}
+
+void SparseRowMatrix::Clear() {
+  index_.clear();
+  values_.clear();
+  lookup_.clear();
+}
+
+void SparseRowMatrix::AddTo(Matrix& target, float alpha) const {
+  FEDREC_CHECK_EQ(target.cols(), cols_);
+  for (std::size_t slot = 0; slot < index_.size(); ++slot) {
+    const std::size_t row = index_[slot];
+    FEDREC_CHECK_LT(row, target.rows());
+    std::span<const float> src(values_.data() + slot * cols_, cols_);
+    Axpy(alpha, src, target.Row(row));
+  }
+}
+
+void SparseRowMatrix::ClipRows(float max_norm) {
+  for (std::size_t slot = 0; slot < index_.size(); ++slot) {
+    std::span<float> row(values_.data() + slot * cols_, cols_);
+    ClipL2(row, max_norm);
+  }
+}
+
+void SparseRowMatrix::AddGaussianNoise(Rng& rng, float stddev) {
+  if (stddev <= 0.0f) return;
+  for (float& v : values_) {
+    v += static_cast<float>(rng.NextGaussian(0.0, stddev));
+  }
+}
+
+float SparseRowMatrix::MaxRowNorm() const {
+  float max_norm = 0.0f;
+  for (std::size_t slot = 0; slot < index_.size(); ++slot) {
+    std::span<const float> row(values_.data() + slot * cols_, cols_);
+    max_norm = std::max(max_norm, L2Norm(row));
+  }
+  return max_norm;
+}
+
+std::size_t SparseRowMatrix::CountNonZeroRows() const {
+  std::size_t count = 0;
+  for (std::size_t slot = 0; slot < index_.size(); ++slot) {
+    std::span<const float> row(values_.data() + slot * cols_, cols_);
+    for (float v : row) {
+      if (v != 0.0f) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace fedrec

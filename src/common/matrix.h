@@ -1,0 +1,150 @@
+#ifndef FEDREC_COMMON_MATRIX_H_
+#define FEDREC_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+/// \file
+/// Row-major dense float matrix. Rows are the unit of exchange in federated
+/// recommendation: item feature vectors v_j and user feature vectors u_i are
+/// rows, and uploaded gradients are (sparse sets of) rows.
+
+namespace fedrec {
+
+/// Row-major dense matrix of float with contiguous storage.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix initialized to zero.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Mutable view of row i.
+  std::span<float> Row(std::size_t i) {
+    FEDREC_DCHECK(i < rows_);
+    return std::span<float>(data_.data() + i * cols_, cols_);
+  }
+  /// Const view of row i.
+  std::span<const float> Row(std::size_t i) const {
+    FEDREC_DCHECK(i < rows_);
+    return std::span<const float>(data_.data() + i * cols_, cols_);
+  }
+
+  float& At(std::size_t i, std::size_t j) {
+    FEDREC_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  float At(std::size_t i, std::size_t j) const {
+    FEDREC_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Whole backing store (row-major).
+  std::span<float> Data() { return data_; }
+  std::span<const float> Data() const { return data_; }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Sets every element to an independent N(mean, stddev^2) draw. The standard
+  /// initializer for feature matrices (paper uses small Gaussian init).
+  void FillGaussian(Rng& rng, float mean, float stddev);
+
+  /// Sets every element to an independent U[lo, hi) draw.
+  void FillUniform(Rng& rng, float lo, float hi);
+
+  /// this += alpha * other (same shape required).
+  void Add(const Matrix& other, float alpha = 1.0f);
+
+  /// Frobenius norm of the whole matrix.
+  float FrobeniusNorm() const;
+
+  /// Number of rows with a nonzero entry — the quantity bounded by kappa in
+  /// Eq. (9)/(10) of the paper.
+  std::size_t CountNonZeroRows() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<float> data_;
+};
+
+/// A sparse set of matrix rows — the wire format of a federated upload.
+/// A benign client uploads gradient rows only for the items it touched; a
+/// malicious client uploads rows only for its selected item set V_i, so the
+/// server-visible footprint of both is identical in kind.
+class SparseRowMatrix {
+ public:
+  SparseRowMatrix() : cols_(0) {}
+  explicit SparseRowMatrix(std::size_t cols) : cols_(cols) {}
+
+  std::size_t cols() const { return cols_; }
+  std::size_t row_count() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  /// Row ids currently present, in insertion order.
+  const std::vector<std::size_t>& row_ids() const { return index_; }
+
+  /// Returns a mutable view of row `row`, creating a zero row if absent.
+  std::span<float> RowMutable(std::size_t row);
+
+  /// Const view of row `row`; aborts if the row is absent (see Contains()).
+  std::span<const float> Row(std::size_t row) const;
+
+  bool Contains(std::size_t row) const;
+
+  /// Removes all rows (keeps the column count).
+  void Clear();
+
+  /// Accumulates `this` into the dense `target` scaled by alpha.
+  void AddTo(Matrix& target, float alpha = 1.0f) const;
+
+  /// Clips every stored row to L2 norm <= max_norm (Eq. 23).
+  void ClipRows(float max_norm);
+
+  /// Adds independent N(0, stddev^2) noise to every stored element (Eq. 5).
+  void AddGaussianNoise(Rng& rng, float stddev);
+
+  /// Maximum L2 norm across stored rows (0 when empty).
+  float MaxRowNorm() const;
+
+  /// Number of rows that contain at least one nonzero element.
+  std::size_t CountNonZeroRows() const;
+
+ private:
+  std::size_t cols_;
+  std::vector<std::size_t> index_;          // row ids, insertion order
+  std::vector<std::size_t> slot_of_row_;    // not used; kept empty
+  std::vector<float> values_;               // row_count * cols, row-major
+  // Map from row id to slot; linear probe over index_ is avoided with a
+  // secondary vector built lazily when lookups get hot. For the scales used
+  // here (kappa <= a few hundred rows) a flat map is fastest and simplest.
+  std::vector<std::pair<std::size_t, std::size_t>> lookup_;  // (row, slot) sorted
+
+  std::size_t FindSlot(std::size_t row) const;  // npos when absent
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_COMMON_MATRIX_H_

@@ -1,0 +1,133 @@
+#ifndef FEDREC_COMMON_STATUS_H_
+#define FEDREC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+/// \file
+/// RocksDB/Arrow-style Status and Result<T> for fallible operations.
+///
+/// Library code never throws. Operations that can fail at runtime for
+/// environmental reasons (missing file, malformed record, bad config) return a
+/// `Status` or a `Result<T>`; logic errors abort through FEDREC_CHECK.
+
+namespace fedrec {
+
+/// Machine-inspectable failure category carried by Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIOError = 3,
+  kCorruption = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value type describing the outcome of a fallible operation.
+class Status {
+ public:
+  /// Default-constructed status is OK.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process if the status is not OK. For call sites where failure
+  /// is a programming error (e.g., loading a file the test just wrote).
+  void CheckOK() const { FEDREC_CHECK(ok()) << ToString(); }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> couples a Status with a value produced on success.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from a non-OK status: failure.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    FEDREC_CHECK(!status_.ok()) << "Result constructed from OK status without value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts when not ok.
+  const T& value() const& {
+    status_.CheckOK();
+    return value_;
+  }
+  T& value() & {
+    status_.CheckOK();
+    return value_;
+  }
+  T&& value() && {
+    status_.CheckOK();
+    return std::move(value_);
+  }
+
+  /// Returns the value on success, `fallback` otherwise.
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK status to the caller (Arrow's ARROW_RETURN_NOT_OK).
+#define FEDREC_RETURN_NOT_OK(expr)              \
+  do {                                          \
+    ::fedrec::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace fedrec
+
+#endif  // FEDREC_COMMON_STATUS_H_

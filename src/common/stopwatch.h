@@ -1,0 +1,34 @@
+#ifndef FEDREC_COMMON_STOPWATCH_H_
+#define FEDREC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+/// \file
+/// Wall-clock stopwatch used for progress reporting in the bench harness.
+
+namespace fedrec {
+
+/// Monotonic wall-clock timer started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_COMMON_STOPWATCH_H_

@@ -1,0 +1,95 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstdio>
+
+namespace fedrec {
+
+std::vector<std::string_view> SplitString(std::string_view input, char delimiter) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == delimiter) {
+      parts.push_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  std::size_t begin = 0;
+  while (begin < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  std::size_t end = input.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+Result<long long> ParseInt(std::string_view text) {
+  const std::string buffer(StripWhitespace(text));
+  if (buffer.empty()) {
+    return Status::InvalidArgument("empty integer field");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("integer out of range: '" + buffer + "'");
+  }
+  if (end != buffer.c_str() + buffer.size()) {
+    return Status::InvalidArgument("malformed integer: '" + buffer + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string buffer(StripWhitespace(text));
+  if (buffer.empty()) {
+    return Status::InvalidArgument("empty numeric field");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("number out of range: '" + buffer + "'");
+  }
+  if (end != buffer.c_str() + buffer.size()) {
+    return Status::InvalidArgument("malformed number: '" + buffer + "'");
+  }
+  return value;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& items,
+                        std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += separator;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return std::string(buffer);
+}
+
+}  // namespace fedrec

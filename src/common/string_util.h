@@ -1,0 +1,43 @@
+#ifndef FEDREC_COMMON_STRING_UTIL_H_
+#define FEDREC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Small string helpers shared by the CSV reader, dataset loaders and the CLI
+/// flag parser.
+
+namespace fedrec {
+
+/// Splits `input` on `delimiter`; empty fields are preserved.
+std::vector<std::string_view> SplitString(std::string_view input, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a signed integer; rejects trailing garbage.
+Result<long long> ParseInt(std::string_view text);
+
+/// Parses a double; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view text);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view text);
+
+/// Joins items with `separator`.
+std::string JoinStrings(const std::vector<std::string>& items,
+                        std::string_view separator);
+
+/// printf-style float formatting helper ("%.4f" by default).
+std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_COMMON_STRING_UTIL_H_

@@ -1,0 +1,102 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+namespace fedrec {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  Row r;
+  r.cells = std::move(row);
+  rows_.push_back(std::move(r));
+}
+
+void TextTable::AddSeparator() {
+  Row r;
+  r.separator = true;
+  rows_.push_back(std::move(r));
+}
+
+std::string TextTable::Render() const {
+  // Column widths over header + all rows.
+  std::size_t columns = header_.size();
+  for (const Row& row : rows_) columns = std::max(columns, row.cells.size());
+  if (columns == 0) return title_.empty() ? "" : title_ + "\n";
+
+  std::vector<std::size_t> width(columns, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = std::max(width[c], header_[c].size());
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto rule = [&]() {
+    std::string line = "+";
+    for (std::size_t c = 0; c < columns; ++c) {
+      line += std::string(width[c] + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += rule();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out += rule();
+    } else {
+      out += render_row(row.cells);
+    }
+  }
+  out += rule();
+  return out;
+}
+
+std::string TextTable::RenderCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += "\"\"";
+      else quoted += c;
+    }
+    quoted += "\"";
+    return quoted;
+  };
+  std::string out;
+  auto append = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += ',';
+      out += escape(cells[c]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) append(header_);
+  for (const Row& row : rows_) {
+    if (!row.separator) append(row.cells);
+  }
+  return out;
+}
+
+}  // namespace fedrec

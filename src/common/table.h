@@ -1,0 +1,48 @@
+#ifndef FEDREC_COMMON_TABLE_H_
+#define FEDREC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+/// \file
+/// ASCII table printer used by the benchmark harness to render paper-style
+/// result tables on stdout, and to export the same rows as CSV.
+
+namespace fedrec {
+
+/// Column-aligned text table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row (column names).
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator at the current position.
+  void AddSeparator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with box-drawing ASCII (+---+ style).
+  std::string Render() const;
+
+  /// Renders as CSV (header first; separators skipped).
+  std::string RenderCsv() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_COMMON_TABLE_H_

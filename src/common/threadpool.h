@@ -1,0 +1,62 @@
+#ifndef FEDREC_COMMON_THREADPOOL_H_
+#define FEDREC_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file
+/// Fixed-size thread pool plus a blocking ParallelFor. Used to fan the
+/// per-client local training of a federated round and the full-ranking metric
+/// evaluation (n_users x n_items score matrix) across cores.
+
+namespace fedrec {
+
+/// Fixed pool of worker threads executing submitted closures FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>=1; values are clamped up to 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Executes fn(i) for i in [0, count) across the pool, blocking until done.
+/// Iterations are dealt in contiguous chunks to limit synchronization.
+/// When `pool` is null the loop runs inline on the calling thread.
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+
+/// Number of hardware threads, at least 1.
+std::size_t DefaultThreadCount();
+
+}  // namespace fedrec
+
+#endif  // FEDREC_COMMON_THREADPOOL_H_

@@ -1,0 +1,97 @@
+#ifndef FEDREC_DATA_DATASET_H_
+#define FEDREC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+/// \file
+/// Implicit-feedback interaction data (the D of Section III-A) plus the
+/// leave-one-out train/test split used by the paper's evaluation (Section V-A).
+
+namespace fedrec {
+
+/// One user-item interaction tuple (u_i, v_j) in D.
+struct Interaction {
+  std::uint32_t user;
+  std::uint32_t item;
+
+  friend bool operator==(const Interaction& a, const Interaction& b) {
+    return a.user == b.user && a.item == b.item;
+  }
+  friend bool operator<(const Interaction& a, const Interaction& b) {
+    return a.user != b.user ? a.user < b.user : a.item < b.item;
+  }
+};
+
+/// Immutable implicit-feedback dataset: |U| users, |V| items, and for each
+/// user the sorted set V+_i of items it interacted with.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Builds a dataset from raw tuples. Duplicate tuples are dropped (the
+  /// paper's preprocessing) and item lists are sorted. Interactions indexing
+  /// users/items outside the given counts are rejected.
+  static Result<Dataset> FromInteractions(std::string name, std::size_t num_users,
+                                          std::size_t num_items,
+                                          std::vector<Interaction> interactions);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_users() const { return user_items_.size(); }
+  std::size_t num_items() const { return num_items_; }
+  std::size_t num_interactions() const { return num_interactions_; }
+
+  /// V+_i: sorted item ids user `user` interacted with.
+  const std::vector<std::uint32_t>& UserItems(std::size_t user) const {
+    FEDREC_CHECK_LT(user, user_items_.size());
+    return user_items_[user];
+  }
+
+  /// True when (user, item) is in D. O(log |V+_i|).
+  bool HasInteraction(std::size_t user, std::uint32_t item) const;
+
+  /// Interaction count per item (popularity).
+  std::vector<std::size_t> ItemPopularity() const;
+
+  /// Items sorted by descending popularity (ties by id).
+  std::vector<std::uint32_t> ItemsByPopularity() const;
+
+  /// Average interactions per user.
+  double AverageInteractionsPerUser() const;
+
+  /// 1 - |D| / (|U| * |V|), as reported in Table II.
+  double Sparsity() const;
+
+  /// Flattened copy of all interactions (sorted by user then item).
+  std::vector<Interaction> AllInteractions() const;
+
+ private:
+  std::string name_;
+  std::size_t num_items_ = 0;
+  std::size_t num_interactions_ = 0;
+  std::vector<std::vector<std::uint32_t>> user_items_;
+};
+
+/// Result of the leave-one-out split: `train` lacks exactly one randomly
+/// chosen interaction per user (for users with >= 2 interactions), and
+/// `test_items[u]` holds that held-out item or kNoTestItem.
+struct LeaveOneOutSplit {
+  static constexpr std::int64_t kNoTestItem = -1;
+
+  Dataset train;
+  std::vector<std::int64_t> test_items;
+
+  /// Number of users that have a held-out test item.
+  std::size_t NumTestUsers() const;
+};
+
+/// Performs the leave-one-out split of Section V-A with the given RNG.
+LeaveOneOutSplit SplitLeaveOneOut(const Dataset& dataset, Rng& rng);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_DATA_DATASET_H_

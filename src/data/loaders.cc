@@ -1,0 +1,111 @@
+#include "data/loaders.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace fedrec {
+
+namespace {
+
+/// Builds a dataset from (user_key, item_key) string pairs with dense
+/// re-indexing in first-appearance order.
+Result<Dataset> FromKeyPairs(const std::string& name,
+                             std::vector<std::pair<std::string, std::string>> pairs) {
+  if (pairs.empty()) {
+    return Status::InvalidArgument(name + ": no interactions parsed");
+  }
+  std::unordered_map<std::string, std::uint32_t> user_index;
+  std::unordered_map<std::string, std::uint32_t> item_index;
+  std::vector<Interaction> interactions;
+  interactions.reserve(pairs.size());
+  for (auto& [user_key, item_key] : pairs) {
+    auto [uit, _u] = user_index.try_emplace(
+        user_key, static_cast<std::uint32_t>(user_index.size()));
+    auto [iit, _i] = item_index.try_emplace(
+        item_key, static_cast<std::uint32_t>(item_index.size()));
+    interactions.push_back({uit->second, iit->second});
+  }
+  return Dataset::FromInteractions(name, user_index.size(), item_index.size(),
+                                   std::move(interactions));
+}
+
+}  // namespace
+
+Result<Dataset> LoadMovieLens100K(const std::string& path) {
+  return LoadImplicitFeedback(path, '\t', 0, 1, /*skip_header=*/false, "ml-100k");
+}
+
+Result<Dataset> LoadMovieLens1M(const std::string& path) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::size_t start = 0;
+  const std::string& text = content.value();
+  std::size_t line_number = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    ++line_number;
+    if (!line.empty()) {
+      std::vector<std::string> fields = SplitOnSeparator(line, "::");
+      if (fields.size() < 2) {
+        return Status::Corruption("ml-1m line " + std::to_string(line_number) +
+                                  ": expected user::item::..., got '" + line + "'");
+      }
+      pairs.emplace_back(fields[0], fields[1]);
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return FromKeyPairs("ml-1m", std::move(pairs));
+}
+
+Result<Dataset> LoadSteam200K(const std::string& path) {
+  Result<std::vector<CsvRow>> rows = ReadDelimitedFile(path, ',');
+  if (!rows.ok()) return rows.status();
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(rows.value().size());
+  for (std::size_t i = 0; i < rows.value().size(); ++i) {
+    const CsvRow& row = rows.value()[i];
+    if (row.size() < 3) {
+      return Status::Corruption("steam-200k line " + std::to_string(i + 1) +
+                                ": expected >= 3 fields, got " +
+                                std::to_string(row.size()));
+    }
+    // Both "purchase" and "play" rows witness a user-item interaction; the
+    // duplicate (purchase+play) pairs collapse in Dataset::FromInteractions.
+    pairs.emplace_back(std::string(StripWhitespace(row[0])),
+                       std::string(StripWhitespace(row[1])));
+  }
+  return FromKeyPairs("steam-200k", std::move(pairs));
+}
+
+Result<Dataset> LoadImplicitFeedback(const std::string& path, char delimiter,
+                                     std::size_t user_column,
+                                     std::size_t item_column, bool skip_header,
+                                     const std::string& dataset_name) {
+  Result<std::vector<CsvRow>> rows = ReadDelimitedFile(path, delimiter, skip_header);
+  if (!rows.ok()) return rows.status();
+  const std::size_t needed = std::max(user_column, item_column) + 1;
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(rows.value().size());
+  for (std::size_t i = 0; i < rows.value().size(); ++i) {
+    const CsvRow& row = rows.value()[i];
+    if (row.size() < needed) {
+      return Status::Corruption(dataset_name + " line " + std::to_string(i + 1) +
+                                ": expected >= " + std::to_string(needed) +
+                                " fields, got " + std::to_string(row.size()));
+    }
+    pairs.emplace_back(std::string(StripWhitespace(row[user_column])),
+                       std::string(StripWhitespace(row[item_column])));
+  }
+  return FromKeyPairs(dataset_name, std::move(pairs));
+}
+
+}  // namespace fedrec

@@ -1,0 +1,39 @@
+#ifndef FEDREC_DATA_LOADERS_H_
+#define FEDREC_DATA_LOADERS_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+/// \file
+/// Loaders for the on-disk formats of the paper's three datasets. All loaders
+/// re-index users and items densely (original ids may be sparse or textual),
+/// convert to implicit feedback, and drop duplicate interactions — exactly the
+/// preprocessing described in Section V-A. When real dataset files are
+/// available they drop into the pipeline through these functions; the rest of
+/// the library is agnostic to whether a Dataset came from disk or from
+/// data/synthetic.h.
+
+namespace fedrec {
+
+/// MovieLens-100K `u.data`: tab-separated `user \t item \t rating \t ts`.
+Result<Dataset> LoadMovieLens100K(const std::string& path);
+
+/// MovieLens-1M `ratings.dat`: `user::item::rating::ts`.
+Result<Dataset> LoadMovieLens1M(const std::string& path);
+
+/// Steam-200K `steam-200k.csv`: `user,"game name",behavior,value,0` where
+/// behavior is "purchase" or "play". Both behaviors count as interactions.
+Result<Dataset> LoadSteam200K(const std::string& path);
+
+/// Generic loader: `delimiter`-separated file with user ids in column
+/// `user_column` and item keys in column `item_column` (keys may be text).
+Result<Dataset> LoadImplicitFeedback(const std::string& path, char delimiter,
+                                     std::size_t user_column,
+                                     std::size_t item_column,
+                                     bool skip_header,
+                                     const std::string& dataset_name);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_DATA_LOADERS_H_

@@ -1,0 +1,70 @@
+#include "data/public_view.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedrec {
+
+PublicInteractions PublicInteractions::Sample(const Dataset& dataset, double xi,
+                                              Rng& rng, PublicSamplingMode mode) {
+  FEDREC_CHECK_GE(xi, 0.0);
+  FEDREC_CHECK_LE(xi, 1.0);
+  PublicInteractions view;
+  view.user_items_.assign(dataset.num_users(), {});
+  if (xi == 0.0) return view;
+
+  for (std::size_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& items = dataset.UserItems(u);
+    if (items.empty()) continue;
+    std::vector<std::uint32_t>& public_items = view.user_items_[u];
+    if (mode == PublicSamplingMode::kBernoulli) {
+      for (std::uint32_t item : items) {
+        if (rng.NextBernoulli(xi)) public_items.push_back(item);
+      }
+    } else {
+      const double exact = xi * static_cast<double>(items.size());
+      std::size_t count =
+          mode == PublicSamplingMode::kCeil
+              ? static_cast<std::size_t>(std::ceil(exact))
+              : static_cast<std::size_t>(std::llround(exact));
+      count = std::min(count, items.size());
+      if (count == 0) continue;
+      for (std::size_t idx : rng.SampleWithoutReplacement(items.size(), count)) {
+        public_items.push_back(items[idx]);
+      }
+      std::sort(public_items.begin(), public_items.end());
+    }
+  }
+  return view;
+}
+
+bool PublicInteractions::Contains(std::size_t user, std::uint32_t item) const {
+  FEDREC_CHECK_LT(user, user_items_.size());
+  const auto& items = user_items_[user];
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+std::size_t PublicInteractions::TotalCount() const {
+  std::size_t total = 0;
+  for (const auto& items : user_items_) total += items.size();
+  return total;
+}
+
+std::size_t PublicInteractions::UsersWithPublicData() const {
+  std::size_t count = 0;
+  for (const auto& items : user_items_) {
+    if (!items.empty()) ++count;
+  }
+  return count;
+}
+
+std::vector<Interaction> PublicInteractions::AllInteractions() const {
+  std::vector<Interaction> all;
+  all.reserve(TotalCount());
+  for (std::uint32_t u = 0; u < user_items_.size(); ++u) {
+    for (std::uint32_t item : user_items_[u]) all.push_back({u, item});
+  }
+  return all;
+}
+
+}  // namespace fedrec

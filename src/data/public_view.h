@@ -1,0 +1,62 @@
+#ifndef FEDREC_DATA_PUBLIC_VIEW_H_
+#define FEDREC_DATA_PUBLIC_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+/// \file
+/// The attacker's prior knowledge D' (Section III-C): a small public fraction
+/// xi of each user's interactions (likes/follows/comments as opposed to
+/// private clicks/watches/purchases).
+
+namespace fedrec {
+
+/// How the per-user public count is derived from xi * |V+_i|.
+enum class PublicSamplingMode {
+  /// round(xi * |V+_i|) public items per user (paper's per-user selection).
+  kRound,
+  /// ceil: every user exposes at least one item when xi > 0.
+  kCeil,
+  /// Each interaction is public independently with probability xi.
+  kBernoulli,
+};
+
+/// D': for each user, the sorted subset of its training items that is public.
+class PublicInteractions {
+ public:
+  PublicInteractions() = default;
+
+  /// Samples D' from `dataset` with proportion `xi` in [0, 1].
+  static PublicInteractions Sample(const Dataset& dataset, double xi, Rng& rng,
+                                   PublicSamplingMode mode = PublicSamplingMode::kRound);
+
+  std::size_t num_users() const { return user_items_.size(); }
+
+  /// Public items of `user`, sorted.
+  const std::vector<std::uint32_t>& UserItems(std::size_t user) const {
+    FEDREC_CHECK_LT(user, user_items_.size());
+    return user_items_[user];
+  }
+
+  /// True when (user, item) is in D'.
+  bool Contains(std::size_t user, std::uint32_t item) const;
+
+  /// Total |D'|.
+  std::size_t TotalCount() const;
+
+  /// Number of users with at least one public interaction.
+  std::size_t UsersWithPublicData() const;
+
+  /// All public tuples flattened.
+  std::vector<Interaction> AllInteractions() const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> user_items_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_DATA_PUBLIC_VIEW_H_

@@ -1,0 +1,77 @@
+#ifndef FEDREC_DATA_SERIALIZE_H_
+#define FEDREC_DATA_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "data/dataset.h"
+#include "common/status.h"
+
+/// \file
+/// Little-endian binary serialization for the library's value types: feature
+/// matrices (model checkpoints) and datasets (preprocessed caches). Formats
+/// carry a magic tag and version so stale or foreign files fail loudly.
+
+namespace fedrec {
+
+/// Appends primitive values to a byte buffer.
+class BinaryWriter {
+ public:
+  void WriteU32(std::uint32_t value);
+  void WriteU64(std::uint64_t value);
+  void WriteF32(float value);
+  void WriteBytes(const void* data, std::size_t size);
+  void WriteString(const std::string& text);
+
+  const std::string& buffer() const { return buffer_; }
+
+  /// Writes the accumulated buffer to `path`.
+  Status Flush(const std::string& path) const;
+
+ private:
+  std::string buffer_;
+};
+
+/// Reads primitive values from a byte buffer with bounds checking.
+class BinaryReader {
+ public:
+  /// Empty reader (required by Result<BinaryReader>); every read fails.
+  BinaryReader() = default;
+
+  explicit BinaryReader(std::string buffer) : buffer_(std::move(buffer)) {}
+
+  /// Loads a whole file into a reader.
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<float> ReadF32();
+  Result<std::string> ReadString();
+
+  std::size_t remaining() const { return buffer_.size() - position_; }
+  bool exhausted() const { return position_ >= buffer_.size(); }
+
+ private:
+  Status Need(std::size_t bytes) const;
+
+  std::string buffer_;
+  std::size_t position_ = 0;
+};
+
+/// Saves a dense matrix ("FRMX" format, version 1).
+Status SaveMatrix(const Matrix& matrix, const std::string& path);
+
+/// Loads a matrix saved by SaveMatrix; rejects foreign/corrupt files.
+Result<Matrix> LoadMatrix(const std::string& path);
+
+/// Saves a dataset ("FRDS" format, version 1): name, shape, interactions.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset saved by SaveDataset.
+Result<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_DATA_SERIALIZE_H_

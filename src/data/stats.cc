@@ -1,0 +1,57 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fedrec {
+
+double GiniCoefficient(const std::vector<std::size_t>& counts) {
+  if (counts.empty()) return 0.0;
+  std::vector<std::size_t> sorted = counts;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+    total += static_cast<double>(sorted[i]);
+  }
+  if (total == 0.0) return 0.0;
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.name = dataset.name();
+  stats.num_users = dataset.num_users();
+  stats.num_items = dataset.num_items();
+  stats.num_interactions = dataset.num_interactions();
+  stats.avg_interactions_per_user = dataset.AverageInteractionsPerUser();
+  stats.sparsity = dataset.Sparsity();
+
+  const std::vector<std::size_t> popularity = dataset.ItemPopularity();
+  stats.gini_popularity = GiniCoefficient(popularity);
+
+  std::vector<std::size_t> sorted = popularity;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(1, sorted.size() / 10);
+  const std::size_t top_sum = std::accumulate(sorted.begin(),
+                                              sorted.begin() + static_cast<std::ptrdiff_t>(top),
+                                              std::size_t{0});
+  stats.top10_percent_share =
+      stats.num_interactions == 0
+          ? 0.0
+          : static_cast<double>(top_sum) / static_cast<double>(stats.num_interactions);
+
+  stats.max_user_degree = 0;
+  stats.min_user_degree = stats.num_interactions;
+  for (std::size_t u = 0; u < dataset.num_users(); ++u) {
+    const std::size_t degree = dataset.UserItems(u).size();
+    stats.max_user_degree = std::max(stats.max_user_degree, degree);
+    stats.min_user_degree = std::min(stats.min_user_degree, degree);
+  }
+  if (dataset.num_users() == 0) stats.min_user_degree = 0;
+  return stats;
+}
+
+}  // namespace fedrec

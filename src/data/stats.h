@@ -1,0 +1,36 @@
+#ifndef FEDREC_DATA_STATS_H_
+#define FEDREC_DATA_STATS_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+/// \file
+/// Descriptive statistics of a dataset — the columns of Table II plus
+/// long-tail diagnostics used to validate the synthetic generators.
+
+namespace fedrec {
+
+/// Summary row for one dataset.
+struct DatasetStats {
+  std::string name;
+  std::size_t num_users = 0;
+  std::size_t num_items = 0;
+  std::size_t num_interactions = 0;
+  double avg_interactions_per_user = 0.0;
+  double sparsity = 0.0;            // 1 - |D| / (|U||V|)
+  double gini_popularity = 0.0;     // inequality of item popularity, [0, 1)
+  double top10_percent_share = 0.0; // share of interactions on top-10% items
+  std::size_t max_user_degree = 0;
+  std::size_t min_user_degree = 0;
+};
+
+/// Computes all statistics of `dataset`.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+/// Gini coefficient of the (non-negative) counts; 0 = uniform.
+double GiniCoefficient(const std::vector<std::size_t>& counts);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_DATA_STATS_H_

@@ -1,0 +1,204 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/math.h"
+#include "common/matrix.h"
+#include "common/string_util.h"
+
+namespace fedrec {
+
+namespace {
+
+/// Per-user interaction count: log-normal with mean matched to the target,
+/// clamped to [2, num_items - 1] so leave-one-out and negative sampling work.
+std::size_t DrawActivity(Rng& rng, const SyntheticConfig& config) {
+  const double sigma = config.activity_sigma;
+  const double mu = std::log(config.mean_interactions_per_user) - 0.5 * sigma * sigma;
+  const double draw = rng.NextLogNormal(mu, sigma);
+  const double clamped =
+      std::clamp(draw, 2.0, static_cast<double>(config.num_items - 1));
+  return static_cast<std::size_t>(std::llround(clamped));
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  FEDREC_CHECK_GT(config.num_users, 0u);
+  FEDREC_CHECK_GT(config.num_items, 1u);
+  FEDREC_CHECK_GT(config.mean_interactions_per_user, 0.0);
+  FEDREC_CHECK_GE(config.popularity_mix, 0.0);
+  FEDREC_CHECK_LE(config.popularity_mix, 1.0);
+
+  Rng rng(config.seed);
+
+  // Latent ground-truth factors giving the data collaborative structure.
+  Matrix user_factors(config.num_users, config.latent_dim);
+  Matrix item_factors(config.num_items, config.latent_dim);
+  const float factor_scale = 1.0f / std::sqrt(static_cast<float>(config.latent_dim));
+  user_factors.FillGaussian(rng, 0.0f, factor_scale);
+  item_factors.FillGaussian(rng, 0.0f, factor_scale);
+
+  // Long-tail popularity: item j's base weight follows a Zipf law over a
+  // random permutation of item ids (so popularity is independent of id order).
+  std::vector<std::size_t> popularity_rank(config.num_items);
+  for (std::size_t i = 0; i < config.num_items; ++i) popularity_rank[i] = i;
+  rng.Shuffle(popularity_rank);
+  std::vector<double> popularity_weight(config.num_items);
+  for (std::size_t i = 0; i < config.num_items; ++i) {
+    const double rank = static_cast<double>(popularity_rank[i]) + 1.0;
+    popularity_weight[i] = 1.0 / std::pow(rank, config.popularity_exponent);
+  }
+  // CDF for popularity-proportional candidate sampling.
+  std::vector<double> cdf(config.num_items);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < config.num_items; ++i) {
+    acc += popularity_weight[i];
+    cdf[i] = acc;
+  }
+  for (double& c : cdf) c /= acc;
+  auto draw_popular_item = [&](Rng& r) {
+    const double u = r.NextDouble();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end()) return config.num_items - 1;
+    return static_cast<std::size_t>(it - cdf.begin());
+  };
+
+  std::vector<Interaction> interactions;
+  interactions.reserve(static_cast<std::size_t>(
+      config.mean_interactions_per_user * static_cast<double>(config.num_users)));
+
+  for (std::uint32_t u = 0; u < config.num_users; ++u) {
+    Rng user_rng = rng.Fork(u);
+    const std::size_t count = DrawActivity(user_rng, config);
+
+    // Candidate pool: popularity-biased draws, deduplicated.
+    const std::size_t pool_target =
+        std::min(config.num_items,
+                 std::max<std::size_t>(count + 1, count * config.pool_factor));
+    std::unordered_set<std::size_t> pool;
+    pool.reserve(pool_target * 2);
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = pool_target * 20 + 64;
+    while (pool.size() < pool_target && attempts < max_attempts) {
+      pool.insert(draw_popular_item(user_rng));
+      ++attempts;
+    }
+    // Fallback for tiny item spaces: fill with uniform draws.
+    while (pool.size() < std::min(config.num_items, pool_target)) {
+      pool.insert(static_cast<std::size_t>(user_rng.NextBounded(config.num_items)));
+    }
+
+    // Score candidates: latent preference + popularity mixture + Gumbel noise
+    // (so selection is stochastic but favours structure).
+    std::vector<std::pair<double, std::size_t>> scored;
+    scored.reserve(pool.size());
+    const auto u_vec = user_factors.Row(u);
+    for (std::size_t item : pool) {
+      const double pref = Dot(u_vec, item_factors.Row(item));
+      const double pop = std::log(popularity_weight[item] + 1e-12);
+      double g = user_rng.NextDouble();
+      if (g <= 0.0) g = 0x1.0p-53;
+      const double gumbel = -std::log(-std::log(g));
+      const double score = (1.0 - config.popularity_mix) * 4.0 * pref +
+                           config.popularity_mix * pop + 0.5 * gumbel;
+      scored.emplace_back(score, item);
+    }
+    const std::size_t take = std::min(count, scored.size());
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<std::ptrdiff_t>(take),
+                      scored.end(),
+                      [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t idx = 0; idx < take; ++idx) {
+      interactions.push_back({u, static_cast<std::uint32_t>(scored[idx].second)});
+    }
+    // Guarantee at least two interactions per user.
+    std::size_t have = take;
+    while (have < 2) {
+      const auto item = static_cast<std::uint32_t>(user_rng.NextBounded(config.num_items));
+      interactions.push_back({u, item});
+      ++have;
+    }
+  }
+
+  Result<Dataset> ds = Dataset::FromInteractions(config.name, config.num_users,
+                                                 config.num_items,
+                                                 std::move(interactions));
+  ds.status().CheckOK();
+  return std::move(ds).value();
+}
+
+SyntheticConfig MovieLens100KConfig(std::uint64_t seed) {
+  SyntheticConfig config;
+  config.name = "ml-100k";
+  config.num_users = 943;
+  config.num_items = 1682;
+  config.mean_interactions_per_user = 106.0;
+  config.activity_sigma = 0.75;
+  config.popularity_exponent = 0.9;
+  config.seed = seed;
+  return config;
+}
+
+SyntheticConfig MovieLens1MConfig(std::uint64_t seed) {
+  SyntheticConfig config;
+  config.name = "ml-1m";
+  config.num_users = 6040;
+  config.num_items = 3706;
+  config.mean_interactions_per_user = 166.0;
+  config.activity_sigma = 0.8;
+  config.popularity_exponent = 0.95;
+  config.seed = seed;
+  return config;
+}
+
+SyntheticConfig Steam200KConfig(std::uint64_t seed) {
+  SyntheticConfig config;
+  config.name = "steam-200k";
+  config.num_users = 3753;
+  config.num_items = 5134;
+  config.mean_interactions_per_user = 31.0;
+  config.activity_sigma = 0.95;
+  config.popularity_exponent = 1.05;
+  config.seed = seed;
+  return config;
+}
+
+Result<Dataset> GenerateByName(const std::string& preset, std::uint64_t seed,
+                               double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1], got " +
+                                   FormatDouble(scale, 3));
+  }
+  SyntheticConfig config;
+  const std::string lowered = ToLower(preset);
+  if (lowered == "ml-100k" || lowered == "movielens-100k") {
+    config = MovieLens100KConfig(seed);
+  } else if (lowered == "ml-1m" || lowered == "movielens-1m") {
+    config = MovieLens1MConfig(seed);
+  } else if (lowered == "steam-200k" || lowered == "steam") {
+    config = Steam200KConfig(seed);
+  } else {
+    return Status::NotFound("unknown dataset preset: " + preset);
+  }
+  if (scale < 1.0) {
+    config.num_users =
+        std::max<std::size_t>(8, static_cast<std::size_t>(
+                                     static_cast<double>(config.num_users) * scale));
+    config.num_items =
+        std::max<std::size_t>(16, static_cast<std::size_t>(
+                                      static_cast<double>(config.num_items) * scale));
+    // Preserve the dataset's sparsity: with fewer items, per-user activity
+    // must shrink proportionally, or every item becomes several times denser
+    // than in the original and the training dynamics (e.g. how often a cold
+    // item is drawn as a BPR negative) stop being representative.
+    config.mean_interactions_per_user =
+        std::max(6.0, config.mean_interactions_per_user * scale);
+    config.name += "@" + FormatDouble(scale, 2);
+  }
+  return GenerateSynthetic(config);
+}
+
+}  // namespace fedrec

@@ -1,0 +1,201 @@
+#include "fed/aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/math.h"
+
+namespace fedrec {
+
+const char* AggregatorKindToString(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::kSum:
+      return "sum";
+    case AggregatorKind::kTrimmedMean:
+      return "trimmed-mean";
+    case AggregatorKind::kMedian:
+      return "median";
+    case AggregatorKind::kNormBound:
+      return "norm-bound";
+    case AggregatorKind::kKrum:
+      return "krum";
+  }
+  return "?";
+}
+
+namespace {
+
+Matrix AggregateSum(const std::vector<ClientUpdate>& updates,
+                    std::size_t num_items, std::size_t dim) {
+  Matrix total(num_items, dim);
+  for (const ClientUpdate& update : updates) {
+    update.item_gradients.AddTo(total);
+  }
+  return total;
+}
+
+Matrix AggregateNormBound(const std::vector<ClientUpdate>& updates,
+                          std::size_t num_items, std::size_t dim,
+                          double norm_bound) {
+  Matrix total(num_items, dim);
+  for (const ClientUpdate& update : updates) {
+    for (std::size_t row : update.item_gradients.row_ids()) {
+      const auto src = update.item_gradients.Row(row);
+      std::vector<float> clipped(src.begin(), src.end());
+      ClipL2(clipped, static_cast<float>(norm_bound));
+      Axpy(1.0f, clipped, total.Row(row));
+    }
+  }
+  return total;
+}
+
+/// Gathers, per item row, the list of contributing updates.
+std::map<std::size_t, std::vector<const ClientUpdate*>> GroupByRow(
+    const std::vector<ClientUpdate>& updates) {
+  std::map<std::size_t, std::vector<const ClientUpdate*>> by_row;
+  for (const ClientUpdate& update : updates) {
+    for (std::size_t row : update.item_gradients.row_ids()) {
+      by_row[row].push_back(&update);
+    }
+  }
+  return by_row;
+}
+
+Matrix AggregateCoordinateWise(const std::vector<ClientUpdate>& updates,
+                               std::size_t num_items, std::size_t dim,
+                               bool median, double trim_fraction) {
+  Matrix total(num_items, dim);
+  const auto by_row = GroupByRow(updates);
+  std::vector<float> column;
+  for (const auto& [row, contributors] : by_row) {
+    const std::size_t n = contributors.size();
+    auto out = total.Row(row);
+    for (std::size_t d = 0; d < dim; ++d) {
+      column.clear();
+      for (const ClientUpdate* update : contributors) {
+        column.push_back(update->item_gradients.Row(row)[d]);
+      }
+      std::sort(column.begin(), column.end());
+      double robust = 0.0;
+      if (median) {
+        robust = (column.size() % 2 == 1)
+                     ? column[column.size() / 2]
+                     : 0.5 * (column[column.size() / 2 - 1] +
+                              column[column.size() / 2]);
+      } else {
+        std::size_t trim = static_cast<std::size_t>(
+            std::floor(trim_fraction * static_cast<double>(column.size())));
+        if (2 * trim >= column.size()) trim = (column.size() - 1) / 2;
+        double sum = 0.0;
+        std::size_t kept = 0;
+        for (std::size_t i = trim; i + trim < column.size(); ++i) {
+          sum += column[i];
+          ++kept;
+        }
+        robust = kept == 0 ? 0.0 : sum / static_cast<double>(kept);
+      }
+      // Rescale by the contributor count to stay comparable with kSum.
+      out[d] = static_cast<float>(robust * static_cast<double>(n));
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::size_t KrumSelect(const std::vector<ClientUpdate>& updates,
+                       std::size_t num_items, std::size_t dim,
+                       std::size_t honest) {
+  (void)num_items;
+  FEDREC_CHECK(!updates.empty());
+  const std::size_t n = updates.size();
+  if (n == 1) return 0;
+  if (honest == 0 || honest > n) {
+    honest = static_cast<std::size_t>(std::ceil(0.7 * static_cast<double>(n)));
+  }
+  // Distance between sparse uploads, absent rows counted as zero rows.
+  auto distance2 = [&](const ClientUpdate& a, const ClientUpdate& b) {
+    double acc = 0.0;
+    for (std::size_t row : a.item_gradients.row_ids()) {
+      const auto ra = a.item_gradients.Row(row);
+      if (b.item_gradients.Contains(row)) {
+        const auto rb = b.item_gradients.Row(row);
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double diff = static_cast<double>(ra[d]) - rb[d];
+          acc += diff * diff;
+        }
+      } else {
+        acc += static_cast<double>(L2NormSquared(ra));
+      }
+    }
+    for (std::size_t row : b.item_gradients.row_ids()) {
+      if (!a.item_gradients.Contains(row)) {
+        acc += static_cast<double>(L2NormSquared(b.item_gradients.Row(row)));
+      }
+    }
+    return acc;
+  };
+
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      dist[i][j] = dist[j][i] = distance2(updates[i], updates[j]);
+    }
+  }
+  // Score: sum of the closest (honest - 2) neighbour distances.
+  const std::size_t neighbours =
+      honest >= 2 ? std::min(honest - 2, n - 1) : std::min<std::size_t>(1, n - 1);
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<double> row;
+  for (std::size_t i = 0; i < n; ++i) {
+    row.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) row.push_back(dist[i][j]);
+    }
+    std::sort(row.begin(), row.end());
+    double score = 0.0;
+    for (std::size_t r = 0; r < std::max<std::size_t>(1, neighbours) && r < row.size();
+         ++r) {
+      score += row[r];
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Matrix AggregateUpdates(const std::vector<ClientUpdate>& updates,
+                        std::size_t num_items, std::size_t dim,
+                        const AggregatorOptions& options) {
+  if (updates.empty()) return Matrix(num_items, dim);
+  switch (options.kind) {
+    case AggregatorKind::kSum:
+      return AggregateSum(updates, num_items, dim);
+    case AggregatorKind::kNormBound:
+      return AggregateNormBound(updates, num_items, dim, options.norm_bound);
+    case AggregatorKind::kTrimmedMean:
+      return AggregateCoordinateWise(updates, num_items, dim, /*median=*/false,
+                                     options.trim_fraction);
+    case AggregatorKind::kMedian:
+      return AggregateCoordinateWise(updates, num_items, dim, /*median=*/true,
+                                     options.trim_fraction);
+    case AggregatorKind::kKrum: {
+      const std::size_t pick =
+          KrumSelect(updates, num_items, dim, options.krum_honest);
+      Matrix total(num_items, dim);
+      // The selected client's update stands in for the whole round, scaled to
+      // the round size to keep the learning-rate semantics of Eq. (7).
+      updates[pick].item_gradients.AddTo(
+          total, static_cast<float>(updates.size()));
+      return total;
+    }
+  }
+  return Matrix(num_items, dim);
+}
+
+}  // namespace fedrec

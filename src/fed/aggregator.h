@@ -1,0 +1,38 @@
+#ifndef FEDREC_FED_AGGREGATOR_H_
+#define FEDREC_FED_AGGREGATOR_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "fed/client.h"
+#include "fed/config.h"
+
+/// \file
+/// Server-side gradient aggregation. kSum implements the paper's protocol
+/// (Eq. 7). The byzantine-robust rules (trimmed mean, median, norm-bound,
+/// Krum) implement the future-work defenses of Section VI so the defense
+/// ablation bench can measure how FedRecAttack fares against them.
+///
+/// Robust rules operate per item row over the *contributing* clients only
+/// (clients that uploaded a non-zero row for that item), and rescale by the
+/// contributor count so their output magnitude is comparable to kSum — in FR
+/// most clients touch disjoint item subsets, which is exactly why the paper
+/// argues classical byzantine-robust rules fit FR poorly.
+
+namespace fedrec {
+
+/// Aggregates one round of uploads into a dense gradient of V.
+Matrix AggregateUpdates(const std::vector<ClientUpdate>& updates,
+                        std::size_t num_items, std::size_t dim,
+                        const AggregatorOptions& options);
+
+/// Krum selection: index into `updates` of the client whose upload minimizes
+/// the summed squared distance to its closest (honest - 2) neighbours,
+/// treating absent rows as zeros. Exposed for tests and the detector bench.
+std::size_t KrumSelect(const std::vector<ClientUpdate>& updates,
+                       std::size_t num_items, std::size_t dim,
+                       std::size_t honest);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_FED_AGGREGATOR_H_

@@ -1,0 +1,61 @@
+#ifndef FEDREC_FED_CLIENT_H_
+#define FEDREC_FED_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "fed/config.h"
+#include "model/mf_model.h"
+
+/// \file
+/// A benign user client (Section III-B): owns its private interaction set
+/// V+_i and its private feature vector u_i; when selected it derives BPR
+/// gradients at the server's current V, clips and noises the item gradients,
+/// uploads them, and updates u_i locally (Eq. 5-6).
+
+namespace fedrec {
+
+/// One client's upload for a round: the gradient rows of V it touched.
+/// This is the unit the server aggregates and the attacker forges.
+struct ClientUpdate {
+  std::uint32_t user = 0;
+  SparseRowMatrix item_gradients;
+  double loss = 0.0;          ///< local BPR loss (0 for attack uploads)
+  std::size_t pair_count = 0; ///< BPR pairs behind `loss`
+};
+
+/// Benign federated client.
+class Client {
+ public:
+  /// `positives` is V+_i (sorted); `rng` seeds the client's private stream.
+  Client(std::uint32_t user_id, std::vector<std::uint32_t> positives,
+         const MfHyperParams& params, Rng rng);
+
+  std::uint32_t user_id() const { return user_id_; }
+  const std::vector<std::uint32_t>& positives() const { return positives_; }
+  const std::vector<float>& user_vector() const { return user_vector_; }
+  std::vector<float>& mutable_user_vector() { return user_vector_; }
+
+  /// Resamples the negative set V-_i' (same size as V+_i). Called once per
+  /// epoch, mirroring the paper's per-client negative subsampling.
+  void ResampleNegatives(std::size_t num_items, std::size_t negatives_per_positive);
+
+  /// Executes one local training step against the shared item matrix:
+  /// computes nabla V_i and nabla u_i, clips rows of nabla V_i to C, adds
+  /// N(0, (mu C)^2) noise, applies u_i <- u_i - eta * nabla u_i, and returns
+  /// the upload. The caller (server/simulation) applies Eq. (7).
+  ClientUpdate TrainRound(const Matrix& item_factors, const FedConfig& config);
+
+ private:
+  std::uint32_t user_id_;
+  std::vector<std::uint32_t> positives_;
+  std::vector<std::uint32_t> negatives_;
+  std::vector<float> user_vector_;
+  Rng rng_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_FED_CLIENT_H_

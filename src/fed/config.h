@@ -1,0 +1,64 @@
+#ifndef FEDREC_FED_CONFIG_H_
+#define FEDREC_FED_CONFIG_H_
+
+#include <cstdint>
+
+#include "model/mf_model.h"
+
+/// \file
+/// Configuration of the federated training protocol of Section III-B, using
+/// the paper's notation: eta (learning rate), C (row-gradient L2 bound),
+/// mu (DP noise scale), kappa (non-zero-row bound observed by the server).
+
+namespace fedrec {
+
+/// How gradients from one round's clients are combined on the server.
+/// kSum is the paper's protocol (Eq. 7); the rest are the byzantine-robust
+/// aggregations named in the paper's future-work section, implemented as an
+/// extension for the defense ablation.
+enum class AggregatorKind {
+  kSum,
+  kTrimmedMean,
+  kMedian,
+  kNormBound,
+  kKrum,
+};
+
+const char* AggregatorKindToString(AggregatorKind kind);
+
+/// Options for robust aggregation.
+struct AggregatorOptions {
+  AggregatorKind kind = AggregatorKind::kSum;
+  /// Fraction trimmed from each side per coordinate (kTrimmedMean).
+  double trim_fraction = 0.1;
+  /// Max per-row L2 accepted before rescaling (kNormBound).
+  double norm_bound = 1.0;
+  /// Krum: number of honest clients assumed per round (f = selected - honest).
+  std::size_t krum_honest = 0;  // 0 = derive as ceil(0.7 * selected)
+};
+
+/// Full protocol configuration.
+struct FedConfig {
+  MfHyperParams model;
+
+  /// |U'|: clients selected per training iteration.
+  std::size_t clients_per_round = 64;
+  /// Total training epochs; one epoch cycles every client once (paper: 200).
+  std::size_t epochs = 200;
+  /// C: L2 bound on each uploaded gradient row.
+  float clip_norm = 1.0f;
+  /// mu: DP noise scale of Eq. (5); noise stddev is mu * C. The paper leaves
+  /// mu unspecified in its default table; 0 disables noise.
+  float noise_scale = 0.0f;
+  /// Negatives per positive when a client builds its pair set V_i (paper: the
+  /// negative set has the same size as V+_i, i.e. one negative per positive).
+  std::size_t negatives_per_positive = 1;
+
+  AggregatorOptions aggregator;
+
+  std::uint64_t seed = 1;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_FED_CONFIG_H_

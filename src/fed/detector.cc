@@ -1,0 +1,107 @@
+#include "fed/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace fedrec {
+
+UploadFeatures ExtractUploadFeatures(const ClientUpdate& update) {
+  UploadFeatures features;
+  features.row_count =
+      static_cast<double>(update.item_gradients.CountNonZeroRows());
+  features.max_row_norm = update.item_gradients.MaxRowNorm();
+  double frob = 0.0;
+  for (std::size_t row : update.item_gradients.row_ids()) {
+    frob += static_cast<double>(L2NormSquared(update.item_gradients.Row(row)));
+  }
+  features.total_norm = std::sqrt(frob);
+  return features;
+}
+
+namespace {
+
+double MedianOf(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2] : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace
+
+DetectionReport ScreenUploads(const std::vector<ClientUpdate>& updates,
+                              double z_threshold) {
+  DetectionReport report;
+  const std::size_t n = updates.size();
+  report.z_scores.assign(n * 3, 0.0);
+  if (n < 3) return report;  // not enough population to screen
+
+  std::vector<UploadFeatures> features(n);
+  for (std::size_t i = 0; i < n; ++i) features[i] = ExtractUploadFeatures(updates[i]);
+
+  const double kMadToSigma = 1.4826;  // consistency constant for normal data
+  for (std::size_t f = 0; f < 3; ++f) {
+    auto get = [f](const UploadFeatures& x) {
+      switch (f) {
+        case 0:
+          return x.row_count;
+        case 1:
+          return x.max_row_norm;
+        default:
+          return x.total_norm;
+      }
+    };
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = get(features[i]);
+    const double median = MedianOf(values);
+    std::vector<double> deviations(n);
+    for (std::size_t i = 0; i < n; ++i) deviations[i] = std::abs(values[i] - median);
+    double mad = MedianOf(deviations) * kMadToSigma;
+    if (mad <= 1e-12) mad = 1e-12;
+    for (std::size_t i = 0; i < n; ++i) {
+      report.z_scores[i * 3 + f] = (values[i] - median) / mad;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < 3; ++f) {
+      if (std::abs(report.z_scores[i * 3 + f]) > z_threshold) {
+        report.flagged.push_back(i);
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+DetectionQuality EvaluateDetection(const DetectionReport& report,
+                                   const std::vector<bool>& is_malicious) {
+  DetectionQuality quality;
+  std::size_t true_positive = 0;
+  for (std::size_t idx : report.flagged) {
+    if (idx < is_malicious.size() && is_malicious[idx]) ++true_positive;
+  }
+  std::size_t malicious_total = 0;
+  for (bool m : is_malicious) {
+    if (m) ++malicious_total;
+  }
+  const std::size_t benign_total = is_malicious.size() - malicious_total;
+  const std::size_t false_positive = report.flagged.size() - true_positive;
+  quality.precision = report.flagged.empty()
+                          ? 0.0
+                          : static_cast<double>(true_positive) /
+                                static_cast<double>(report.flagged.size());
+  quality.recall = malicious_total == 0
+                       ? 0.0
+                       : static_cast<double>(true_positive) /
+                             static_cast<double>(malicious_total);
+  quality.false_positive_rate =
+      benign_total == 0 ? 0.0
+                        : static_cast<double>(false_positive) /
+                              static_cast<double>(benign_total);
+  return quality;
+}
+
+}  // namespace fedrec

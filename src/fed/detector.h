@@ -1,0 +1,54 @@
+#ifndef FEDREC_FED_DETECTOR_H_
+#define FEDREC_FED_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fed/client.h"
+
+/// \file
+/// Gradient-anomaly detection (extension). Section V-D argues that detecting
+/// poisoned gradients by their statistics is hard in FR because benign
+/// gradients already vary widely; this detector lets the defense bench
+/// quantify that claim: it flags uploads whose summary features deviate from
+/// the round's population by more than `z_threshold` standard deviations.
+
+namespace fedrec {
+
+/// Per-upload summary features the detector scores.
+struct UploadFeatures {
+  double row_count = 0.0;    ///< non-zero gradient rows (kappa footprint)
+  double max_row_norm = 0.0; ///< largest row L2 norm
+  double total_norm = 0.0;   ///< Frobenius norm of the upload
+};
+
+UploadFeatures ExtractUploadFeatures(const ClientUpdate& update);
+
+/// Result of screening one round.
+struct DetectionReport {
+  /// Indices into the screened batch that were flagged as anomalous.
+  std::vector<std::size_t> flagged;
+  /// z-score per upload and feature (row-major: upload * 3 features).
+  std::vector<double> z_scores;
+};
+
+/// Robust z-score screening across a round's uploads: features are compared
+/// against the round median / MAD (median absolute deviation), so a minority
+/// of attackers cannot shift the baseline.
+DetectionReport ScreenUploads(const std::vector<ClientUpdate>& updates,
+                              double z_threshold);
+
+/// Fraction of `malicious` indices that were flagged (recall) and fraction of
+/// flagged that are truly malicious (precision).
+struct DetectionQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double false_positive_rate = 0.0;
+};
+
+DetectionQuality EvaluateDetection(const DetectionReport& report,
+                                   const std::vector<bool>& is_malicious);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_FED_DETECTOR_H_

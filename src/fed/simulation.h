@@ -1,0 +1,117 @@
+#ifndef FEDREC_FED_SIMULATION_H_
+#define FEDREC_FED_SIMULATION_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "data/dataset.h"
+#include "fed/aggregator.h"
+#include "fed/client.h"
+#include "fed/config.h"
+#include "model/metrics.h"
+
+/// \file
+/// The federated-recommendation training loop of Section III-B with the
+/// attacker hook of Section III-C: benign users are regular clients holding
+/// private data; malicious users are additional injected clients whose uploads
+/// are produced by a MaliciousCoordinator (the Attack implementations in
+/// src/attack). One epoch cycles every client once in shuffled batches of
+/// `clients_per_round`.
+
+namespace fedrec {
+
+/// Read-only view of the server state an attacker legitimately observes when
+/// one of its clients is selected: the shared parameters (V; Theta is empty
+/// for MF) and the protocol hyper-parameters.
+struct RoundContext {
+  const MfModel* model = nullptr;
+  const FedConfig* config = nullptr;
+  std::size_t epoch = 0;
+  std::size_t round_in_epoch = 0;
+  std::size_t global_round = 0;
+  std::size_t num_benign_users = 0;
+  ThreadPool* pool = nullptr;
+};
+
+/// Producer of malicious uploads; implemented by every attack in src/attack.
+class MaliciousCoordinator {
+ public:
+  virtual ~MaliciousCoordinator() = default;
+
+  /// Attack name for reports ("fedrecattack", "random", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once per round in which at least one malicious client was
+  /// selected; returns exactly one upload per id in `selected_malicious`
+  /// (ids are in [num_benign_users, num_benign_users + num_malicious)).
+  virtual std::vector<ClientUpdate> ProduceUpdates(
+      const RoundContext& context,
+      std::span<const std::uint32_t> selected_malicious) = 0;
+};
+
+/// Per-epoch record for the Fig. 3 curves.
+struct EpochRecord {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;  ///< summed benign BPR loss (paper plots the sum)
+  bool has_metrics = false;
+  MetricsResult metrics;
+};
+
+/// Observer invoked after each round with all uploads of the round and the
+/// flags marking which came from malicious clients (detector experiments).
+using RoundObserver =
+    std::function<void(const std::vector<ClientUpdate>&, const std::vector<bool>&)>;
+
+/// Federated training simulation.
+class Simulation {
+ public:
+  /// `train` holds the benign users' private data; `num_malicious` clients are
+  /// injected on top with ids starting at train.num_users(). `coordinator`
+  /// may be null (the paper's "None" row). `pool` may be null.
+  Simulation(const Dataset& train, const FedConfig& config,
+             std::size_t num_malicious, MaliciousCoordinator* coordinator,
+             ThreadPool* pool);
+
+  std::size_t num_benign() const { return benign_clients_.size(); }
+  std::size_t num_malicious() const { return num_malicious_; }
+  std::size_t global_round() const { return global_round_; }
+
+  MfModel& model() { return model_; }
+  const MfModel& model() const { return model_; }
+
+  /// Installs an observer receiving every round's uploads.
+  void SetRoundObserver(RoundObserver observer) { observer_ = std::move(observer); }
+
+  /// Runs one epoch; returns the summed benign BPR loss of the epoch.
+  double RunEpoch();
+
+  /// Runs config.epochs epochs, evaluating every `eval_every` epochs (and at
+  /// the final epoch) when `evaluator` is non-null.
+  std::vector<EpochRecord> Run(const Evaluator* evaluator,
+                               const std::vector<std::uint32_t>& target_items,
+                               std::size_t eval_every);
+
+  /// Assembles the benign users' current feature vectors (evaluation is an
+  /// omniscient-simulator operation; the attacker never sees this matrix).
+  Matrix BenignUserFactors() const;
+
+ private:
+  FedConfig config_;
+  std::size_t num_malicious_;
+  MaliciousCoordinator* coordinator_;
+  ThreadPool* pool_;
+  MfModel model_;
+  std::vector<Client> benign_clients_;
+  Rng rng_;
+  std::size_t epoch_ = 0;
+  std::size_t global_round_ = 0;
+  RoundObserver observer_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_FED_SIMULATION_H_

@@ -1,0 +1,123 @@
+#include "fed/svm_detector.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fedrec {
+
+namespace {
+
+std::vector<double> RawFeatures(const UploadFeatures& features) {
+  return {features.row_count, features.max_row_norm, features.total_norm};
+}
+
+}  // namespace
+
+SvmDetector::SvmDetector() : SvmDetector(Config()) {}
+
+SvmDetector::SvmDetector(Config config) : config_(config) {}
+
+std::vector<double> SvmDetector::Standardize(
+    const UploadFeatures& features) const {
+  std::vector<double> x = RawFeatures(features);
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    x[f] = (x[f] - feature_mean_[f]) / feature_std_[f];
+  }
+  return x;
+}
+
+double SvmDetector::Train(const std::vector<UploadFeatures>& features,
+                          const std::vector<bool>& poisoned) {
+  FEDREC_CHECK_EQ(features.size(), poisoned.size());
+  FEDREC_CHECK_GE(features.size(), 2u);
+  std::size_t positives = 0;
+  for (bool p : poisoned) positives += p ? 1 : 0;
+  FEDREC_CHECK_GT(positives, 0u) << "need at least one poisoned example";
+  FEDREC_CHECK_LT(positives, poisoned.size()) << "need at least one clean example";
+
+  // Standardization statistics from the training set.
+  const std::size_t n = features.size();
+  for (std::size_t f = 0; f < 3; ++f) {
+    double mean = 0.0;
+    for (const UploadFeatures& x : features) mean += RawFeatures(x)[f];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (const UploadFeatures& x : features) {
+      const double d = RawFeatures(x)[f] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    feature_mean_[f] = mean;
+    feature_std_[f] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+
+  weights_.assign(3, 0.0);
+  bias_ = 0.0;
+  trained_ = true;  // Standardize() is usable from here on
+
+  Rng rng(config_.seed);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  double mean_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double loss_sum = 0.0;
+    for (std::size_t idx : order) {
+      const std::vector<double> x = Standardize(features[idx]);
+      const double y = poisoned[idx] ? 1.0 : -1.0;
+      double margin = bias_;
+      for (std::size_t f = 0; f < 3; ++f) margin += weights_[f] * x[f];
+      margin *= y;
+      loss_sum += std::max(0.0, 1.0 - margin);
+      // Pegasos-style subgradient step on hinge + L2.
+      const double lr = config_.learning_rate;
+      for (std::size_t f = 0; f < 3; ++f) {
+        double grad = config_.l2_reg * weights_[f];
+        if (margin < 1.0) grad -= y * x[f];
+        weights_[f] -= lr * grad;
+      }
+      if (margin < 1.0) bias_ += lr * y;
+    }
+    mean_loss = loss_sum / static_cast<double>(n);
+  }
+  return mean_loss;
+}
+
+double SvmDetector::DecisionValue(const UploadFeatures& features) const {
+  FEDREC_CHECK(trained_) << "SvmDetector used before Train()";
+  const std::vector<double> x = Standardize(features);
+  double value = bias_;
+  for (std::size_t f = 0; f < 3; ++f) value += weights_[f] * x[f];
+  return value;
+}
+
+DetectionReport SvmDetector::Screen(
+    const std::vector<ClientUpdate>& updates) const {
+  DetectionReport report;
+  report.z_scores.reserve(updates.size() * 3);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const UploadFeatures features = ExtractUploadFeatures(updates[i]);
+    const double value = DecisionValue(features);
+    // Reuse the z_scores channel to expose the decision values.
+    report.z_scores.push_back(value);
+    report.z_scores.push_back(0.0);
+    report.z_scores.push_back(0.0);
+    if (value > 0.0) report.flagged.push_back(i);
+  }
+  return report;
+}
+
+double SvmDetector::Accuracy(const std::vector<UploadFeatures>& features,
+                             const std::vector<bool>& poisoned) const {
+  FEDREC_CHECK_EQ(features.size(), poisoned.size());
+  if (features.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (Classify(features[i]) == poisoned[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(features.size());
+}
+
+}  // namespace fedrec

@@ -1,0 +1,76 @@
+#ifndef FEDREC_MODEL_METRICS_H_
+#define FEDREC_MODEL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "data/dataset.h"
+
+/// \file
+/// Evaluation metrics of Section III-C / V-A:
+///   * ER@K   — exposure ratio of the target items (Eq. 8), the attack metric;
+///   * NDCG@K — rank-sensitive exposure of target items (as in [49]);
+///   * HR@K   — leave-one-out hit ratio (recommendation accuracy, as in [1]),
+///              computed with the standard sampled protocol (held-out item
+///              ranked against `hr_negatives` sampled negatives).
+///
+/// Evaluation is an omniscient-simulator operation: it sees the true user
+/// matrix U, which the attacker never does.
+
+namespace fedrec {
+
+/// What to evaluate.
+struct MetricsConfig {
+  std::vector<std::size_t> er_ks = {5, 10};  ///< ER@K for each K.
+  std::size_t ndcg_k = 10;                   ///< NDCG@K of target items.
+  std::size_t hr_k = 10;                     ///< HR@K of held-out items.
+  std::size_t hr_negatives = 99;             ///< Sampled negatives for HR.
+};
+
+/// Evaluated values; er_at[i] corresponds to MetricsConfig::er_ks[i].
+struct MetricsResult {
+  std::vector<double> er_at;
+  double ndcg = 0.0;
+  double hit_ratio = 0.0;
+
+  /// ER at the requested K (aborts if K was not configured).
+  double ErAt(std::size_t k, const MetricsConfig& config) const;
+};
+
+/// Precomputes per-user evaluation state (HR negative samples) once, then
+/// evaluates arbitrarily many (U, V) snapshots cheaply and deterministically.
+class Evaluator {
+ public:
+  /// `train` defines the excluded items V+_i; `test_items` the leave-one-out
+  /// held-out item per user (kNoTestItem entries are skipped by HR).
+  Evaluator(const Dataset& train, std::vector<std::int64_t> test_items,
+            MetricsConfig config, std::uint64_t seed);
+
+  const MetricsConfig& config() const { return config_; }
+
+  /// Computes all configured metrics for the model snapshot (U, V) and the
+  /// given target item set. `pool` may be null for single-threaded execution.
+  MetricsResult Evaluate(const Matrix& user_factors, const Matrix& item_factors,
+                         const std::vector<std::uint32_t>& target_items,
+                         ThreadPool* pool) const;
+
+  /// ER@K only (Eq. 8) — cheaper when HR is not needed.
+  double ExposureRatio(const Matrix& user_factors, const Matrix& item_factors,
+                       const std::vector<std::uint32_t>& target_items,
+                       std::size_t k, ThreadPool* pool) const;
+
+ private:
+  const Dataset* train_;
+  std::vector<std::int64_t> test_items_;
+  MetricsConfig config_;
+  /// Fixed per-user negative sample for HR (stable across snapshots so the
+  /// Fig. 3 curves are smooth).
+  std::vector<std::vector<std::uint32_t>> hr_candidates_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_MODEL_METRICS_H_

@@ -1,0 +1,37 @@
+#include "model/mf_model.h"
+
+#include "common/math.h"
+
+namespace fedrec {
+
+MfModel::MfModel(std::size_t num_items, const MfHyperParams& params, Rng& rng)
+    : params_(params), item_factors_(num_items, params.dim) {
+  FEDREC_CHECK_GT(params.dim, 0u);
+  item_factors_.FillGaussian(rng, 0.0f, params.init_std);
+}
+
+float MfModel::Score(std::span<const float> user_vector, std::size_t item) const {
+  return Dot(user_vector, item_factors_.Row(item));
+}
+
+void MfModel::ScoreAll(std::span<const float> user_vector,
+                       std::span<float> out) const {
+  FEDREC_CHECK_EQ(out.size(), item_factors_.rows());
+  for (std::size_t j = 0; j < item_factors_.rows(); ++j) {
+    out[j] = Dot(user_vector, item_factors_.Row(j));
+  }
+}
+
+void MfModel::ApplyGradient(const Matrix& gradient, float learning_rate) {
+  item_factors_.Add(gradient, -learning_rate);
+}
+
+std::vector<float> InitUserVector(const MfHyperParams& params, Rng& rng) {
+  std::vector<float> vec(params.dim);
+  for (float& v : vec) {
+    v = static_cast<float>(rng.NextGaussian(0.0, params.init_std));
+  }
+  return vec;
+}
+
+}  // namespace fedrec

@@ -1,0 +1,71 @@
+#ifndef FEDREC_MODEL_MF_MODEL_H_
+#define FEDREC_MODEL_MF_MODEL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+/// \file
+/// The base recommender of Section III-A: matrix factorization with a fixed
+/// dot-product interaction function, x_ij = u_i . v_j (Eq. 1). The item
+/// feature matrix V is the shared parameter maintained by the central server;
+/// user feature vectors live on clients (src/fed/client.h). Theta is empty for
+/// MF, so the shared state reduces to V.
+
+namespace fedrec {
+
+/// Hyper-parameters of the matrix-factorization recommender.
+struct MfHyperParams {
+  /// Feature dimension k (paper default 32).
+  std::size_t dim = 32;
+  /// Learning rate eta (paper default 0.01).
+  float learning_rate = 0.01f;
+  /// L2 regularization on factors (0 disables; the paper's plain BPR).
+  float l2_reg = 0.0f;
+  /// Stddev of the Gaussian initializer for feature vectors.
+  float init_std = 0.1f;
+};
+
+/// Shared model state: the item feature matrix V (num_items x dim).
+class MfModel {
+ public:
+  MfModel() = default;
+
+  /// Creates a model with Gaussian-initialized item factors.
+  MfModel(std::size_t num_items, const MfHyperParams& params, Rng& rng);
+
+  const MfHyperParams& params() const { return params_; }
+  std::size_t num_items() const { return item_factors_.rows(); }
+  std::size_t dim() const { return item_factors_.cols(); }
+
+  Matrix& item_factors() { return item_factors_; }
+  const Matrix& item_factors() const { return item_factors_; }
+
+  /// v_j.
+  std::span<const float> ItemVector(std::size_t item) const {
+    return item_factors_.Row(item);
+  }
+
+  /// Predicted score x_ij = u . v_j (Eq. 1 with dot-product Upsilon).
+  float Score(std::span<const float> user_vector, std::size_t item) const;
+
+  /// Scores of `user_vector` against every item; `out` must have num_items()
+  /// elements.
+  void ScoreAll(std::span<const float> user_vector, std::span<float> out) const;
+
+  /// Applies an aggregated gradient: V <- V - lr * grad (Eq. 7).
+  void ApplyGradient(const Matrix& gradient, float learning_rate);
+
+ private:
+  MfHyperParams params_;
+  Matrix item_factors_;
+};
+
+/// Draws a fresh Gaussian user vector (client-side initialization).
+std::vector<float> InitUserVector(const MfHyperParams& params, Rng& rng);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_MODEL_MF_MODEL_H_

@@ -1,0 +1,127 @@
+#include "model/mlp.h"
+
+#include <cmath>
+
+#include "common/math.h"
+
+namespace fedrec {
+
+DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim,
+                       Activation activation, Rng& rng)
+    : weights_(out_dim, in_dim), bias_(out_dim, 0.0f), activation_(activation) {
+  FEDREC_CHECK_GT(in_dim, 0u);
+  FEDREC_CHECK_GT(out_dim, 0u);
+  // He initialization keeps ReLU activations well-scaled.
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_dim));
+  weights_.FillGaussian(rng, 0.0f, stddev);
+}
+
+std::vector<float> DenseLayer::Forward(std::span<const float> input) {
+  FEDREC_CHECK_EQ(input.size(), weights_.cols());
+  last_input_.assign(input.begin(), input.end());
+  last_preactivation_.resize(weights_.rows());
+  std::vector<float> output(weights_.rows());
+  for (std::size_t o = 0; o < weights_.rows(); ++o) {
+    const float z = Dot(weights_.Row(o), input) + bias_[o];
+    last_preactivation_[o] = z;
+    output[o] = activation_ == Activation::kReLU ? std::max(0.0f, z) : z;
+  }
+  return output;
+}
+
+std::vector<float> DenseLayer::Backward(std::span<const float> grad_output,
+                                        Matrix& grad_weights,
+                                        std::vector<float>& grad_bias) const {
+  FEDREC_CHECK_EQ(grad_output.size(), weights_.rows());
+  FEDREC_CHECK_EQ(grad_weights.rows(), weights_.rows());
+  FEDREC_CHECK_EQ(grad_weights.cols(), weights_.cols());
+  FEDREC_CHECK_EQ(grad_bias.size(), bias_.size());
+  FEDREC_CHECK_EQ(last_input_.size(), weights_.cols())
+      << "Backward called without a preceding Forward";
+
+  std::vector<float> grad_input(weights_.cols(), 0.0f);
+  for (std::size_t o = 0; o < weights_.rows(); ++o) {
+    float g = grad_output[o];
+    if (activation_ == Activation::kReLU && last_preactivation_[o] <= 0.0f) {
+      g = 0.0f;
+    }
+    if (g == 0.0f) continue;
+    // dL/dW_o = g * x; dL/db_o = g; dL/dx += g * W_o.
+    Axpy(g, last_input_, grad_weights.Row(o));
+    grad_bias[o] += g;
+    Axpy(g, weights_.Row(o), std::span<float>(grad_input));
+  }
+  return grad_input;
+}
+
+void DenseLayer::ApplyGradients(const Matrix& grad_weights,
+                                const std::vector<float>& grad_bias,
+                                float learning_rate) {
+  weights_.Add(grad_weights, -learning_rate);
+  for (std::size_t o = 0; o < bias_.size(); ++o) {
+    bias_[o] -= learning_rate * grad_bias[o];
+  }
+}
+
+Mlp::Mlp(std::size_t in_dim, const std::vector<std::size_t>& hidden, Rng& rng) {
+  std::size_t current = in_dim;
+  for (std::size_t width : hidden) {
+    layers_.emplace_back(current, width, DenseLayer::Activation::kReLU, rng);
+    current = width;
+  }
+  layers_.emplace_back(current, 1, DenseLayer::Activation::kIdentity, rng);
+}
+
+std::size_t Mlp::in_dim() const {
+  FEDREC_CHECK(!layers_.empty());
+  return layers_.front().in_dim();
+}
+
+float Mlp::Forward(std::span<const float> input) {
+  std::vector<float> activation(input.begin(), input.end());
+  for (DenseLayer& layer : layers_) {
+    activation = layer.Forward(activation);
+  }
+  FEDREC_CHECK_EQ(activation.size(), 1u);
+  return activation[0];
+}
+
+void Mlp::Gradients::Clear() {
+  for (Matrix& w : weights) w.Fill(0.0f);
+  for (auto& b : bias) std::fill(b.begin(), b.end(), 0.0f);
+}
+
+Mlp::Gradients Mlp::MakeGradients() const {
+  Gradients grads;
+  grads.weights.reserve(layers_.size());
+  grads.bias.reserve(layers_.size());
+  for (const DenseLayer& layer : layers_) {
+    grads.weights.emplace_back(layer.out_dim(), layer.in_dim());
+    grads.bias.emplace_back(layer.out_dim(), 0.0f);
+  }
+  return grads;
+}
+
+std::vector<float> Mlp::Backward(float grad_output, Gradients& grads) const {
+  FEDREC_CHECK_EQ(grads.weights.size(), layers_.size());
+  std::vector<float> grad{grad_output};
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    grad = layers_[i].Backward(grad, grads.weights[i], grads.bias[i]);
+  }
+  return grad;
+}
+
+void Mlp::ApplyGradients(const Gradients& grads, float learning_rate) {
+  FEDREC_CHECK_EQ(grads.weights.size(), layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].ApplyGradients(grads.weights[i], grads.bias[i], learning_rate);
+  }
+}
+
+std::size_t Mlp::ParameterCount() const {
+  std::size_t total = 0;
+  for (const DenseLayer& layer : layers_) total += layer.ParameterCount();
+  return total;
+}
+
+}  // namespace fedrec

@@ -1,0 +1,108 @@
+#ifndef FEDREC_MODEL_MLP_H_
+#define FEDREC_MODEL_MLP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+/// \file
+/// A small fully-connected network with manual backpropagation. This is the
+/// learnable interaction function Upsilon/Theta of the deep-learning-based
+/// recommenders the paper discusses (NCF [1] family): where MF fixes
+/// x_ij = u . v, an NCF-style model feeds [u ; v] through an MLP. It serves
+/// as the deep surrogate of the P2 data-poisoning baseline (whose original
+/// target is a deep recommender) and as a standalone substrate for
+/// experimenting with learnable-Theta federations.
+
+namespace fedrec {
+
+/// One dense layer y = activation(W x + b) with cached forward state.
+class DenseLayer {
+ public:
+  enum class Activation { kReLU, kIdentity };
+
+  DenseLayer() = default;
+  DenseLayer(std::size_t in_dim, std::size_t out_dim, Activation activation,
+             Rng& rng);
+
+  std::size_t in_dim() const { return weights_.cols(); }
+  std::size_t out_dim() const { return weights_.rows(); }
+  Activation activation() const { return activation_; }
+
+  const Matrix& weights() const { return weights_; }
+  Matrix& weights() { return weights_; }
+  const std::vector<float>& bias() const { return bias_; }
+  std::vector<float>& bias() { return bias_; }
+
+  /// Forward pass for a single input vector; caches input and pre-activation
+  /// for the following Backward call.
+  std::vector<float> Forward(std::span<const float> input);
+
+  /// Backpropagates `grad_output` (dL/dy) through the cached forward state:
+  /// accumulates dL/dW and dL/db into the given accumulators and returns
+  /// dL/dx. Accumulators must be shaped like weights()/bias().
+  std::vector<float> Backward(std::span<const float> grad_output,
+                              Matrix& grad_weights,
+                              std::vector<float>& grad_bias) const;
+
+  /// SGD step: W -= lr * gW, b -= lr * gb.
+  void ApplyGradients(const Matrix& grad_weights,
+                      const std::vector<float>& grad_bias, float learning_rate);
+
+  /// Total number of parameters.
+  std::size_t ParameterCount() const {
+    return weights_.size() + bias_.size();
+  }
+
+ private:
+  Matrix weights_;            // out_dim x in_dim
+  std::vector<float> bias_;   // out_dim
+  Activation activation_ = Activation::kIdentity;
+  // Forward cache.
+  std::vector<float> last_input_;
+  std::vector<float> last_preactivation_;
+};
+
+/// A stack of dense layers ending in a single scalar output.
+class Mlp {
+ public:
+  Mlp() = default;
+
+  /// Builds layers of sizes in_dim -> hidden[0] -> ... -> 1; hidden layers use
+  /// ReLU, the output layer is linear. He-style initialization.
+  Mlp(std::size_t in_dim, const std::vector<std::size_t>& hidden, Rng& rng);
+
+  std::size_t in_dim() const;
+  std::size_t layer_count() const { return layers_.size(); }
+  const DenseLayer& layer(std::size_t i) const { return layers_[i]; }
+  DenseLayer& layer(std::size_t i) { return layers_[i]; }
+
+  /// Scalar forward pass (caches state for Backward).
+  float Forward(std::span<const float> input);
+
+  /// Per-layer gradient accumulators matching this network's shapes.
+  struct Gradients {
+    std::vector<Matrix> weights;
+    std::vector<std::vector<float>> bias;
+
+    void Clear();
+  };
+  Gradients MakeGradients() const;
+
+  /// Backward from dL/d(output); accumulates into `grads`, returns dL/d(input).
+  std::vector<float> Backward(float grad_output, Gradients& grads) const;
+
+  /// SGD step over all layers.
+  void ApplyGradients(const Gradients& grads, float learning_rate);
+
+  std::size_t ParameterCount() const;
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_MODEL_MLP_H_

@@ -1,0 +1,107 @@
+#include "model/ncf.h"
+
+#include <algorithm>
+
+#include "common/math.h"
+#include "model/bpr.h"
+
+namespace fedrec {
+
+NcfModel::NcfModel(std::size_t num_users, std::size_t num_items,
+                   NcfConfig config)
+    : config_(std::move(config)),
+      user_embeddings_(num_users, config_.embedding_dim),
+      item_embeddings_(num_items, config_.embedding_dim) {
+  Rng rng(config_.seed);
+  user_embeddings_.FillGaussian(rng, 0.0f, config_.init_std);
+  item_embeddings_.FillGaussian(rng, 0.0f, config_.init_std);
+  mlp_ = Mlp(config_.embedding_dim * 2, config_.hidden, rng);
+  mlp_grads_ = mlp_.MakeGradients();
+  concat_buffer_.resize(config_.embedding_dim * 2);
+}
+
+float NcfModel::Score(std::size_t user, std::size_t item) {
+  const auto u = user_embeddings_.Row(user);
+  const auto v = item_embeddings_.Row(item);
+  std::copy(u.begin(), u.end(), concat_buffer_.begin());
+  std::copy(v.begin(), v.end(),
+            concat_buffer_.begin() + static_cast<std::ptrdiff_t>(u.size()));
+  return mlp_.Forward(concat_buffer_);
+}
+
+void NcfModel::ScoreAll(std::size_t user, std::span<float> out) {
+  ScoreAllForEmbedding(user_embeddings_.Row(user), out);
+}
+
+void NcfModel::ScoreAllForEmbedding(std::span<const float> user_embedding,
+                                    std::span<float> out) {
+  FEDREC_CHECK_EQ(user_embedding.size(), config_.embedding_dim);
+  FEDREC_CHECK_EQ(out.size(), item_embeddings_.rows());
+  std::copy(user_embedding.begin(), user_embedding.end(),
+            concat_buffer_.begin());
+  for (std::size_t j = 0; j < item_embeddings_.rows(); ++j) {
+    const auto v = item_embeddings_.Row(j);
+    std::copy(v.begin(), v.end(),
+              concat_buffer_.begin() +
+                  static_cast<std::ptrdiff_t>(user_embedding.size()));
+    out[j] = mlp_.Forward(concat_buffer_);
+  }
+}
+
+void NcfModel::BackpropPair(std::size_t user, std::size_t item,
+                            float coefficient, std::span<float> grad_user,
+                            std::span<float> grad_item) {
+  // Re-run the forward pass so the layer caches match this (user, item).
+  const float score = Score(user, item);
+  (void)score;
+  const std::vector<float> grad_input = mlp_.Backward(coefficient, mlp_grads_);
+  const std::size_t d = config_.embedding_dim;
+  for (std::size_t k = 0; k < d; ++k) {
+    grad_user[k] += grad_input[k];
+    grad_item[k] += grad_input[d + k];
+  }
+}
+
+double NcfModel::TrainTriple(std::size_t user, std::size_t positive,
+                             std::size_t negative) {
+  const double x = static_cast<double>(Score(user, positive)) -
+                   static_cast<double>(Score(user, negative));
+  const BprPairResult pair = BprPairLossAndCoefficient(x);
+  const float c = static_cast<float>(pair.coefficient);
+
+  std::vector<float> grad_user(config_.embedding_dim, 0.0f);
+  std::vector<float> grad_pos(config_.embedding_dim, 0.0f);
+  std::vector<float> grad_neg(config_.embedding_dim, 0.0f);
+  mlp_grads_.Clear();
+  BackpropPair(user, positive, c, grad_user, grad_pos);
+  BackpropPair(user, negative, -c, grad_user, grad_neg);
+
+  const float lr = config_.learning_rate;
+  mlp_.ApplyGradients(mlp_grads_, lr);
+  Axpy(-lr, grad_user, user_embeddings_.Row(user));
+  Axpy(-lr, grad_pos, item_embeddings_.Row(positive));
+  Axpy(-lr, grad_neg, item_embeddings_.Row(negative));
+  return pair.loss;
+}
+
+double NcfModel::TrainEpoch(const Dataset& data, Rng& rng) {
+  std::vector<Interaction> interactions = data.AllInteractions();
+  rng.Shuffle(interactions);
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const Interaction& tuple : interactions) {
+    const auto& positives = data.UserItems(tuple.user);
+    std::uint32_t negative = 0;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      negative = static_cast<std::uint32_t>(rng.NextBounded(data.num_items()));
+      if (!std::binary_search(positives.begin(), positives.end(), negative)) {
+        break;
+      }
+    }
+    total += TrainTriple(tuple.user, tuple.item, negative);
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace fedrec

@@ -1,0 +1,83 @@
+#ifndef FEDREC_MODEL_NCF_H_
+#define FEDREC_MODEL_NCF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "model/mlp.h"
+
+/// \file
+/// A Neural Collaborative Filtering recommender (NCF [1] family): the
+/// interaction function Upsilon is a learnable MLP over the concatenated
+/// user/item embeddings, x_ij = MLP([u_i ; v_j]) — the "deep learning based"
+/// recommender class of Section II-A whose shared parameters in FR would be
+/// (V, Theta). Used as the deep surrogate of the P2 data-poisoning baseline
+/// (its original target model) and available as a standalone substrate.
+
+namespace fedrec {
+
+/// Hyper-parameters of the NCF model.
+struct NcfConfig {
+  std::size_t embedding_dim = 16;
+  std::vector<std::size_t> hidden = {32, 16};
+  float learning_rate = 0.01f;
+  float init_std = 0.1f;
+  std::uint64_t seed = 17;
+};
+
+/// NCF with BPR training (manual backpropagation; no autograd dependency).
+class NcfModel {
+ public:
+  NcfModel(std::size_t num_users, std::size_t num_items, NcfConfig config);
+
+  std::size_t num_users() const { return user_embeddings_.rows(); }
+  std::size_t num_items() const { return item_embeddings_.rows(); }
+  const NcfConfig& config() const { return config_; }
+
+  Matrix& user_embeddings() { return user_embeddings_; }
+  const Matrix& user_embeddings() const { return user_embeddings_; }
+  Matrix& item_embeddings() { return item_embeddings_; }
+  const Matrix& item_embeddings() const { return item_embeddings_; }
+  const Mlp& mlp() const { return mlp_; }
+
+  /// Predicted score x_ij = MLP([u_i ; v_j]).
+  float Score(std::size_t user, std::size_t item);
+
+  /// Scores one user against every item into `out` (|out| = num_items).
+  void ScoreAll(std::size_t user, std::span<float> out);
+
+  /// Scores an arbitrary (e.g. virtual attacker) user embedding against every
+  /// item — what P2 needs to pick filler items for a synthetic profile.
+  void ScoreAllForEmbedding(std::span<const float> user_embedding,
+                            std::span<float> out);
+
+  /// One BPR step on a (user, positive, negative) triple: updates embeddings
+  /// and the MLP. Returns the pair loss.
+  double TrainTriple(std::size_t user, std::size_t positive,
+                     std::size_t negative);
+
+  /// One BPR epoch over all interactions (shuffled, one sampled negative per
+  /// positive). Returns the mean pair loss.
+  double TrainEpoch(const Dataset& data, Rng& rng);
+
+ private:
+  /// Forward + backward for one (user, item) with dL/dscore = coefficient;
+  /// accumulates embedding gradients into grad_user/grad_item and MLP
+  /// gradients into mlp_grads_.
+  void BackpropPair(std::size_t user, std::size_t item, float coefficient,
+                    std::span<float> grad_user, std::span<float> grad_item);
+
+  NcfConfig config_;
+  Matrix user_embeddings_;
+  Matrix item_embeddings_;
+  Mlp mlp_;
+  Mlp::Gradients mlp_grads_;
+  std::vector<float> concat_buffer_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_MODEL_NCF_H_

@@ -1,0 +1,70 @@
+#include "model/topk.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fedrec {
+
+namespace {
+
+/// Ordering used everywhere: higher score first, then lower index.
+inline bool Better(float score_a, std::uint32_t idx_a, float score_b,
+                   std::uint32_t idx_b) {
+  if (score_a != score_b) return score_a > score_b;
+  return idx_a < idx_b;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> TopKIndices(
+    std::span<const float> scores, std::size_t k,
+    const std::function<bool(std::uint32_t)>& exclude) {
+  std::vector<std::uint32_t> heap;  // min-heap on Better ordering
+  if (k == 0) return heap;
+  heap.reserve(k + 1);
+  auto worse_first = [&scores](std::uint32_t a, std::uint32_t b) {
+    // std::push_heap keeps the *largest* at front; we want the worst candidate
+    // at front for eviction, so "largest" = worst.
+    return Better(scores[a], a, scores[b], b);
+  };
+  for (std::uint32_t idx = 0; idx < scores.size(); ++idx) {
+    if (exclude && exclude(idx)) continue;
+    if (heap.size() < k) {
+      heap.push_back(idx);
+      std::push_heap(heap.begin(), heap.end(), worse_first);
+    } else if (Better(scores[idx], idx, scores[heap.front()], heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), worse_first);
+      heap.back() = idx;
+      std::push_heap(heap.begin(), heap.end(), worse_first);
+    }
+  }
+  // sort_heap with this comparator yields best-first (descending score).
+  std::sort_heap(heap.begin(), heap.end(), worse_first);
+  return heap;
+}
+
+std::vector<std::uint32_t> TopKIndicesExcludingSorted(
+    std::span<const float> scores, std::size_t k,
+    std::span<const std::uint32_t> sorted_excluded) {
+  return TopKIndices(scores, k, [sorted_excluded](std::uint32_t idx) {
+    return std::binary_search(sorted_excluded.begin(), sorted_excluded.end(), idx);
+  });
+}
+
+std::size_t RankOfIndex(std::span<const float> scores, std::uint32_t target_index,
+                        std::span<const std::uint32_t> sorted_excluded) {
+  FEDREC_CHECK_LT(target_index, scores.size());
+  const float target_score = scores[target_index];
+  std::size_t rank = 0;
+  for (std::uint32_t idx = 0; idx < scores.size(); ++idx) {
+    if (idx == target_index) continue;
+    if (std::binary_search(sorted_excluded.begin(), sorted_excluded.end(), idx)) {
+      continue;
+    }
+    if (Better(scores[idx], idx, target_score, target_index)) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace fedrec

@@ -1,0 +1,37 @@
+#ifndef FEDREC_MODEL_TOPK_H_
+#define FEDREC_MODEL_TOPK_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+/// \file
+/// Top-K selection over item scores — the recommendation-list primitive behind
+/// every metric (V^rec_i of Section III-C) and behind the attack's boundary
+/// item (Eq. 13/15).
+
+namespace fedrec {
+
+/// Returns the indices of the `k` largest scores in descending score order,
+/// skipping indices for which `exclude` returns true. Ties break toward the
+/// smaller index so results are deterministic. Returns fewer than `k` entries
+/// when not enough candidates exist.
+std::vector<std::uint32_t> TopKIndices(
+    std::span<const float> scores, std::size_t k,
+    const std::function<bool(std::uint32_t)>& exclude);
+
+/// TopKIndices with a sorted exclusion list instead of a predicate.
+std::vector<std::uint32_t> TopKIndicesExcludingSorted(
+    std::span<const float> scores, std::size_t k,
+    std::span<const std::uint32_t> sorted_excluded);
+
+/// Rank (0-based) of `target_index` among all indices not excluded, ordered by
+/// descending score with the same tie-break as TopKIndices. Returns the number
+/// of non-excluded items with strictly better (score, -index) ordering.
+std::size_t RankOfIndex(std::span<const float> scores, std::uint32_t target_index,
+                        std::span<const std::uint32_t> sorted_excluded);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_MODEL_TOPK_H_

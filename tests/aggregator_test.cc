@@ -1,0 +1,166 @@
+#include "fed/aggregator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace fedrec {
+namespace {
+
+ClientUpdate MakeUpdate(std::uint32_t user, std::size_t dim,
+                        std::vector<std::pair<std::size_t, float>> entries) {
+  ClientUpdate update;
+  update.user = user;
+  update.item_gradients = SparseRowMatrix(dim);
+  for (const auto& [row, value] : entries) {
+    update.item_gradients.RowMutable(row)[0] = value;
+  }
+  return update;
+}
+
+TEST(AggregatorTest, SumMatchesPaperProtocol) {
+  AggregatorOptions options;
+  options.kind = AggregatorKind::kSum;
+  std::vector<ClientUpdate> updates;
+  updates.push_back(MakeUpdate(0, 2, {{0, 1.0f}, {1, 2.0f}}));
+  updates.push_back(MakeUpdate(1, 2, {{0, 3.0f}}));
+  const Matrix total = AggregateUpdates(updates, 3, 2, options);
+  EXPECT_FLOAT_EQ(total.At(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(total.At(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(total.At(2, 0), 0.0f);
+}
+
+TEST(AggregatorTest, EmptyUpdatesYieldZeroGradient) {
+  AggregatorOptions options;
+  const Matrix total = AggregateUpdates({}, 4, 3, options);
+  EXPECT_FLOAT_EQ(total.FrobeniusNorm(), 0.0f);
+  EXPECT_EQ(total.rows(), 4u);
+}
+
+TEST(AggregatorTest, SumIsPermutationInvariant) {
+  AggregatorOptions options;
+  std::vector<ClientUpdate> a;
+  a.push_back(MakeUpdate(0, 2, {{0, 1.0f}}));
+  a.push_back(MakeUpdate(1, 2, {{0, 2.0f}, {1, -1.0f}}));
+  a.push_back(MakeUpdate(2, 2, {{1, 5.0f}}));
+  std::vector<ClientUpdate> b;
+  b.push_back(MakeUpdate(2, 2, {{1, 5.0f}}));
+  b.push_back(MakeUpdate(0, 2, {{0, 1.0f}}));
+  b.push_back(MakeUpdate(1, 2, {{0, 2.0f}, {1, -1.0f}}));
+  EXPECT_TRUE(AggregateUpdates(a, 2, 2, options) ==
+              AggregateUpdates(b, 2, 2, options));
+}
+
+TEST(AggregatorTest, MedianResistsOneOutlier) {
+  AggregatorOptions options;
+  options.kind = AggregatorKind::kMedian;
+  std::vector<ClientUpdate> updates;
+  updates.push_back(MakeUpdate(0, 1, {{0, 1.0f}}));
+  updates.push_back(MakeUpdate(1, 1, {{0, 1.2f}}));
+  updates.push_back(MakeUpdate(2, 1, {{0, 100.0f}}));  // attacker
+  const Matrix total = AggregateUpdates(updates, 1, 1, options);
+  // median(1, 1.2, 100) = 1.2, rescaled by 3 contributors.
+  EXPECT_FLOAT_EQ(total.At(0, 0), 3.0f * 1.2f);
+}
+
+TEST(AggregatorTest, MedianEvenCountAverageOfMiddle) {
+  AggregatorOptions options;
+  options.kind = AggregatorKind::kMedian;
+  std::vector<ClientUpdate> updates;
+  updates.push_back(MakeUpdate(0, 1, {{0, 1.0f}}));
+  updates.push_back(MakeUpdate(1, 1, {{0, 2.0f}}));
+  updates.push_back(MakeUpdate(2, 1, {{0, 3.0f}}));
+  updates.push_back(MakeUpdate(3, 1, {{0, 4.0f}}));
+  const Matrix total = AggregateUpdates(updates, 1, 1, options);
+  EXPECT_FLOAT_EQ(total.At(0, 0), 4.0f * 2.5f);
+}
+
+TEST(AggregatorTest, TrimmedMeanDropsTails) {
+  AggregatorOptions options;
+  options.kind = AggregatorKind::kTrimmedMean;
+  options.trim_fraction = 0.25;  // drop 1 from each side of 5
+  std::vector<ClientUpdate> updates;
+  for (int i = 0; i < 4; ++i) {
+    updates.push_back(
+        MakeUpdate(static_cast<std::uint32_t>(i), 1, {{0, 1.0f}}));
+  }
+  updates.push_back(MakeUpdate(4, 1, {{0, 1000.0f}}));  // outlier trimmed away
+  const Matrix total = AggregateUpdates(updates, 1, 1, options);
+  // Sorted {1,1,1,1,1000}, trim 1 each side -> mean(1,1,1) = 1, x5 contributors.
+  EXPECT_FLOAT_EQ(total.At(0, 0), 5.0f);
+}
+
+TEST(AggregatorTest, TrimmedMeanOnlyOverContributors) {
+  AggregatorOptions options;
+  options.kind = AggregatorKind::kTrimmedMean;
+  options.trim_fraction = 0.0;
+  std::vector<ClientUpdate> updates;
+  updates.push_back(MakeUpdate(0, 1, {{0, 2.0f}}));
+  updates.push_back(MakeUpdate(1, 1, {{1, 6.0f}}));  // different row
+  const Matrix total = AggregateUpdates(updates, 2, 1, options);
+  // Each row has exactly one contributor: robust mean = value, x1.
+  EXPECT_FLOAT_EQ(total.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(total.At(1, 0), 6.0f);
+}
+
+TEST(AggregatorTest, NormBoundRescalesLargeRows) {
+  AggregatorOptions options;
+  options.kind = AggregatorKind::kNormBound;
+  options.norm_bound = 1.0;
+  std::vector<ClientUpdate> updates;
+  updates.push_back(MakeUpdate(0, 1, {{0, 10.0f}}));  // norm 10 -> rescaled to 1
+  updates.push_back(MakeUpdate(1, 1, {{0, 0.5f}}));   // within bound
+  const Matrix total = AggregateUpdates(updates, 1, 1, options);
+  EXPECT_NEAR(total.At(0, 0), 1.5f, 1e-5f);
+}
+
+TEST(KrumTest, SelectsClusterMemberNotOutlier) {
+  std::vector<ClientUpdate> updates;
+  updates.push_back(MakeUpdate(0, 1, {{0, 1.00f}}));
+  updates.push_back(MakeUpdate(1, 1, {{0, 1.01f}}));
+  updates.push_back(MakeUpdate(2, 1, {{0, 0.99f}}));
+  updates.push_back(MakeUpdate(3, 1, {{0, 50.0f}}));  // attacker
+  const std::size_t pick = KrumSelect(updates, 1, 1, /*honest=*/3);
+  EXPECT_NE(pick, 3u);
+}
+
+TEST(KrumTest, SingleUpdateSelected) {
+  std::vector<ClientUpdate> updates;
+  updates.push_back(MakeUpdate(0, 1, {{0, 5.0f}}));
+  EXPECT_EQ(KrumSelect(updates, 1, 1, 1), 0u);
+}
+
+TEST(KrumTest, DisjointRowsUseZeroPadding) {
+  // Two identical small updates on row 0, one large on row 1: distance
+  // between the small pair is 0; the large one is far from both.
+  std::vector<ClientUpdate> updates;
+  updates.push_back(MakeUpdate(0, 1, {{0, 0.1f}}));
+  updates.push_back(MakeUpdate(1, 1, {{0, 0.1f}}));
+  updates.push_back(MakeUpdate(2, 1, {{1, 30.0f}}));
+  const std::size_t pick = KrumSelect(updates, 2, 1, 3);
+  EXPECT_NE(pick, 2u);
+}
+
+TEST(KrumTest, AggregateScalesSelectedByRoundSize) {
+  AggregatorOptions options;
+  options.kind = AggregatorKind::kKrum;
+  options.krum_honest = 3;
+  std::vector<ClientUpdate> updates;
+  updates.push_back(MakeUpdate(0, 1, {{0, 1.0f}}));
+  updates.push_back(MakeUpdate(1, 1, {{0, 1.0f}}));
+  updates.push_back(MakeUpdate(2, 1, {{0, 1.0f}}));
+  const Matrix total = AggregateUpdates(updates, 1, 1, options);
+  EXPECT_FLOAT_EQ(total.At(0, 0), 3.0f);
+}
+
+TEST(AggregatorKindTest, NamesRoundTrip) {
+  EXPECT_STREQ(AggregatorKindToString(AggregatorKind::kSum), "sum");
+  EXPECT_STREQ(AggregatorKindToString(AggregatorKind::kMedian), "median");
+  EXPECT_STREQ(AggregatorKindToString(AggregatorKind::kTrimmedMean),
+               "trimmed-mean");
+  EXPECT_STREQ(AggregatorKindToString(AggregatorKind::kNormBound), "norm-bound");
+  EXPECT_STREQ(AggregatorKindToString(AggregatorKind::kKrum), "krum");
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,114 @@
+#include "attack/attack_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fedrec {
+namespace {
+
+struct AttackTestSetup {
+  Dataset data;
+  PublicInteractions view;
+};
+
+AttackTestSetup MakeSetup() {
+  SyntheticConfig config;
+  config.num_users = 40;
+  config.num_items = 60;
+  config.mean_interactions_per_user = 10.0;
+  config.seed = 1;
+  AttackTestSetup setup{GenerateSynthetic(config), {}};
+  Rng rng(2);
+  setup.view = PublicInteractions::Sample(setup.data, 0.2, rng);
+  return setup;
+}
+
+AttackInputs MakeInputs(const AttackTestSetup& setup) {
+  AttackInputs inputs;
+  inputs.train = &setup.data;
+  inputs.public_view = &setup.view;
+  inputs.num_benign_users = setup.data.num_users();
+  inputs.dim = 6;
+  return inputs;
+}
+
+TEST(AttackFactoryTest, NoneYieldsNull) {
+  const AttackTestSetup setup = MakeSetup();
+  AttackOptions options;
+  options.kind = "none";
+  auto attack = CreateAttack(options, MakeInputs(setup));
+  ASSERT_TRUE(attack.ok());
+  EXPECT_EQ(attack.value(), nullptr);
+}
+
+TEST(AttackFactoryTest, AllSupportedKindsConstruct) {
+  const AttackTestSetup setup = MakeSetup();
+  for (const std::string& kind : SupportedAttackKinds()) {
+    AttackOptions options;
+    options.kind = kind;
+    options.target_items = {5};
+    options.surrogate_epochs = 2;  // keep P1/P2 construction fast
+    auto attack = CreateAttack(options, MakeInputs(setup));
+    ASSERT_TRUE(attack.ok()) << kind << ": " << attack.status().ToString();
+    if (kind == "none") {
+      EXPECT_EQ(attack.value(), nullptr);
+    } else {
+      ASSERT_NE(attack.value(), nullptr) << kind;
+      EXPECT_EQ(attack.value()->name(), kind);
+    }
+  }
+}
+
+TEST(AttackFactoryTest, KindIsCaseInsensitive) {
+  const AttackTestSetup setup = MakeSetup();
+  AttackOptions options;
+  options.kind = "FedRecAttack";
+  options.target_items = {5};
+  auto attack = CreateAttack(options, MakeInputs(setup));
+  ASSERT_TRUE(attack.ok());
+  EXPECT_EQ(attack.value()->name(), "fedrecattack");
+}
+
+TEST(AttackFactoryTest, UnknownKindReturnsNotFound) {
+  const AttackTestSetup setup = MakeSetup();
+  AttackOptions options;
+  options.kind = "quantum";
+  options.target_items = {5};
+  auto attack = CreateAttack(options, MakeInputs(setup));
+  ASSERT_FALSE(attack.ok());
+  EXPECT_EQ(attack.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AttackFactoryTest, MissingTargetsRejected) {
+  const AttackTestSetup setup = MakeSetup();
+  AttackOptions options;
+  options.kind = "random";
+  auto attack = CreateAttack(options, MakeInputs(setup));
+  ASSERT_FALSE(attack.ok());
+  EXPECT_EQ(attack.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AttackFactoryTest, FedRecAttackNeedsPublicView) {
+  const AttackTestSetup setup = MakeSetup();
+  AttackOptions options;
+  options.kind = "fedrecattack";
+  options.target_items = {5};
+  AttackInputs inputs = MakeInputs(setup);
+  inputs.public_view = nullptr;
+  auto attack = CreateAttack(options, inputs);
+  ASSERT_FALSE(attack.ok());
+  EXPECT_EQ(attack.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AttackFactoryTest, MissingDatasetRejected) {
+  AttackOptions options;
+  options.kind = "random";
+  options.target_items = {5};
+  AttackInputs inputs;
+  auto attack = CreateAttack(options, inputs);
+  ASSERT_FALSE(attack.ok());
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,227 @@
+#include "model/bpr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "data/synthetic.h"
+
+namespace fedrec {
+namespace {
+
+TEST(SampleNegativesTest, ExcludesPositivesAndDistinct) {
+  Rng rng(1);
+  const std::vector<std::uint32_t> positives{1, 3, 5, 7};
+  const auto negatives = SampleNegatives(positives, 20, 10, rng);
+  EXPECT_EQ(negatives.size(), 10u);
+  std::set<std::uint32_t> unique(negatives.begin(), negatives.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (std::uint32_t n : negatives) {
+    EXPECT_FALSE(std::binary_search(positives.begin(), positives.end(), n));
+    EXPECT_LT(n, 20u);
+  }
+}
+
+TEST(SampleNegativesTest, DenseRegimeExact) {
+  Rng rng(2);
+  const std::vector<std::uint32_t> positives{0, 1, 2};
+  // Complement has 2 items; request 5 -> get exactly the 2 available.
+  const auto negatives = SampleNegatives(positives, 5, 5, rng);
+  std::vector<std::uint32_t> sorted = negatives;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::uint32_t>{3, 4}));
+}
+
+TEST(SampleNegativesTest, AllItemsPositiveYieldsEmpty) {
+  Rng rng(3);
+  const std::vector<std::uint32_t> positives{0, 1, 2};
+  EXPECT_TRUE(SampleNegatives(positives, 3, 2, rng).empty());
+}
+
+TEST(SampleNegativesTest, ZeroCount) {
+  Rng rng(4);
+  EXPECT_TRUE(SampleNegatives({0}, 10, 0, rng).empty());
+}
+
+TEST(BprPairTest, LossAndCoefficientDefinitions) {
+  // At x=0: loss = -ln(0.5) = ln 2; dL/dx = -sigmoid(0) = -0.5.
+  const auto r = BprPairLossAndCoefficient(0.0);
+  EXPECT_NEAR(r.loss, std::log(2.0), 1e-12);
+  EXPECT_NEAR(r.coefficient, -0.5, 1e-12);
+  // Large positive difference: loss ~ 0, coefficient ~ 0.
+  const auto good = BprPairLossAndCoefficient(20.0);
+  EXPECT_NEAR(good.loss, 0.0, 1e-8);
+  EXPECT_NEAR(good.coefficient, 0.0, 1e-8);
+  // Large negative difference: loss ~ |x|, coefficient ~ -1.
+  const auto bad = BprPairLossAndCoefficient(-20.0);
+  EXPECT_NEAR(bad.loss, 20.0, 1e-7);
+  EXPECT_NEAR(bad.coefficient, -1.0, 1e-8);
+}
+
+TEST(BprPairTest, CoefficientIsLossDerivative) {
+  const double h = 1e-6;
+  for (double x : {-3.0, -0.5, 0.0, 0.7, 2.0}) {
+    const double numeric = (BprPairLossAndCoefficient(x + h).loss -
+                            BprPairLossAndCoefficient(x - h).loss) /
+                           (2 * h);
+    EXPECT_NEAR(BprPairLossAndCoefficient(x).coefficient, numeric, 1e-5);
+  }
+}
+
+/// Finite-difference check of the full local gradient: perturb every
+/// parameter and compare against the analytic gradients.
+TEST(LocalBprGradientsTest, MatchesFiniteDifferences) {
+  Rng rng(5);
+  const std::size_t dim = 4, num_items = 6;
+  Matrix items(num_items, dim);
+  items.FillGaussian(rng, 0.0f, 0.5f);
+  std::vector<float> user(dim);
+  for (auto& v : user) v = static_cast<float>(rng.NextGaussian(0.0, 0.5));
+  const std::vector<std::uint32_t> positives{0, 2};
+  const std::vector<std::uint32_t> negatives{1, 4};
+
+  auto loss_at = [&](const std::vector<float>& u, const Matrix& V) {
+    double total = 0.0;
+    for (std::size_t p = 0; p < positives.size(); ++p) {
+      const double x = static_cast<double>(Dot(u, V.Row(positives[p]))) -
+                       static_cast<double>(Dot(u, V.Row(negatives[p])));
+      total += BprPairLossAndCoefficient(x).loss;
+    }
+    return total;
+  };
+
+  const LocalBprGradients grads =
+      ComputeLocalBprGradients(user, items, positives, negatives, 0.0f);
+  EXPECT_EQ(grads.pair_count, 2u);
+  EXPECT_NEAR(grads.loss, loss_at(user, items), 1e-6);
+
+  const double h = 1e-3;
+  // User gradient.
+  for (std::size_t d = 0; d < dim; ++d) {
+    std::vector<float> up = user, down = user;
+    up[d] += static_cast<float>(h);
+    down[d] -= static_cast<float>(h);
+    const double numeric = (loss_at(up, items) - loss_at(down, items)) / (2 * h);
+    EXPECT_NEAR(grads.user_gradient[d], numeric, 5e-3) << "dim " << d;
+  }
+  // Item gradients for every touched row.
+  for (std::uint32_t row : {0u, 1u, 2u, 4u}) {
+    ASSERT_TRUE(grads.item_gradients.Contains(row));
+    for (std::size_t d = 0; d < dim; ++d) {
+      Matrix up = items, down = items;
+      up.At(row, d) += static_cast<float>(h);
+      down.At(row, d) -= static_cast<float>(h);
+      const double numeric = (loss_at(user, up) - loss_at(user, down)) / (2 * h);
+      EXPECT_NEAR(grads.item_gradients.Row(row)[d], numeric, 5e-3)
+          << "row " << row << " dim " << d;
+    }
+  }
+  // Untouched rows have no gradient entry.
+  EXPECT_FALSE(grads.item_gradients.Contains(3));
+  EXPECT_FALSE(grads.item_gradients.Contains(5));
+}
+
+TEST(LocalBprGradientsTest, L2RegularizationAddsParameterTerm) {
+  Rng rng(6);
+  Matrix items(4, 3);
+  items.FillGaussian(rng, 0.0f, 0.5f);
+  std::vector<float> user{0.5f, -0.2f, 0.1f};
+  const std::vector<std::uint32_t> pos{0};
+  const std::vector<std::uint32_t> neg{1};
+  const auto without = ComputeLocalBprGradients(user, items, pos, neg, 0.0f);
+  const auto with = ComputeLocalBprGradients(user, items, pos, neg, 0.1f);
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_NEAR(with.user_gradient[d], without.user_gradient[d] + 0.1f * user[d],
+                1e-6);
+    EXPECT_NEAR(with.item_gradients.Row(0)[d],
+                without.item_gradients.Row(0)[d] + 0.1f * items.At(0, d), 1e-6);
+  }
+}
+
+TEST(LocalBprGradientsTest, UnequalListsZipToShorter) {
+  Rng rng(7);
+  Matrix items(5, 2);
+  items.FillGaussian(rng, 0.0f, 0.5f);
+  std::vector<float> user{1.0f, 1.0f};
+  const auto grads =
+      ComputeLocalBprGradients(user, items, {0, 1, 2}, {3}, 0.0f);
+  EXPECT_EQ(grads.pair_count, 1u);
+}
+
+TEST(TrainBprTest, LossDecreasesOnStructuredData) {
+  SyntheticConfig config;
+  config.num_users = 80;
+  config.num_items = 120;
+  config.mean_interactions_per_user = 15.0;
+  config.seed = 8;
+  const Dataset data = GenerateSynthetic(config);
+
+  Rng rng(9);
+  Matrix users(data.num_users(), 16);
+  Matrix items(data.num_items(), 16);
+  users.FillGaussian(rng, 0.0f, 0.1f);
+  items.FillGaussian(rng, 0.0f, 0.1f);
+
+  BprTrainOptions options;
+  options.learning_rate = 0.05f;
+  const double first = TrainBpr(users, items, data, options, 1, rng);
+  const double later = TrainBpr(users, items, data, options, 15, rng);
+  EXPECT_LT(later, first);
+  EXPECT_LT(later, std::log(2.0));  // better than random ranking
+}
+
+TEST(TrainBprTest, FrozenItemsStayFixed) {
+  SyntheticConfig config;
+  config.num_users = 30;
+  config.num_items = 40;
+  config.mean_interactions_per_user = 8.0;
+  config.seed = 10;
+  const Dataset data = GenerateSynthetic(config);
+
+  Rng rng(11);
+  Matrix users(data.num_users(), 8);
+  Matrix items(data.num_items(), 8);
+  users.FillGaussian(rng, 0.0f, 0.1f);
+  items.FillGaussian(rng, 0.0f, 0.1f);
+  const Matrix items_before = items;
+  const Matrix users_before = users;
+
+  BprTrainOptions options;
+  options.update_items = false;
+  TrainBpr(users, items, data, options, 3, rng);
+  EXPECT_TRUE(items == items_before);   // V untouched
+  EXPECT_FALSE(users == users_before);  // U trained
+}
+
+TEST(TrainBprTest, FrozenUsersStayFixed) {
+  SyntheticConfig config;
+  config.num_users = 30;
+  config.num_items = 40;
+  config.seed = 12;
+  const Dataset data = GenerateSynthetic(config);
+
+  Rng rng(13);
+  Matrix users(data.num_users(), 8);
+  Matrix items(data.num_items(), 8);
+  users.FillGaussian(rng, 0.0f, 0.1f);
+  items.FillGaussian(rng, 0.0f, 0.1f);
+  const Matrix users_before = users;
+
+  BprTrainOptions options;
+  options.update_users = false;
+  TrainBpr(users, items, data, options, 2, rng);
+  EXPECT_TRUE(users == users_before);
+}
+
+TEST(TrainBprTest, EmptyInteractionsNoOp) {
+  Matrix users(3, 4), items(5, 4);
+  BprTrainOptions options;
+  Rng rng(14);
+  const double loss = TrainBprEpoch(users, items, {}, {{}, {}, {}}, options, rng);
+  EXPECT_DOUBLE_EQ(loss, 0.0);
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,106 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fedrec {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ParseDelimitedTest, BasicRows) {
+  const auto rows = ParseDelimited("a,b\n1,2\n", ',');
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2"}));
+}
+
+TEST(ParseDelimitedTest, SkipsEmptyLinesAndHandlesCrLf) {
+  const auto rows = ParseDelimited("a\tb\r\n\r\n\nc\td\r\n", '\t');
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(ParseDelimitedTest, SkipHeaderDropsFirstNonEmptyLine) {
+  const auto rows = ParseDelimited("\nheader,x\n1,2\n", ',', true);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"1", "2"}));
+}
+
+TEST(ParseDelimitedTest, NoTrailingNewline) {
+  const auto rows = ParseDelimited("1,2", ',');
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"1", "2"}));
+}
+
+TEST(ParseDelimitedTest, EmptyContentYieldsNoRows) {
+  EXPECT_TRUE(ParseDelimited("", ',').empty());
+  EXPECT_TRUE(ParseDelimited("\n\n", ',').empty());
+}
+
+TEST(ParseDelimitedTest, PreservesEmptyFields) {
+  const auto rows = ParseDelimited("a,,c\n", ',');
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "", "c"}));
+}
+
+TEST(SplitOnSeparatorTest, MultiCharSeparator) {
+  const auto parts = SplitOnSeparator("1::50::5::12345", "::");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "1");
+  EXPECT_EQ(parts[1], "50");
+  EXPECT_EQ(parts[3], "12345");
+}
+
+TEST(SplitOnSeparatorTest, NoSeparatorPresent) {
+  const auto parts = SplitOnSeparator("plain", "::");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "plain");
+}
+
+TEST(SplitOnSeparatorTest, EmptySeparatorYieldsWholeLine) {
+  const auto parts = SplitOnSeparator("abc", "");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(FileRoundTripTest, WriteThenRead) {
+  const std::string path = TempPath("fedrec_csv_roundtrip.csv");
+  const std::vector<CsvRow> rows{{"1", "10"}, {"2", "20"}};
+  ASSERT_TRUE(WriteDelimitedFile(path, ',', rows).ok());
+  const auto read = ReadDelimitedFile(path, ',');
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), rows);
+  std::remove(path.c_str());
+}
+
+TEST(FileRoundTripTest, StringRoundTrip) {
+  const std::string path = TempPath("fedrec_string_roundtrip.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld").ok());
+  const auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(FileErrorsTest, MissingFileReturnsIOError) {
+  const auto result = ReadFileToString("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  const auto rows = ReadDelimitedFile("/nonexistent/dir/file.csv", ',');
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST(FileErrorsTest, UnwritablePathReturnsIOError) {
+  const auto status = WriteStringToFile("/nonexistent/dir/file.txt", "x");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace fedrec

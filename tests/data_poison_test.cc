@@ -1,0 +1,128 @@
+#include "attack/data_poison.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fedrec {
+namespace {
+
+struct AttackTestSetup {
+  Dataset data;
+  MfModel model;
+  FedConfig fed;
+};
+
+AttackTestSetup MakeSetup(std::uint64_t seed) {
+  SyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 90;
+  config.mean_interactions_per_user = 12.0;
+  config.seed = seed;
+  AttackTestSetup setup{GenerateSynthetic(config), {}, {}};
+  setup.fed.model.dim = 6;
+  Rng rng(seed + 1);
+  setup.model = MfModel(90, setup.fed.model, rng);
+  return setup;
+}
+
+SurrogateConfig FastSurrogate() {
+  SurrogateConfig config;
+  config.dim = 6;
+  config.epochs = 3;
+  config.seed = 5;
+  return config;
+}
+
+RoundContext MakeContext(const AttackTestSetup& setup) {
+  RoundContext context;
+  context.model = &setup.model;
+  context.config = &setup.fed;
+  context.num_benign_users = setup.data.num_users();
+  return context;
+}
+
+TEST(DataPoisonP1Test, FillersExcludeTargetsAndRespectBudget) {
+  AttackTestSetup setup = MakeSetup(1);
+  DataPoisonP1 attack({3, 7}, /*kappa=*/20, setup.data, FastSurrogate(), 2);
+  Rng rng(3);
+  const auto fillers = attack.BuildFillerItems(0, rng);
+  EXPECT_EQ(fillers.size(), attack.filler_count());
+  for (std::uint32_t f : fillers) {
+    EXPECT_NE(f, 3u);
+    EXPECT_NE(f, 7u);
+    EXPECT_LT(f, setup.data.num_items());
+  }
+  std::set<std::uint32_t> unique(fillers.begin(), fillers.end());
+  EXPECT_EQ(unique.size(), fillers.size());
+}
+
+TEST(DataPoisonP1Test, FillersBiasedTowardPopularItems) {
+  AttackTestSetup setup = MakeSetup(2);
+  DataPoisonP1 attack({3}, 30, setup.data, FastSurrogate(), 4);
+  const auto popularity = setup.data.ItemPopularity();
+  // Average popularity of sampled fillers should beat the catalog average.
+  double catalog_mean = 0.0;
+  for (std::size_t p : popularity) catalog_mean += static_cast<double>(p);
+  catalog_mean /= static_cast<double>(popularity.size());
+
+  Rng rng(5);
+  double filler_mean = 0.0;
+  std::size_t count = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    for (std::uint32_t f : attack.BuildFillerItems(0, rng)) {
+      filler_mean += static_cast<double>(popularity[f]);
+      ++count;
+    }
+  }
+  filler_mean /= static_cast<double>(count);
+  EXPECT_GT(filler_mean, catalog_mean);
+}
+
+TEST(DataPoisonP2Test, FillersAreSurrogateTopScores) {
+  AttackTestSetup setup = MakeSetup(3);
+  DataPoisonP2 attack({3}, 20, setup.data, FastSurrogate(), 6);
+  Rng rng(7);
+  const auto fillers = attack.BuildFillerItems(0, rng);
+  EXPECT_EQ(fillers.size(), attack.filler_count());
+  for (std::uint32_t f : fillers) {
+    EXPECT_NE(f, 3u);
+    EXPECT_LT(f, setup.data.num_items());
+  }
+}
+
+TEST(DataPoisonP2Test, DifferentVirtualUsersDifferentFillers) {
+  AttackTestSetup setup = MakeSetup(4);
+  DataPoisonP2 attack({3}, 30, setup.data, FastSurrogate(), 8);
+  Rng rng(9);
+  const auto a = attack.BuildFillerItems(0, rng);
+  const auto b = attack.BuildFillerItems(1, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(DataPoisonTest, EndToEndUploadsAreBenignShaped) {
+  AttackTestSetup setup = MakeSetup(5);
+  DataPoisonP1 attack({3}, 16, setup.data, FastSurrogate(), 10);
+  const RoundContext context = MakeContext(setup);
+  const std::uint32_t id = static_cast<std::uint32_t>(setup.data.num_users());
+  const auto updates =
+      attack.ProduceUpdates(context, std::vector<std::uint32_t>{id});
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_LE(updates[0].item_gradients.row_count(), 16u);
+  EXPECT_LE(updates[0].item_gradients.MaxRowNorm(),
+            setup.fed.clip_norm * 1.001f);
+  // Target row is always touched (the fake profile interacts with it).
+  EXPECT_TRUE(updates[0].item_gradients.Contains(3));
+}
+
+TEST(DataPoisonTest, Names) {
+  AttackTestSetup setup = MakeSetup(6);
+  EXPECT_EQ(DataPoisonP1({0}, 10, setup.data, FastSurrogate(), 1).name(), "p1");
+  EXPECT_EQ(DataPoisonP2({0}, 10, setup.data, FastSurrogate(), 1).name(), "p2");
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,106 @@
+#include "fed/detector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fedrec {
+namespace {
+
+ClientUpdate MakeUpdate(std::size_t dim, std::size_t rows, float row_norm,
+                        std::uint64_t seed) {
+  ClientUpdate update;
+  update.item_gradients = SparseRowMatrix(dim);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto row = update.item_gradients.RowMutable(r * 3 + seed % 3);
+    for (auto& v : row) v = static_cast<float>(rng.NextGaussian(0.0, 1.0));
+    // Normalize the row to the requested norm.
+    float norm = 0.0f;
+    for (float v : row) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm > 0) {
+      for (auto& v : row) v *= row_norm / norm;
+    }
+  }
+  return update;
+}
+
+TEST(UploadFeaturesTest, CountsAndNorms) {
+  const ClientUpdate update = MakeUpdate(4, 3, 2.0f, 1);
+  const UploadFeatures f = ExtractUploadFeatures(update);
+  EXPECT_DOUBLE_EQ(f.row_count, 3.0);
+  EXPECT_NEAR(f.max_row_norm, 2.0, 1e-5);
+  EXPECT_NEAR(f.total_norm, 2.0 * std::sqrt(3.0), 1e-4);
+}
+
+TEST(ScreenUploadsTest, TooFewUploadsNotScreened) {
+  std::vector<ClientUpdate> updates;
+  updates.push_back(MakeUpdate(4, 2, 1.0f, 1));
+  updates.push_back(MakeUpdate(4, 20, 50.0f, 2));
+  const DetectionReport report = ScreenUploads(updates, 3.0);
+  EXPECT_TRUE(report.flagged.empty());
+}
+
+TEST(ScreenUploadsTest, HomogeneousPopulationNotFlagged) {
+  std::vector<ClientUpdate> updates;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    updates.push_back(MakeUpdate(4, 5, 1.0f, i));
+  }
+  const DetectionReport report = ScreenUploads(updates, 3.5);
+  EXPECT_TRUE(report.flagged.empty());
+}
+
+TEST(ScreenUploadsTest, ObviousOutlierFlagged) {
+  std::vector<ClientUpdate> updates;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    updates.push_back(MakeUpdate(4, 4 + i % 3, 1.0f, i));
+  }
+  updates.push_back(MakeUpdate(4, 40, 30.0f, 99));  // huge norm + many rows
+  const DetectionReport report = ScreenUploads(updates, 3.5);
+  ASSERT_FALSE(report.flagged.empty());
+  EXPECT_EQ(report.flagged.back(), 9u);
+}
+
+TEST(ScreenUploadsTest, ZScoresShapeIsUploadsTimesThree) {
+  std::vector<ClientUpdate> updates;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    updates.push_back(MakeUpdate(4, 3, 1.0f, i));
+  }
+  const DetectionReport report = ScreenUploads(updates, 3.0);
+  EXPECT_EQ(report.z_scores.size(), 15u);
+}
+
+TEST(EvaluateDetectionTest, PerfectDetection) {
+  DetectionReport report;
+  report.flagged = {3, 4};
+  const std::vector<bool> truth{false, false, false, true, true};
+  const DetectionQuality q = EvaluateDetection(report, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.false_positive_rate, 0.0);
+}
+
+TEST(EvaluateDetectionTest, MixedDetection) {
+  DetectionReport report;
+  report.flagged = {0, 3};  // one false positive, one of two attackers found
+  const std::vector<bool> truth{false, false, true, true};
+  const DetectionQuality q = EvaluateDetection(report, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+  EXPECT_DOUBLE_EQ(q.false_positive_rate, 0.5);
+}
+
+TEST(EvaluateDetectionTest, NothingFlagged) {
+  DetectionReport report;
+  const std::vector<bool> truth{true, false};
+  const DetectionQuality q = EvaluateDetection(report, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.false_positive_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "attack/attack_factory.h"
+#include "attack/target_select.h"
+#include "data/public_view.h"
+#include "data/synthetic.h"
+#include "fed/simulation.h"
+#include "model/metrics.h"
+
+namespace fedrec {
+namespace {
+
+/// Shared end-to-end fixture: a small federation on structured synthetic data.
+struct Federation {
+  Dataset full;
+  LeaveOneOutSplit split;
+  PublicInteractions view;
+  std::vector<std::uint32_t> targets;
+  FedConfig config;
+  MetricsConfig metrics_config;
+};
+
+Federation MakeFederation(double xi, std::uint64_t seed) {
+  SyntheticConfig data_config;
+  data_config.num_users = 100;
+  data_config.num_items = 150;
+  data_config.mean_interactions_per_user = 14.0;
+  data_config.seed = seed;
+
+  Federation fed;
+  fed.full = GenerateSynthetic(data_config);
+  Rng rng(seed + 1);
+  fed.split = SplitLeaveOneOut(fed.full, rng);
+  fed.view = PublicInteractions::Sample(fed.split.train, xi, rng,
+                                        PublicSamplingMode::kCeil);
+  Rng target_rng(seed + 2);
+  fed.targets = SelectTargetItems(fed.split.train, 1,
+                                  TargetSelection::kUnpopular, target_rng);
+
+  fed.config.model.dim = 8;
+  fed.config.model.learning_rate = 0.05f;
+  fed.config.clients_per_round = 20;
+  fed.config.epochs = 30;
+  fed.config.clip_norm = 1.0f;
+  fed.config.seed = seed + 3;
+
+  fed.metrics_config.hr_negatives = 30;
+  return fed;
+}
+
+/// Runs the federation under the given attack kind and returns final metrics.
+MetricsResult RunAttack(Federation& fed, const std::string& kind,
+                        double rho, ThreadPool* pool,
+                        AttackOptions options = {}) {
+  options.kind = kind;
+  options.target_items = fed.targets;
+  options.kappa = 30;
+  options.clip_norm = fed.config.clip_norm;
+  options.approx_epochs_first = 15;
+  options.approx_epochs_round = 2;
+  options.surrogate_epochs = 5;
+  options.seed = 77;
+
+  AttackInputs inputs;
+  inputs.train = &fed.split.train;
+  inputs.public_view = &fed.view;
+  inputs.num_benign_users = fed.split.train.num_users();
+  inputs.dim = fed.config.model.dim;
+
+  auto attack = CreateAttack(options, inputs);
+  attack.status().CheckOK();
+
+  const std::size_t num_malicious = static_cast<std::size_t>(
+      rho * static_cast<double>(fed.split.train.num_users()) + 0.5);
+
+  Evaluator evaluator(fed.split.train, fed.split.test_items, fed.metrics_config,
+                      fed.config.seed);
+  Simulation sim(fed.split.train, fed.config,
+                 attack.value() == nullptr ? 0 : num_malicious,
+                 attack.value().get(), pool);
+  const auto records = sim.Run(&evaluator, fed.targets, fed.config.epochs);
+  return records.back().metrics;
+}
+
+TEST(IntegrationTest, FederatedTrainingLearnsToRank) {
+  Federation fed = MakeFederation(0.1, 5);
+  ThreadPool pool(4);
+
+  // Untrained model baseline HR.
+  Evaluator evaluator(fed.split.train, fed.split.test_items, fed.metrics_config,
+                      9);
+  Rng rng(10);
+  Matrix random_users(fed.split.train.num_users(), fed.config.model.dim);
+  Matrix random_items(fed.split.train.num_items(), fed.config.model.dim);
+  random_users.FillGaussian(rng, 0.0f, 0.1f);
+  random_items.FillGaussian(rng, 0.0f, 0.1f);
+  const double random_hr =
+      evaluator.Evaluate(random_users, random_items, fed.targets, &pool)
+          .hit_ratio;
+
+  const MetricsResult trained = RunAttack(fed, "none", 0.0, &pool);
+  EXPECT_GT(trained.hit_ratio, random_hr + 0.1)
+      << "federated BPR training failed to beat a random model";
+}
+
+TEST(IntegrationTest, NoAttackLeavesTargetUnexposed) {
+  Federation fed = MakeFederation(0.1, 6);
+  ThreadPool pool(4);
+  const MetricsResult result = RunAttack(fed, "none", 0.0, &pool);
+  EXPECT_LT(result.er_at[0], 0.05) << "cold target organically exposed";
+}
+
+TEST(IntegrationTest, FedRecAttackRaisesExposure) {
+  Federation fed = MakeFederation(0.1, 7);
+  ThreadPool pool(4);
+  const MetricsResult none = RunAttack(fed, "none", 0.0, &pool);
+  const MetricsResult attacked = RunAttack(fed, "fedrecattack", 0.1, &pool);
+  EXPECT_GT(attacked.er_at[0], 0.5)
+      << "FedRecAttack failed to expose the target";
+  EXPECT_GT(attacked.er_at[0], none.er_at[0] + 0.4);
+}
+
+TEST(IntegrationTest, FedRecAttackSideEffectsAreSmall) {
+  Federation fed = MakeFederation(0.1, 8);
+  ThreadPool pool(4);
+  const MetricsResult none = RunAttack(fed, "none", 0.0, &pool);
+  Federation fed2 = MakeFederation(0.1, 8);
+  const MetricsResult attacked = RunAttack(fed2, "fedrecattack", 0.1, &pool);
+  // Stealthiness: recommendation accuracy within a few points of no-attack.
+  EXPECT_GT(attacked.hit_ratio, none.hit_ratio - 0.15);
+}
+
+TEST(IntegrationTest, AblationWithoutPublicDataAttackCollapses) {
+  Federation fed = MakeFederation(0.0, 9);
+  ThreadPool pool(4);
+  const MetricsResult result = RunAttack(fed, "fedrecattack", 0.1, &pool);
+  EXPECT_LT(result.er_at[0], 0.05)
+      << "attack should be ineffective with xi = 0 (Table IX)";
+}
+
+TEST(IntegrationTest, ShillingBaselinesAreWeakAtSmallRho) {
+  Federation fed = MakeFederation(0.1, 10);
+  ThreadPool pool(4);
+  for (const char* kind : {"random", "bandwagon"}) {
+    const MetricsResult result = RunAttack(fed, kind, 0.05, &pool);
+    EXPECT_LT(result.er_at[0], 0.2) << kind << " unexpectedly strong";
+  }
+}
+
+TEST(IntegrationTest, ExplicitBoostNeedsManyMaliciousUsers) {
+  Federation fed = MakeFederation(0.1, 11);
+  ThreadPool pool(4);
+  AttackOptions boost_options;
+  boost_options.boost = 8.0f;
+  const MetricsResult small = RunAttack(fed, "eb", 0.05, &pool, boost_options);
+  Federation fed2 = MakeFederation(0.1, 11);
+  const MetricsResult large = RunAttack(fed2, "eb", 0.3, &pool, boost_options);
+  EXPECT_GE(large.er_at[0], small.er_at[0]);
+}
+
+TEST(IntegrationTest, ByzantineRobustAggregationDoesNotKillBoostAttack) {
+  // Section VI of the paper: classical byzantine-robust aggregation fits FR
+  // poorly because each cold item's gradient rows come from very few (mostly
+  // malicious) contributors — the per-row median IS the poisoned value.
+  // Verify the attack survives median aggregation rather than being zeroed.
+  Federation fed = MakeFederation(0.1, 12);
+  ThreadPool pool(4);
+  AttackOptions boost_options;
+  boost_options.boost = 8.0f;
+  const MetricsResult with_sum = RunAttack(fed, "eb", 0.3, &pool, boost_options);
+
+  Federation fed_median = MakeFederation(0.1, 12);
+  fed_median.config.aggregator.kind = AggregatorKind::kMedian;
+  const MetricsResult with_median =
+      RunAttack(fed_median, "eb", 0.3, &pool, boost_options);
+  EXPECT_GT(with_median.er_at[0] + with_sum.er_at[0], 0.02)
+      << "boost attack should survive in at least one aggregation mode";
+  EXPECT_GT(with_median.er_at[0], 0.0)
+      << "median aggregation unexpectedly eliminated the attack entirely";
+}
+
+TEST(IntegrationTest, EndToEndDeterminism) {
+  Federation a = MakeFederation(0.1, 13);
+  Federation b = MakeFederation(0.1, 13);
+  const MetricsResult ra = RunAttack(a, "fedrecattack", 0.05, nullptr);
+  const MetricsResult rb = RunAttack(b, "fedrecattack", 0.05, nullptr);
+  EXPECT_DOUBLE_EQ(ra.er_at[0], rb.er_at[0]);
+  EXPECT_DOUBLE_EQ(ra.hit_ratio, rb.hit_ratio);
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,130 @@
+#include "data/loaders.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace fedrec {
+namespace {
+
+class LoadersTest : public ::testing::Test {
+ protected:
+  std::string WriteTemp(const std::string& name, const std::string& content) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / name).string();
+    WriteStringToFile(path, content).CheckOK();
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+TEST_F(LoadersTest, MovieLens100KFormat) {
+  const std::string path = WriteTemp("u.data",
+                                     "196\t242\t3\t881250949\n"
+                                     "186\t302\t3\t891717742\n"
+                                     "196\t377\t1\t878887116\n");
+  auto ds = LoadMovieLens100K(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds.value().num_users(), 2u);   // 196, 186
+  EXPECT_EQ(ds.value().num_items(), 3u);   // 242, 302, 377
+  EXPECT_EQ(ds.value().num_interactions(), 3u);
+  // Dense re-indexing in first-appearance order: user 196 -> 0.
+  EXPECT_EQ(ds.value().UserItems(0).size(), 2u);
+}
+
+TEST_F(LoadersTest, MovieLens1MFormat) {
+  const std::string path = WriteTemp("ratings.dat",
+                                     "1::1193::5::978300760\n"
+                                     "1::661::3::978302109\n"
+                                     "2::1193::4::978298413\n");
+  auto ds = LoadMovieLens1M(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds.value().num_users(), 2u);
+  EXPECT_EQ(ds.value().num_items(), 2u);
+  EXPECT_EQ(ds.value().num_interactions(), 3u);
+}
+
+TEST_F(LoadersTest, MovieLens1MRejectsMalformedLine) {
+  const std::string path = WriteTemp("bad.dat", "1::2::3\nno-separators\n");
+  auto ds = LoadMovieLens1M(path);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(LoadersTest, SteamFormatMergesPurchaseAndPlay) {
+  const std::string path =
+      WriteTemp("steam.csv",
+                "151603712,The Elder Scrolls V Skyrim,purchase,1.0,0\n"
+                "151603712,The Elder Scrolls V Skyrim,play,273.0,0\n"
+                "151603712,Fallout 4,purchase,1.0,0\n"
+                "59945701,Fallout 4,play,12.1,0\n");
+  auto ds = LoadSteam200K(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds.value().num_users(), 2u);
+  EXPECT_EQ(ds.value().num_items(), 2u);
+  // purchase+play of the same game collapse into one implicit interaction.
+  EXPECT_EQ(ds.value().num_interactions(), 3u);
+}
+
+TEST_F(LoadersTest, SteamRejectsShortRows) {
+  const std::string path = WriteTemp("steam_bad.csv", "только,два\n");
+  auto ds = LoadSteam200K(path);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(LoadersTest, GenericLoaderWithHeaderAndColumns) {
+  const std::string path = WriteTemp("generic.csv",
+                                     "user,item,when\n"
+                                     "a,x,1\n"
+                                     "b,y,2\n"
+                                     "a,y,3\n");
+  auto ds = LoadImplicitFeedback(path, ',', 0, 1, /*skip_header=*/true, "generic");
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds.value().num_users(), 2u);
+  EXPECT_EQ(ds.value().num_items(), 2u);
+  EXPECT_EQ(ds.value().num_interactions(), 3u);
+  EXPECT_EQ(ds.value().name(), "generic");
+}
+
+TEST_F(LoadersTest, GenericLoaderColumnOutOfRange) {
+  const std::string path = WriteTemp("short.csv", "a,x\n");
+  auto ds = LoadImplicitFeedback(path, ',', 0, 5, false, "short");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(LoadersTest, MissingFileIsIOError) {
+  auto ds = LoadMovieLens100K("/nonexistent/u.data");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(LoadersTest, EmptyFileIsInvalid) {
+  const std::string path = WriteTemp("empty.data", "");
+  auto ds = LoadMovieLens100K(path);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LoadersTest, DuplicateInteractionsDeduplicated) {
+  const std::string path = WriteTemp("dups.data",
+                                     "1\t10\t5\t0\n"
+                                     "1\t10\t4\t1\n"
+                                     "1\t11\t3\t2\n");
+  auto ds = LoadMovieLens100K(path);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().num_interactions(), 2u);
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace fedrec {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesEmitNothing) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  FEDREC_LOG(Info) << "should not appear";
+  FEDREC_LOG(Debug) << "nor this";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(output.empty()) << output;
+}
+
+TEST_F(LoggingTest, EmittedMessageContainsTagFileAndText) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  FEDREC_LOG(Warning) << "disk " << 95 << "% full";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("WARN"), std::string::npos);
+  EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(output.find("disk 95% full"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ErrorAlwaysPassesInfoThreshold) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  FEDREC_LOG(Error) << "boom";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("ERROR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,143 @@
+#include "common/math.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedrec {
+namespace {
+
+TEST(DotTest, BasicAndEmpty) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f};
+  const std::vector<float> b{4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(Dot(a, b), 4.0f - 10.0f + 18.0f);
+  const std::vector<float> empty;
+  EXPECT_FLOAT_EQ(Dot(empty, empty), 0.0f);
+}
+
+TEST(AxpyTest, AccumulatesScaled) {
+  const std::vector<float> x{1.0f, -2.0f};
+  std::vector<float> y{10.0f, 10.0f};
+  Axpy(0.5f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 10.5f);
+  EXPECT_FLOAT_EQ(y[1], 9.0f);
+}
+
+TEST(ScaleFillTest, Basics) {
+  std::vector<float> x{1.0f, 2.0f, 3.0f};
+  Scale(2.0f, x);
+  EXPECT_FLOAT_EQ(x[1], 4.0f);
+  Fill(std::span<float>(x), -1.0f);
+  for (float v : x) EXPECT_FLOAT_EQ(v, -1.0f);
+}
+
+TEST(L2NormTest, KnownValues) {
+  const std::vector<float> x{3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(L2Norm(x), 5.0f);
+  EXPECT_FLOAT_EQ(L2NormSquared(x), 25.0f);
+  const std::vector<float> zero{0.0f, 0.0f};
+  EXPECT_FLOAT_EQ(L2Norm(zero), 0.0f);
+}
+
+TEST(ClipL2Test, NoOpWithinBound) {
+  std::vector<float> x{0.3f, 0.4f};  // norm 0.5
+  const float factor = ClipL2(x, 1.0f);
+  EXPECT_FLOAT_EQ(factor, 1.0f);
+  EXPECT_FLOAT_EQ(x[0], 0.3f);
+}
+
+TEST(ClipL2Test, ScalesDownToBound) {
+  std::vector<float> x{3.0f, 4.0f};  // norm 5
+  const float factor = ClipL2(x, 1.0f);
+  EXPECT_NEAR(factor, 0.2f, 1e-6f);
+  EXPECT_NEAR(L2Norm(x), 1.0f, 1e-5f);
+  // Direction preserved.
+  EXPECT_NEAR(x[1] / x[0], 4.0f / 3.0f, 1e-5f);
+}
+
+TEST(ClipL2Test, ZeroVectorUntouched) {
+  std::vector<float> x{0.0f, 0.0f};
+  EXPECT_FLOAT_EQ(ClipL2(x, 1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+}
+
+TEST(ClipL2Test, ZeroBoundZeroesVector) {
+  std::vector<float> x{1.0f, 1.0f};
+  ClipL2(x, 0.0f);
+  EXPECT_NEAR(L2Norm(x), 0.0f, 1e-7f);
+}
+
+TEST(SigmoidTest, KnownValuesAndSymmetry) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  for (double x : {-5.0, -1.0, 0.3, 4.0}) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(SigmoidTest, StableAtExtremes) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(Sigmoid(709.0)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-709.0)));
+}
+
+TEST(LogSigmoidTest, MatchesDirectComputationInSafeRange) {
+  for (double x : {-20.0, -3.0, -0.5, 0.0, 0.5, 3.0, 20.0}) {
+    EXPECT_NEAR(LogSigmoid(x), std::log(Sigmoid(x)), 1e-10);
+  }
+}
+
+TEST(LogSigmoidTest, StableAtExtremes) {
+  // log sigmoid(-1000) ~ -1000; naive exp would overflow.
+  EXPECT_NEAR(LogSigmoid(-1000.0), -1000.0, 1e-6);
+  EXPECT_NEAR(LogSigmoid(1000.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(LogSigmoid(-5000.0)));
+}
+
+TEST(AttackGTest, PaperDefinition) {
+  // g(x) = x for x >= 0; e^x - 1 for x < 0 (Eq. 14).
+  EXPECT_DOUBLE_EQ(AttackG(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(AttackG(2.5), 2.5);
+  EXPECT_NEAR(AttackG(-1.0), std::exp(-1.0) - 1.0, 1e-12);
+  EXPECT_NEAR(AttackG(-100.0), -1.0, 1e-12);  // bounded below by -1
+}
+
+TEST(AttackGTest, ContinuousAtZero) {
+  EXPECT_NEAR(AttackG(1e-9), AttackG(-1e-9), 1e-8);
+}
+
+TEST(AttackGPrimeTest, DerivativeDefinitionAndContinuity) {
+  EXPECT_DOUBLE_EQ(AttackGPrime(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(AttackGPrime(0.0), 1.0);
+  EXPECT_NEAR(AttackGPrime(-1.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(AttackGPrime(-1e-9), 1.0, 1e-8);  // continuous at 0
+  EXPECT_NEAR(AttackGPrime(-50.0), 0.0, 1e-12); // vanishing push far above boundary
+}
+
+TEST(AttackGPrimeTest, MatchesFiniteDifferenceOfG) {
+  const double h = 1e-6;
+  for (double x : {-3.0, -1.0, -0.1, 0.2, 1.0, 4.0}) {
+    const double numeric = (AttackG(x + h) - AttackG(x - h)) / (2 * h);
+    EXPECT_NEAR(AttackGPrime(x), numeric, 1e-5) << "x=" << x;
+  }
+}
+
+TEST(MeanVarianceTest, KnownValues) {
+  const std::vector<float> x{1.0f, 2.0f, 3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(Mean(x), 2.5);
+  // Sample variance of {1,2,3,4} = 5/3.
+  EXPECT_NEAR(Variance(x), 5.0 / 3.0, 1e-9);
+}
+
+TEST(MeanVarianceTest, DegenerateInputs) {
+  const std::vector<float> empty;
+  EXPECT_DOUBLE_EQ(Mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Variance(empty), 0.0);
+  const std::vector<float> one{7.0f};
+  EXPECT_DOUBLE_EQ(Variance(one), 0.0);
+}
+
+}  // namespace
+}  // namespace fedrec

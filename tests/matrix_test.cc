@@ -1,0 +1,187 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+
+namespace fedrec {
+namespace {
+
+TEST(MatrixTest, ConstructionAndShape) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(m.At(i, j), 0.0f);
+  }
+  Matrix empty;
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(MatrixTest, RowViewsAliasStorage) {
+  Matrix m(2, 3);
+  auto row = m.Row(1);
+  row[2] = 5.0f;
+  EXPECT_FLOAT_EQ(m.At(1, 2), 5.0f);
+  const Matrix& cm = m;
+  EXPECT_FLOAT_EQ(cm.Row(1)[2], 5.0f);
+}
+
+TEST(MatrixTest, FillAndFrobenius) {
+  Matrix m(2, 2);
+  m.Fill(2.0f);
+  EXPECT_FLOAT_EQ(m.FrobeniusNorm(), 4.0f);  // sqrt(4 * 4)
+}
+
+TEST(MatrixTest, FillGaussianStatistics) {
+  Rng rng(5);
+  Matrix m(100, 100);
+  m.FillGaussian(rng, 1.0f, 2.0f);
+  double sum = 0.0, sum2 = 0.0;
+  for (float v : m.Data()) {
+    sum += v;
+    sum2 += static_cast<double>(v) * v;
+  }
+  const double n = 10000.0;
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(sum2 / n - mean * mean, 4.0, 0.3);
+}
+
+TEST(MatrixTest, FillUniformRange) {
+  Rng rng(6);
+  Matrix m(50, 50);
+  m.FillUniform(rng, -2.0f, 3.0f);
+  for (float v : m.Data()) {
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(MatrixTest, AddScaled) {
+  Matrix a(2, 2), b(2, 2);
+  a.Fill(1.0f);
+  b.Fill(3.0f);
+  a.Add(b, -0.5f);
+  for (float v : a.Data()) EXPECT_FLOAT_EQ(v, -0.5f);
+}
+
+TEST(MatrixTest, AddShapeMismatchAborts) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_DEATH(a.Add(b), "");
+}
+
+TEST(MatrixTest, CountNonZeroRows) {
+  Matrix m(4, 3);
+  EXPECT_EQ(m.CountNonZeroRows(), 0u);
+  m.At(1, 2) = 0.1f;
+  m.At(3, 0) = -0.1f;
+  EXPECT_EQ(m.CountNonZeroRows(), 2u);
+}
+
+TEST(MatrixTest, Equality) {
+  Matrix a(2, 2), b(2, 2);
+  EXPECT_TRUE(a == b);
+  b.At(0, 0) = 1.0f;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SparseRowMatrixTest, RowCreationAndLookup) {
+  SparseRowMatrix s(3);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Contains(5));
+  auto row = s.RowMutable(5);
+  row[0] = 1.0f;
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_EQ(s.row_count(), 1u);
+  EXPECT_FLOAT_EQ(s.Row(5)[0], 1.0f);
+  // Re-fetching does not duplicate.
+  s.RowMutable(5)[1] = 2.0f;
+  EXPECT_EQ(s.row_count(), 1u);
+  EXPECT_FLOAT_EQ(s.Row(5)[1], 2.0f);
+}
+
+TEST(SparseRowMatrixTest, AbsentRowAborts) {
+  SparseRowMatrix s(2);
+  s.RowMutable(1);
+  EXPECT_DEATH(s.Row(2), "absent");
+}
+
+TEST(SparseRowMatrixTest, ManyRowsOutOfOrder) {
+  SparseRowMatrix s(2);
+  for (std::size_t r : {9u, 1u, 5u, 3u, 7u}) {
+    s.RowMutable(r)[0] = static_cast<float>(r);
+  }
+  EXPECT_EQ(s.row_count(), 5u);
+  for (std::size_t r : {9u, 1u, 5u, 3u, 7u}) {
+    EXPECT_FLOAT_EQ(s.Row(r)[0], static_cast<float>(r));
+  }
+  EXPECT_FALSE(s.Contains(2));
+}
+
+TEST(SparseRowMatrixTest, AddToAccumulates) {
+  SparseRowMatrix s(2);
+  s.RowMutable(0)[0] = 1.0f;
+  s.RowMutable(2)[1] = 4.0f;
+  Matrix target(3, 2);
+  target.Fill(1.0f);
+  s.AddTo(target, 2.0f);
+  EXPECT_FLOAT_EQ(target.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(target.At(2, 1), 9.0f);
+  EXPECT_FLOAT_EQ(target.At(1, 0), 1.0f);  // untouched row
+}
+
+TEST(SparseRowMatrixTest, ClipRowsEnforcesBound) {
+  SparseRowMatrix s(2);
+  s.RowMutable(0)[0] = 3.0f;
+  s.RowMutable(0)[1] = 4.0f;  // norm 5
+  s.RowMutable(1)[0] = 0.1f;  // norm 0.1
+  s.ClipRows(1.0f);
+  EXPECT_NEAR(L2Norm(s.Row(0)), 1.0f, 1e-5f);
+  EXPECT_FLOAT_EQ(s.Row(1)[0], 0.1f);
+  EXPECT_FLOAT_EQ(s.MaxRowNorm(), 1.0f);
+}
+
+TEST(SparseRowMatrixTest, GaussianNoiseChangesValues) {
+  SparseRowMatrix s(8);
+  s.RowMutable(0);
+  Rng rng(9);
+  s.AddGaussianNoise(rng, 1.0f);
+  EXPECT_GT(L2Norm(s.Row(0)), 0.0f);
+  // stddev 0 is a no-op.
+  SparseRowMatrix t(8);
+  t.RowMutable(0);
+  t.AddGaussianNoise(rng, 0.0f);
+  EXPECT_FLOAT_EQ(L2Norm(t.Row(0)), 0.0f);
+}
+
+TEST(SparseRowMatrixTest, CountNonZeroRowsIgnoresZeroRows) {
+  SparseRowMatrix s(2);
+  s.RowMutable(0);           // stays zero
+  s.RowMutable(1)[0] = 1.0f; // nonzero
+  EXPECT_EQ(s.row_count(), 2u);
+  EXPECT_EQ(s.CountNonZeroRows(), 1u);
+}
+
+TEST(SparseRowMatrixTest, ClearResets) {
+  SparseRowMatrix s(2);
+  s.RowMutable(3)[0] = 1.0f;
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.cols(), 2u);
+}
+
+TEST(SparseRowMatrixTest, AddToOutOfRangeRowAborts) {
+  SparseRowMatrix s(2);
+  s.RowMutable(10)[0] = 1.0f;
+  Matrix small(5, 2);
+  EXPECT_DEATH(s.AddTo(small), "");
+}
+
+}  // namespace
+}  // namespace fedrec

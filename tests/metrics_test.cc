@@ -1,0 +1,149 @@
+#include "model/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fedrec {
+namespace {
+
+/// Hand-analyzable fixture: 2 users, 6 items, dim 2.
+/// u0 = (1,0) scores item j as V[j][0] = 10 - j (item 0 best).
+/// u1 = (0,1) scores item j as V[j][1] = j     (item 5 best).
+/// Train: u0 -> {0}, u1 -> {5}. Held-out test: u0 -> 1, u1 -> 0.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = Dataset::FromInteractions("toy", 2, 6, {{0, 0}, {1, 5}});
+    ds.status().CheckOK();
+    train_ = std::move(ds).value();
+    test_items_ = {1, 0};
+
+    users_ = Matrix(2, 2);
+    users_.At(0, 0) = 1.0f;
+    users_.At(1, 1) = 1.0f;
+    items_ = Matrix(6, 2);
+    for (std::size_t j = 0; j < 6; ++j) {
+      items_.At(j, 0) = 10.0f - static_cast<float>(j);
+      items_.At(j, 1) = static_cast<float>(j);
+    }
+  }
+
+  MetricsConfig Config() const {
+    MetricsConfig config;
+    config.er_ks = {2, 4};
+    config.ndcg_k = 2;
+    config.hr_k = 2;
+    config.hr_negatives = 2;
+    return config;
+  }
+
+  Dataset train_;
+  std::vector<std::int64_t> test_items_;
+  Matrix users_;
+  Matrix items_;
+};
+
+TEST_F(MetricsTest, ExposureRatioHandComputed) {
+  Evaluator evaluator(train_, test_items_, Config(), /*seed=*/1);
+  // Target item 4.
+  // u0 rec order (excluding train item 0): 1,2,3,4,5 -> top-2 misses 4,
+  //   top-4 hits it. u1 rec order (excluding 5): 4,3,2,1,0 -> top-2 hits.
+  const MetricsResult r =
+      evaluator.Evaluate(users_, items_, {4}, /*pool=*/nullptr);
+  EXPECT_NEAR(r.ErAt(2, evaluator.config()), 0.5, 1e-12);
+  EXPECT_NEAR(r.ErAt(4, evaluator.config()), 1.0, 1e-12);
+}
+
+TEST_F(MetricsTest, NdcgHandComputed) {
+  Evaluator evaluator(train_, test_items_, Config(), 1);
+  // u0: target 4 outside top-2 -> DCG 0. u1: target 4 at rank 0 -> DCG 1,
+  // IDCG 1. NDCG = (0 + 1)/2.
+  const MetricsResult r = evaluator.Evaluate(users_, items_, {4}, nullptr);
+  EXPECT_NEAR(r.ndcg, 0.5, 1e-12);
+}
+
+TEST_F(MetricsTest, NdcgRankTwoValue) {
+  Evaluator evaluator(train_, test_items_, Config(), 1);
+  // Target 3: u0 rec (1,2,3,...) rank 2 -> outside top-2 -> 0.
+  //           u1 rec (4,3,...) rank 1 -> DCG = 1/log2(3), IDCG = 1.
+  const MetricsResult r = evaluator.Evaluate(users_, items_, {3}, nullptr);
+  EXPECT_NEAR(r.ndcg, 0.5 * (1.0 / std::log2(3.0)), 1e-12);
+}
+
+TEST_F(MetricsTest, HitRatioHandComputed) {
+  Evaluator evaluator(train_, test_items_, Config(), 1);
+  // u0's test item 1 is its best-scored non-train item -> rank 0 -> hit.
+  // u1's test item 0 is its worst item -> rank = #negatives = 2 >= hr_k -> miss.
+  const MetricsResult r = evaluator.Evaluate(users_, items_, {4}, nullptr);
+  EXPECT_NEAR(r.hit_ratio, 0.5, 1e-12);
+}
+
+TEST_F(MetricsTest, TargetInteractedByUserExcludedFromDenominator) {
+  Evaluator evaluator(train_, test_items_, Config(), 1);
+  // Target 0 is in u0's training set: u0 contributes 0 (|Vtar ^ V-| = 0).
+  // For u1, item 0 ranks last -> outside top-2 and top-4.
+  const MetricsResult r = evaluator.Evaluate(users_, items_, {0}, nullptr);
+  EXPECT_NEAR(r.ErAt(2, evaluator.config()), 0.0, 1e-12);
+  EXPECT_NEAR(r.ErAt(4, evaluator.config()), 0.0, 1e-12);
+}
+
+TEST_F(MetricsTest, MultipleTargetsFractionalCredit) {
+  Evaluator evaluator(train_, test_items_, Config(), 1);
+  // Targets {1, 4}: u0 top-2 = {1,2} -> 1 of 2 targets. u1 top-2 = {4,3} ->
+  // 1 of 2 targets. ER@2 = 0.5.
+  const MetricsResult r = evaluator.Evaluate(users_, items_, {1, 4}, nullptr);
+  EXPECT_NEAR(r.ErAt(2, evaluator.config()), 0.5, 1e-12);
+}
+
+TEST_F(MetricsTest, ParallelEvaluationMatchesSerial) {
+  Evaluator evaluator(train_, test_items_, Config(), 1);
+  ThreadPool pool(4);
+  const MetricsResult serial = evaluator.Evaluate(users_, items_, {4}, nullptr);
+  const MetricsResult parallel = evaluator.Evaluate(users_, items_, {4}, &pool);
+  EXPECT_DOUBLE_EQ(serial.er_at[0], parallel.er_at[0]);
+  EXPECT_DOUBLE_EQ(serial.er_at[1], parallel.er_at[1]);
+  EXPECT_DOUBLE_EQ(serial.ndcg, parallel.ndcg);
+  EXPECT_DOUBLE_EQ(serial.hit_ratio, parallel.hit_ratio);
+}
+
+TEST_F(MetricsTest, ExposureRatioShortcutMatchesFullEvaluate) {
+  Evaluator evaluator(train_, test_items_, Config(), 1);
+  const MetricsResult full = evaluator.Evaluate(users_, items_, {4}, nullptr);
+  EXPECT_DOUBLE_EQ(evaluator.ExposureRatio(users_, items_, {4}, 2, nullptr),
+                   full.ErAt(2, evaluator.config()));
+}
+
+TEST_F(MetricsTest, UsersWithoutTestItemSkippedInHr) {
+  std::vector<std::int64_t> tests = {1, LeaveOneOutSplit::kNoTestItem};
+  Evaluator evaluator(train_, tests, Config(), 1);
+  const MetricsResult r = evaluator.Evaluate(users_, items_, {4}, nullptr);
+  // Only u0 counts: its test item ranks 0 -> HR 1.0.
+  EXPECT_NEAR(r.hit_ratio, 1.0, 1e-12);
+}
+
+TEST_F(MetricsTest, ErAtUnconfiguredKAborts) {
+  Evaluator evaluator(train_, test_items_, Config(), 1);
+  const MetricsResult r = evaluator.Evaluate(users_, items_, {4}, nullptr);
+  EXPECT_DEATH(r.ErAt(7, evaluator.config()), "not configured");
+}
+
+TEST_F(MetricsTest, MismatchedShapesAbort) {
+  Evaluator evaluator(train_, test_items_, Config(), 1);
+  Matrix wrong_users(3, 2);
+  EXPECT_DEATH(evaluator.Evaluate(wrong_users, items_, {4}, nullptr), "");
+  Matrix wrong_items(5, 2);
+  EXPECT_DEATH(evaluator.Evaluate(users_, wrong_items, {4}, nullptr), "");
+}
+
+TEST_F(MetricsTest, DeterministicAcrossConstructions) {
+  Evaluator a(train_, test_items_, Config(), 42);
+  Evaluator b(train_, test_items_, Config(), 42);
+  const MetricsResult ra = a.Evaluate(users_, items_, {4}, nullptr);
+  const MetricsResult rb = b.Evaluate(users_, items_, {4}, nullptr);
+  EXPECT_DOUBLE_EQ(ra.hit_ratio, rb.hit_ratio);
+  EXPECT_DOUBLE_EQ(ra.ndcg, rb.ndcg);
+}
+
+}  // namespace
+}  // namespace fedrec

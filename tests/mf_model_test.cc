@@ -1,0 +1,95 @@
+#include "model/mf_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+
+namespace fedrec {
+namespace {
+
+TEST(MfModelTest, ConstructionShapeAndInit) {
+  Rng rng(1);
+  MfHyperParams params;
+  params.dim = 8;
+  params.init_std = 0.1f;
+  MfModel model(50, params, rng);
+  EXPECT_EQ(model.num_items(), 50u);
+  EXPECT_EQ(model.dim(), 8u);
+  // Initialized, not all-zero.
+  EXPECT_GT(model.item_factors().FrobeniusNorm(), 0.0f);
+}
+
+TEST(MfModelTest, ScoreIsDotProduct) {
+  Rng rng(2);
+  MfHyperParams params;
+  params.dim = 4;
+  MfModel model(3, params, rng);
+  const std::vector<float> user{1.0f, 0.0f, -1.0f, 2.0f};
+  const auto v = model.ItemVector(1);
+  const float expected = user[0] * v[0] + user[1] * v[1] + user[2] * v[2] +
+                         user[3] * v[3];
+  EXPECT_FLOAT_EQ(model.Score(user, 1), expected);
+}
+
+TEST(MfModelTest, ScoreAllMatchesScore) {
+  Rng rng(3);
+  MfHyperParams params;
+  params.dim = 6;
+  MfModel model(20, params, rng);
+  std::vector<float> user(6, 0.5f);
+  std::vector<float> scores(20);
+  model.ScoreAll(user, scores);
+  for (std::size_t j = 0; j < 20; ++j) {
+    EXPECT_FLOAT_EQ(scores[j], model.Score(user, j));
+  }
+}
+
+TEST(MfModelTest, ScoreAllWrongSizeAborts) {
+  Rng rng(4);
+  MfHyperParams params;
+  MfModel model(10, params, rng);
+  std::vector<float> user(params.dim, 0.0f);
+  std::vector<float> wrong(5);
+  EXPECT_DEATH(model.ScoreAll(user, wrong), "");
+}
+
+TEST(MfModelTest, ApplyGradientDescends) {
+  Rng rng(5);
+  MfHyperParams params;
+  params.dim = 4;
+  MfModel model(2, params, rng);
+  const float before = model.item_factors().At(0, 0);
+  Matrix grad(2, 4);
+  grad.At(0, 0) = 2.0f;
+  model.ApplyGradient(grad, 0.5f);
+  EXPECT_FLOAT_EQ(model.item_factors().At(0, 0), before - 1.0f);
+}
+
+TEST(MfModelTest, ZeroDimAborts) {
+  Rng rng(6);
+  MfHyperParams params;
+  params.dim = 0;
+  EXPECT_DEATH(MfModel(5, params, rng), "");
+}
+
+TEST(InitUserVectorTest, SizeAndSpread) {
+  Rng rng(7);
+  MfHyperParams params;
+  params.dim = 32;
+  params.init_std = 0.1f;
+  const auto vec = InitUserVector(params, rng);
+  EXPECT_EQ(vec.size(), 32u);
+  EXPECT_GT(L2Norm(vec), 0.0f);
+  EXPECT_LT(L2Norm(vec), 10.0f);
+}
+
+TEST(InitUserVectorTest, DifferentDraws) {
+  Rng rng(8);
+  MfHyperParams params;
+  const auto a = InitUserVector(params, rng);
+  const auto b = InitUserVector(params, rng);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace fedrec

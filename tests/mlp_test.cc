@@ -1,0 +1,197 @@
+#include "model/mlp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fedrec {
+namespace {
+
+TEST(DenseLayerTest, ShapesAndInit) {
+  Rng rng(1);
+  DenseLayer layer(4, 3, DenseLayer::Activation::kReLU, rng);
+  EXPECT_EQ(layer.in_dim(), 4u);
+  EXPECT_EQ(layer.out_dim(), 3u);
+  EXPECT_EQ(layer.ParameterCount(), 12u + 3u);
+  EXPECT_GT(layer.weights().FrobeniusNorm(), 0.0f);
+}
+
+TEST(DenseLayerTest, IdentityForwardIsAffine) {
+  Rng rng(2);
+  DenseLayer layer(2, 2, DenseLayer::Activation::kIdentity, rng);
+  layer.weights().At(0, 0) = 1.0f;
+  layer.weights().At(0, 1) = 2.0f;
+  layer.weights().At(1, 0) = -1.0f;
+  layer.weights().At(1, 1) = 0.5f;
+  layer.bias()[0] = 0.1f;
+  layer.bias()[1] = -0.2f;
+  const std::vector<float> x{3.0f, 4.0f};
+  const auto y = layer.Forward(x);
+  EXPECT_NEAR(y[0], 3.0f + 8.0f + 0.1f, 1e-6f);
+  EXPECT_NEAR(y[1], -3.0f + 2.0f - 0.2f, 1e-6f);
+}
+
+TEST(DenseLayerTest, ReluClampsNegativePreactivations) {
+  Rng rng(3);
+  DenseLayer layer(1, 2, DenseLayer::Activation::kReLU, rng);
+  layer.weights().At(0, 0) = 1.0f;
+  layer.weights().At(1, 0) = -1.0f;
+  layer.bias()[0] = 0.0f;
+  layer.bias()[1] = 0.0f;
+  const std::vector<float> x{2.0f};
+  const auto y = layer.Forward(x);
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);  // ReLU(-2)
+}
+
+TEST(DenseLayerTest, BackwardMatchesFiniteDifferences) {
+  Rng rng(4);
+  DenseLayer layer(3, 2, DenseLayer::Activation::kReLU, rng);
+  const std::vector<float> x{0.5f, -0.3f, 0.8f};
+  const std::vector<float> grad_out{1.0f, -2.0f};
+
+  auto scalar_loss = [&](DenseLayer& l) {
+    const auto y = l.Forward(x);
+    return grad_out[0] * y[0] + grad_out[1] * y[1];
+  };
+
+  Matrix grad_w(2, 3);
+  std::vector<float> grad_b(2, 0.0f);
+  layer.Forward(x);
+  const auto grad_x = layer.Backward(grad_out, grad_w, grad_b);
+
+  const float h = 1e-3f;
+  // Weights.
+  for (std::size_t o = 0; o < 2; ++o) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      DenseLayer up = layer, down = layer;
+      up.weights().At(o, i) += h;
+      down.weights().At(o, i) -= h;
+      const float numeric = (scalar_loss(up) - scalar_loss(down)) / (2 * h);
+      EXPECT_NEAR(grad_w.At(o, i), numeric, 1e-2f) << o << "," << i;
+    }
+  }
+  // Bias.
+  for (std::size_t o = 0; o < 2; ++o) {
+    DenseLayer up = layer, down = layer;
+    up.bias()[o] += h;
+    down.bias()[o] -= h;
+    const float numeric = (scalar_loss(up) - scalar_loss(down)) / (2 * h);
+    EXPECT_NEAR(grad_b[o], numeric, 1e-2f);
+  }
+  // Input.
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::vector<float> xu = x, xd = x;
+    xu[i] += h;
+    xd[i] -= h;
+    DenseLayer copy_u = layer, copy_d = layer;
+    const auto yu = copy_u.Forward(xu);
+    const auto yd = copy_d.Forward(xd);
+    const float numeric = (grad_out[0] * (yu[0] - yd[0]) +
+                           grad_out[1] * (yu[1] - yd[1])) /
+                          (2 * h);
+    EXPECT_NEAR(grad_x[i], numeric, 1e-2f);
+  }
+}
+
+TEST(DenseLayerTest, ApplyGradientsIsSgdStep) {
+  Rng rng(5);
+  DenseLayer layer(2, 1, DenseLayer::Activation::kIdentity, rng);
+  const float w0 = layer.weights().At(0, 0);
+  Matrix grad_w(1, 2);
+  grad_w.At(0, 0) = 2.0f;
+  std::vector<float> grad_b{4.0f};
+  const float b0 = layer.bias()[0];
+  layer.ApplyGradients(grad_w, grad_b, 0.5f);
+  EXPECT_FLOAT_EQ(layer.weights().At(0, 0), w0 - 1.0f);
+  EXPECT_FLOAT_EQ(layer.bias()[0], b0 - 2.0f);
+}
+
+TEST(MlpTest, ArchitectureAndParameterCount) {
+  Rng rng(6);
+  Mlp mlp(4, {8, 3}, rng);
+  EXPECT_EQ(mlp.in_dim(), 4u);
+  EXPECT_EQ(mlp.layer_count(), 3u);  // 4->8, 8->3, 3->1
+  EXPECT_EQ(mlp.ParameterCount(), (4 * 8 + 8) + (8 * 3 + 3) + (3 + 1));
+}
+
+TEST(MlpTest, ForwardIsDeterministic) {
+  Rng rng(7);
+  Mlp mlp(3, {5}, rng);
+  const std::vector<float> x{0.1f, -0.2f, 0.3f};
+  EXPECT_FLOAT_EQ(mlp.Forward(x), mlp.Forward(x));
+}
+
+TEST(MlpTest, BackwardMatchesFiniteDifferencesEndToEnd) {
+  Rng rng(8);
+  Mlp mlp(3, {4}, rng);
+  const std::vector<float> x{0.4f, -0.6f, 0.2f};
+
+  Mlp::Gradients grads = mlp.MakeGradients();
+  mlp.Forward(x);
+  const auto grad_x = mlp.Backward(1.0f, grads);
+
+  const float h = 1e-3f;
+  // Spot-check the first layer's weights and the input gradient.
+  for (std::size_t o = 0; o < 4; ++o) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      Mlp up = mlp, down = mlp;
+      up.layer(0).weights().At(o, i) += h;
+      down.layer(0).weights().At(o, i) -= h;
+      const float numeric = (up.Forward(x) - down.Forward(x)) / (2 * h);
+      EXPECT_NEAR(grads.weights[0].At(o, i), numeric, 2e-2f) << o << "," << i;
+    }
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::vector<float> xu = x, xd = x;
+    xu[i] += h;
+    xd[i] -= h;
+    Mlp copy = mlp;
+    const float numeric = (copy.Forward(xu) - copy.Forward(xd)) / (2 * h);
+    EXPECT_NEAR(grad_x[i], numeric, 2e-2f);
+  }
+}
+
+TEST(MlpTest, GradientsClearResetsAccumulators) {
+  Rng rng(9);
+  Mlp mlp(2, {3}, rng);
+  Mlp::Gradients grads = mlp.MakeGradients();
+  mlp.Forward(std::vector<float>{1.0f, 1.0f});
+  mlp.Backward(1.0f, grads);
+  grads.Clear();
+  for (const Matrix& w : grads.weights) {
+    EXPECT_FLOAT_EQ(w.FrobeniusNorm(), 0.0f);
+  }
+}
+
+TEST(MlpTest, CanFitSimpleFunction) {
+  // Train y = 2*x0 - x1 with SGD; loss must drop by >10x.
+  Rng rng(10);
+  Mlp mlp(2, {8}, rng);
+  Mlp::Gradients grads = mlp.MakeGradients();
+  Rng data_rng(11);
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 4000; ++step) {
+    const float x0 = data_rng.NextFloat() * 2 - 1;
+    const float x1 = data_rng.NextFloat() * 2 - 1;
+    const float target = 2.0f * x0 - x1;
+    const std::vector<float> x{x0, x1};
+    const float y = mlp.Forward(x);
+    const float error = y - target;
+    grads.Clear();
+    mlp.Backward(error, grads);  // dL/dy for L = 0.5*(y-t)^2
+    mlp.ApplyGradients(grads, 0.05f);
+    if (step < 100) first_loss += 0.5 * error * error;
+    if (step >= 3900) last_loss += 0.5 * error * error;
+  }
+  EXPECT_LT(last_loss, first_loss / 10.0);
+}
+
+TEST(MlpTest, WrongInputSizeAborts) {
+  Rng rng(12);
+  Mlp mlp(3, {4}, rng);
+  EXPECT_DEATH(mlp.Forward(std::vector<float>{1.0f}), "");
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,218 @@
+#include "attack/model_poison.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "data/synthetic.h"
+
+namespace fedrec {
+namespace {
+
+struct AttackTestSetup {
+  Dataset data;
+  MfModel model;
+  FedConfig fed;
+};
+
+AttackTestSetup MakeSetup(std::uint64_t seed) {
+  SyntheticConfig config;
+  config.num_users = 50;
+  config.num_items = 80;
+  config.mean_interactions_per_user = 10.0;
+  config.seed = seed;
+  AttackTestSetup setup{GenerateSynthetic(config), {}, {}};
+  setup.fed.model.dim = 6;
+  setup.fed.clients_per_round = 16;
+  Rng rng(seed + 1);
+  setup.model = MfModel(80, setup.fed.model, rng);
+  return setup;
+}
+
+ModelPoisonConfig MakeConfig(std::vector<std::uint32_t> targets) {
+  ModelPoisonConfig config;
+  config.target_items = std::move(targets);
+  config.kappa = 14;
+  config.clip_norm = 0.5f;
+  config.boost = 4.0f;
+  config.seed = 3;
+  return config;
+}
+
+RoundContext MakeContext(const AttackTestSetup& setup) {
+  RoundContext context;
+  context.model = &setup.model;
+  context.config = &setup.fed;
+  context.num_benign_users = setup.data.num_users();
+  return context;
+}
+
+std::vector<std::uint32_t> Malicious(const AttackTestSetup& setup, std::size_t n) {
+  std::vector<std::uint32_t> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(static_cast<std::uint32_t>(setup.data.num_users() + i));
+  }
+  return ids;
+}
+
+template <typename AttackType>
+void CheckConstraints(AttackType& attack, const AttackTestSetup& setup) {
+  const RoundContext context = MakeContext(setup);
+  const auto updates = attack.ProduceUpdates(context, Malicious(setup, 3));
+  ASSERT_EQ(updates.size(), 3u);
+  for (const ClientUpdate& update : updates) {
+    EXPECT_LE(update.item_gradients.row_count(), 14u);
+    EXPECT_LE(update.item_gradients.MaxRowNorm(), 0.5f * 1.001f);
+    EXPECT_TRUE(update.item_gradients.Contains(5));  // target row present
+    EXPECT_GE(update.user, setup.data.num_users());
+  }
+}
+
+TEST(ExplicitBoostTest, RespectsServerConstraints) {
+  AttackTestSetup setup = MakeSetup(10);
+  ExplicitBoostAttack attack(MakeConfig({5}), setup.data.num_items());
+  CheckConstraints(attack, setup);
+}
+
+TEST(ExplicitBoostTest, TargetRowRaisesScoreAfterServerStep) {
+  AttackTestSetup setup = MakeSetup(11);
+  ExplicitBoostAttack attack(MakeConfig({5}), setup.data.num_items());
+  const RoundContext context = MakeContext(setup);
+  const auto updates = attack.ProduceUpdates(context, Malicious(setup, 1));
+  ASSERT_EQ(updates.size(), 1u);
+  // Apply the server update V -= eta * grad and verify the *sum over random
+  // user directions* of the target score went up relative to the gradient's
+  // implied direction: grad row must be non-zero and the poisoned row must
+  // have negative projection onto itself after negation — i.e. the update
+  // moves v_t along -grad.
+  const auto row = updates[0].item_gradients.Row(5);
+  EXPECT_GT(L2Norm(row), 0.0f);
+}
+
+TEST(ExplicitBoostTest, RepeatedRoundsGrowTargetEmbedding) {
+  AttackTestSetup setup = MakeSetup(12);
+  ExplicitBoostAttack attack(MakeConfig({5}), setup.data.num_items());
+  const RoundContext context = MakeContext(setup);
+  const float initial_norm = L2Norm(setup.model.item_factors().Row(5));
+  // Simulate many rounds with the server applying only this upload: the
+  // boost consistently pushes v_t along the (self-aligning) malicious vector.
+  for (int round = 0; round < 100; ++round) {
+    const auto updates = attack.ProduceUpdates(context, Malicious(setup, 1));
+    updates[0].item_gradients.AddTo(setup.model.item_factors(),
+                                    -setup.fed.model.learning_rate);
+  }
+  EXPECT_GT(L2Norm(setup.model.item_factors().Row(5)), initial_norm);
+}
+
+TEST(PipAttackTest, RespectsServerConstraints) {
+  AttackTestSetup setup = MakeSetup(13);
+  const auto order = setup.data.ItemsByPopularity();
+  std::vector<std::uint32_t> popular(order.begin(), order.begin() + 8);
+  PipAttack attack(MakeConfig({5}), setup.data.num_items(), popular);
+  CheckConstraints(attack, setup);
+}
+
+TEST(PipAttackTest, PullsTargetTowardPopularCentroid) {
+  AttackTestSetup setup = MakeSetup(14);
+  const auto order = setup.data.ItemsByPopularity();
+  std::vector<std::uint32_t> popular(order.begin(), order.begin() + 8);
+  ModelPoisonConfig config = MakeConfig({5});
+  config.boost = 0.0f;  // isolate the alignment term
+  PipAttack attack(config, setup.data.num_items(), popular, /*alignment=*/1.0f);
+  const RoundContext context = MakeContext(setup);
+  const auto updates = attack.ProduceUpdates(context, Malicious(setup, 1));
+
+  // Compute centroid and verify the target row gradient points from centroid
+  // toward v_t (so -grad moves v_t toward the centroid).
+  const Matrix& items = setup.model.item_factors();
+  std::vector<float> centroid(items.cols(), 0.0f);
+  for (std::uint32_t p : popular) {
+    Axpy(1.0f / 8.0f, items.Row(p), std::span<float>(centroid));
+  }
+  std::vector<float> direction(items.cols());
+  for (std::size_t d = 0; d < direction.size(); ++d) {
+    direction[d] = items.At(5, d) - centroid[d];
+  }
+  const float projection = Dot(updates[0].item_gradients.Row(5), direction);
+  EXPECT_GT(projection, 0.0f);
+}
+
+TEST(PipAttackTest, RequiresPopularityInfo) {
+  AttackTestSetup setup = MakeSetup(15);
+  EXPECT_DEATH(PipAttack(MakeConfig({5}), setup.data.num_items(), {}),
+               "popularity");
+}
+
+TEST(P3Test, RespectsServerConstraintsDespiteBoost) {
+  AttackTestSetup setup = MakeSetup(16);
+  ModelPoisonConfig config = MakeConfig({5});
+  config.boost = 100.0f;  // extreme amplification
+  P3BoostedGradientAttack attack(config, setup.data.num_items());
+  CheckConstraints(attack, setup);
+}
+
+TEST(P3Test, TargetRowSaturatesClipBound) {
+  AttackTestSetup setup = MakeSetup(17);
+  ModelPoisonConfig config = MakeConfig({5});
+  config.boost = 100.0f;
+  P3BoostedGradientAttack attack(config, setup.data.num_items());
+  const RoundContext context = MakeContext(setup);
+  const auto updates = attack.ProduceUpdates(context, Malicious(setup, 1));
+  // The boosted gradient is far beyond C, so after clipping the target row
+  // sits exactly at the bound.
+  EXPECT_NEAR(L2Norm(updates[0].item_gradients.Row(5)), 0.5f, 1e-3f);
+}
+
+TEST(P4Test, RespectsServerConstraints) {
+  AttackTestSetup setup = MakeSetup(18);
+  P4LittleIsEnoughAttack attack(MakeConfig({5}), setup.data.num_items(), 1.5f);
+  CheckConstraints(attack, setup);
+}
+
+TEST(P4Test, CraftedRowStaysWithinSigmaBudget) {
+  AttackTestSetup setup = MakeSetup(19);
+  P4LittleIsEnoughAttack attack(MakeConfig({5}), setup.data.num_items(), 1.5f);
+  const RoundContext context = MakeContext(setup);
+  const auto updates = attack.ProduceUpdates(context, Malicious(setup, 1));
+  const auto target_row = updates[0].item_gradients.Row(5);
+
+  // Collect the benign-looking coordinates (all non-target rows).
+  std::vector<float> coords;
+  for (std::size_t row : updates[0].item_gradients.row_ids()) {
+    if (row == 5) continue;
+    const auto r = updates[0].item_gradients.Row(row);
+    coords.insert(coords.end(), r.begin(), r.end());
+  }
+  const double sigma = std::sqrt(Variance(coords));
+  for (float v : target_row) {
+    EXPECT_LE(std::abs(v), 1.5 * sigma + 1e-4)
+        << "crafted coordinate escapes the z_max * sigma budget";
+  }
+}
+
+TEST(ModelPoisonTest, Names) {
+  AttackTestSetup setup = MakeSetup(20);
+  const auto order = setup.data.ItemsByPopularity();
+  std::vector<std::uint32_t> popular(order.begin(), order.begin() + 4);
+  EXPECT_EQ(ExplicitBoostAttack(MakeConfig({1}), 80).name(), "eb");
+  EXPECT_EQ(PipAttack(MakeConfig({1}), 80, popular).name(), "pipattack");
+  EXPECT_EQ(P3BoostedGradientAttack(MakeConfig({1}), 80).name(), "p3");
+  EXPECT_EQ(P4LittleIsEnoughAttack(MakeConfig({1}), 80).name(), "p4");
+}
+
+TEST(ModelPoisonTest, KappaTruncationKeepsTargets) {
+  AttackTestSetup setup = MakeSetup(21);
+  ModelPoisonConfig config = MakeConfig({5, 9});
+  config.kappa = 3;  // tighter than the profile footprint
+  ExplicitBoostAttack attack(config, setup.data.num_items());
+  const RoundContext context = MakeContext(setup);
+  const auto updates = attack.ProduceUpdates(context, Malicious(setup, 1));
+  EXPECT_LE(updates[0].item_gradients.row_count(), 3u);
+  EXPECT_TRUE(updates[0].item_gradients.Contains(5));
+  EXPECT_TRUE(updates[0].item_gradients.Contains(9));
+}
+
+}  // namespace
+}  // namespace fedrec

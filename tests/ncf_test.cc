@@ -1,0 +1,115 @@
+#include "model/ncf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "model/topk.h"
+
+namespace fedrec {
+namespace {
+
+NcfConfig SmallConfig() {
+  NcfConfig config;
+  config.embedding_dim = 8;
+  config.hidden = {16, 8};
+  config.learning_rate = 0.02f;
+  config.seed = 3;
+  return config;
+}
+
+TEST(NcfModelTest, ConstructionShapes) {
+  NcfModel model(20, 30, SmallConfig());
+  EXPECT_EQ(model.num_users(), 20u);
+  EXPECT_EQ(model.num_items(), 30u);
+  EXPECT_EQ(model.user_embeddings().cols(), 8u);
+  EXPECT_EQ(model.mlp().in_dim(), 16u);  // [u ; v]
+}
+
+TEST(NcfModelTest, ScoreAllMatchesScore) {
+  NcfModel model(5, 12, SmallConfig());
+  std::vector<float> scores(12);
+  model.ScoreAll(2, scores);
+  for (std::size_t j = 0; j < 12; ++j) {
+    EXPECT_FLOAT_EQ(scores[j], model.Score(2, j)) << j;
+  }
+}
+
+TEST(NcfModelTest, ScoreAllForEmbeddingMatchesOwnEmbedding) {
+  NcfModel model(5, 12, SmallConfig());
+  const auto u = model.user_embeddings().Row(1);
+  const std::vector<float> copy(u.begin(), u.end());
+  std::vector<float> a(12), b(12);
+  model.ScoreAll(1, a);
+  model.ScoreAllForEmbedding(copy, b);
+  for (std::size_t j = 0; j < 12; ++j) EXPECT_FLOAT_EQ(a[j], b[j]);
+}
+
+TEST(NcfModelTest, TrainTripleReducesPairLoss) {
+  NcfModel model(4, 10, SmallConfig());
+  double last = 0.0;
+  for (int step = 0; step < 200; ++step) {
+    last = model.TrainTriple(0, 3, 7);
+  }
+  EXPECT_LT(last, std::log(2.0));  // better than random for this pair
+  EXPECT_GT(model.Score(0, 3), model.Score(0, 7));
+}
+
+TEST(NcfModelTest, TrainTripleMovesAllParameterGroups) {
+  NcfModel model(4, 10, SmallConfig());
+  const Matrix users_before = model.user_embeddings();
+  const Matrix items_before = model.item_embeddings();
+  const float w_before = model.mlp().layer(0).weights().At(0, 0);
+  for (int step = 0; step < 20; ++step) model.TrainTriple(1, 2, 8);
+  EXPECT_FALSE(model.user_embeddings() == users_before);
+  EXPECT_FALSE(model.item_embeddings() == items_before);
+  EXPECT_NE(model.mlp().layer(0).weights().At(0, 0), w_before);
+}
+
+TEST(NcfModelTest, EpochTrainingImprovesRankingOnStructuredData) {
+  SyntheticConfig data_config;
+  data_config.num_users = 40;
+  data_config.num_items = 60;
+  data_config.mean_interactions_per_user = 10.0;
+  data_config.seed = 5;
+  const Dataset data = GenerateSynthetic(data_config);
+
+  NcfModel model(data.num_users(), data.num_items(), SmallConfig());
+  Rng rng(6);
+  const double first = model.TrainEpoch(data, rng);
+  double last = first;
+  for (int epoch = 0; epoch < 12; ++epoch) last = model.TrainEpoch(data, rng);
+  EXPECT_LT(last, first);
+
+  // Interacted items should outrank random ones for most users.
+  std::size_t wins = 0, total = 0;
+  std::vector<float> scores(data.num_items());
+  for (std::size_t u = 0; u < data.num_users(); ++u) {
+    model.ScoreAll(u, scores);
+    for (std::uint32_t pos : data.UserItems(u)) {
+      const std::uint32_t neg =
+          static_cast<std::uint32_t>((pos + 31) % data.num_items());
+      if (data.HasInteraction(u, neg)) continue;
+      ++total;
+      if (scores[pos] > scores[neg]) ++wins;
+    }
+  }
+  EXPECT_GT(static_cast<double>(wins) / static_cast<double>(total), 0.6);
+}
+
+TEST(NcfModelTest, DeterministicPerSeed) {
+  SyntheticConfig data_config;
+  data_config.num_users = 10;
+  data_config.num_items = 15;
+  data_config.seed = 7;
+  const Dataset data = GenerateSynthetic(data_config);
+  NcfModel a(10, 15, SmallConfig());
+  NcfModel b(10, 15, SmallConfig());
+  Rng ra(8), rb(8);
+  EXPECT_DOUBLE_EQ(a.TrainEpoch(data, ra), b.TrainEpoch(data, rb));
+  EXPECT_FLOAT_EQ(a.Score(0, 0), b.Score(0, 0));
+}
+
+}  // namespace
+}  // namespace fedrec

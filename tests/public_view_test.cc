@@ -1,0 +1,134 @@
+#include "data/public_view.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fedrec {
+namespace {
+
+Dataset MakeData(std::uint64_t seed = 1) {
+  SyntheticConfig config;
+  config.num_users = 120;
+  config.num_items = 200;
+  config.mean_interactions_per_user = 40.0;
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+TEST(PublicViewTest, XiZeroIsEmpty) {
+  const Dataset ds = MakeData();
+  Rng rng(1);
+  const auto view = PublicInteractions::Sample(ds, 0.0, rng);
+  EXPECT_EQ(view.TotalCount(), 0u);
+  EXPECT_EQ(view.UsersWithPublicData(), 0u);
+  EXPECT_TRUE(view.AllInteractions().empty());
+}
+
+TEST(PublicViewTest, SubsetOfTrainingData) {
+  const Dataset ds = MakeData();
+  Rng rng(2);
+  const auto view = PublicInteractions::Sample(ds, 0.1, rng);
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    for (std::uint32_t item : view.UserItems(u)) {
+      EXPECT_TRUE(ds.HasInteraction(u, item))
+          << "public (" << u << "," << item << ") not in D";
+    }
+  }
+}
+
+TEST(PublicViewTest, RoundModeFractionApproximatelyXi) {
+  const Dataset ds = MakeData();
+  Rng rng(3);
+  const auto view = PublicInteractions::Sample(ds, 0.1, rng);
+  const double fraction = static_cast<double>(view.TotalCount()) /
+                          static_cast<double>(ds.num_interactions());
+  EXPECT_NEAR(fraction, 0.1, 0.03);
+}
+
+TEST(PublicViewTest, PerUserCountIsRounded) {
+  const Dataset ds = MakeData();
+  Rng rng(4);
+  const auto view = PublicInteractions::Sample(ds, 0.1, rng);
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    const double exact = 0.1 * static_cast<double>(ds.UserItems(u).size());
+    const auto expected = static_cast<std::size_t>(std::llround(exact));
+    EXPECT_EQ(view.UserItems(u).size(), std::min(expected, ds.UserItems(u).size()));
+  }
+}
+
+TEST(PublicViewTest, CeilModeGuaranteesOneItem) {
+  const Dataset ds = MakeData();
+  Rng rng(5);
+  const auto view =
+      PublicInteractions::Sample(ds, 0.001, rng, PublicSamplingMode::kCeil);
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    EXPECT_GE(view.UserItems(u).size(), 1u);
+  }
+}
+
+TEST(PublicViewTest, BernoulliModeFraction) {
+  const Dataset ds = MakeData();
+  Rng rng(6);
+  const auto view =
+      PublicInteractions::Sample(ds, 0.2, rng, PublicSamplingMode::kBernoulli);
+  const double fraction = static_cast<double>(view.TotalCount()) /
+                          static_cast<double>(ds.num_interactions());
+  EXPECT_NEAR(fraction, 0.2, 0.03);
+}
+
+TEST(PublicViewTest, FullExposureAtXiOne) {
+  const Dataset ds = MakeData();
+  Rng rng(7);
+  const auto view = PublicInteractions::Sample(ds, 1.0, rng);
+  EXPECT_EQ(view.TotalCount(), ds.num_interactions());
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    EXPECT_EQ(view.UserItems(u), ds.UserItems(u));
+  }
+}
+
+TEST(PublicViewTest, ContainsMatchesUserItems) {
+  const Dataset ds = MakeData();
+  Rng rng(8);
+  const auto view = PublicInteractions::Sample(ds, 0.3, rng);
+  for (std::size_t u = 0; u < 20; ++u) {
+    for (std::uint32_t item : view.UserItems(u)) {
+      EXPECT_TRUE(view.Contains(u, item));
+    }
+    EXPECT_FALSE(view.Contains(u, 199));  // likely absent; verify consistency
+  }
+}
+
+TEST(PublicViewTest, ItemsSortedPerUser) {
+  const Dataset ds = MakeData();
+  Rng rng(9);
+  const auto view = PublicInteractions::Sample(ds, 0.5, rng);
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    const auto& items = view.UserItems(u);
+    EXPECT_TRUE(std::is_sorted(items.begin(), items.end()));
+  }
+}
+
+TEST(PublicViewTest, DeterministicPerSeed) {
+  const Dataset ds = MakeData();
+  Rng rng1(10), rng2(10);
+  const auto a = PublicInteractions::Sample(ds, 0.05, rng1);
+  const auto b = PublicInteractions::Sample(ds, 0.05, rng2);
+  EXPECT_EQ(a.TotalCount(), b.TotalCount());
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    EXPECT_EQ(a.UserItems(u), b.UserItems(u));
+  }
+}
+
+TEST(PublicViewTest, InvalidXiAborts) {
+  const Dataset ds = MakeData();
+  Rng rng(11);
+  EXPECT_DEATH(PublicInteractions::Sample(ds, -0.1, rng), "");
+  EXPECT_DEATH(PublicInteractions::Sample(ds, 1.1, rng), "");
+}
+
+}  // namespace
+}  // namespace fedrec

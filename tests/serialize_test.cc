@@ -1,0 +1,135 @@
+#include "data/serialize.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "data/synthetic.h"
+
+namespace fedrec {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+  std::string Track(std::string path) {
+    paths_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> paths_;
+};
+
+TEST_F(SerializeTest, WriterReaderPrimitivesRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(1234567890123ULL);
+  writer.WriteF32(3.25f);
+  writer.WriteString("hello");
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64().value(), 1234567890123ULL);
+  EXPECT_FLOAT_EQ(reader.ReadF32().value(), 3.25f);
+  EXPECT_EQ(reader.ReadString().value(), "hello");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST_F(SerializeTest, ReaderRejectsTruncatedStream) {
+  BinaryWriter writer;
+  writer.WriteU32(1);
+  BinaryReader reader(writer.buffer());
+  EXPECT_TRUE(reader.ReadU32().ok());
+  EXPECT_FALSE(reader.ReadU32().ok());
+  EXPECT_FALSE(reader.ReadU64().ok());
+  EXPECT_FALSE(reader.ReadString().ok());
+}
+
+TEST_F(SerializeTest, EmptyReaderFailsEveryRead) {
+  BinaryReader reader;
+  EXPECT_FALSE(reader.ReadU32().ok());
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST_F(SerializeTest, MatrixRoundTrip) {
+  Rng rng(1);
+  Matrix original(7, 5);
+  original.FillGaussian(rng, 0.0f, 1.0f);
+  const std::string path = Track(TempPath("fedrec_matrix.bin"));
+  SaveMatrix(original, path).CheckOK();
+  Result<Matrix> loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value() == original);
+}
+
+TEST_F(SerializeTest, EmptyMatrixRoundTrip) {
+  const std::string path = Track(TempPath("fedrec_matrix_empty.bin"));
+  SaveMatrix(Matrix(), path).CheckOK();
+  Result<Matrix> loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST_F(SerializeTest, MatrixRejectsForeignFile) {
+  const std::string path = Track(TempPath("fedrec_not_matrix.bin"));
+  WriteStringToFile(path, "this is not a matrix file at all").CheckOK();
+  Result<Matrix> loaded = LoadMatrix(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(SerializeTest, MatrixRejectsPayloadMismatch) {
+  Matrix m(2, 2);
+  const std::string path = Track(TempPath("fedrec_matrix_cut.bin"));
+  SaveMatrix(m, path).CheckOK();
+  // Truncate the payload by a few bytes.
+  std::string content = ReadFileToString(path).value();
+  content.resize(content.size() - 3);
+  WriteStringToFile(path, content).CheckOK();
+  EXPECT_FALSE(LoadMatrix(path).ok());
+}
+
+TEST_F(SerializeTest, DatasetRoundTrip) {
+  SyntheticConfig config;
+  config.num_users = 25;
+  config.num_items = 40;
+  config.mean_interactions_per_user = 6.0;
+  config.seed = 2;
+  const Dataset original = GenerateSynthetic(config);
+  const std::string path = Track(TempPath("fedrec_dataset.bin"));
+  SaveDataset(original, path).CheckOK();
+  Result<Dataset> loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().name(), original.name());
+  EXPECT_EQ(loaded.value().num_users(), original.num_users());
+  EXPECT_EQ(loaded.value().num_items(), original.num_items());
+  EXPECT_EQ(loaded.value().num_interactions(), original.num_interactions());
+  for (std::size_t u = 0; u < original.num_users(); ++u) {
+    EXPECT_EQ(loaded.value().UserItems(u), original.UserItems(u));
+  }
+}
+
+TEST_F(SerializeTest, DatasetRejectsMatrixFile) {
+  const std::string path = Track(TempPath("fedrec_cross_format.bin"));
+  SaveMatrix(Matrix(2, 2), path).CheckOK();
+  Result<Dataset> loaded = LoadDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(SerializeTest, MissingFileIsIOError) {
+  EXPECT_EQ(LoadMatrix("/nonexistent/m.bin").status().code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(LoadDataset("/nonexistent/d.bin").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace fedrec

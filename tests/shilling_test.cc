@@ -1,0 +1,157 @@
+#include "attack/shilling.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fedrec {
+namespace {
+
+struct AttackTestSetup {
+  Dataset data;
+  MfModel model;
+  FedConfig fed;
+};
+
+AttackTestSetup MakeSetup(std::uint64_t seed) {
+  SyntheticConfig config;
+  config.num_users = 80;
+  config.num_items = 120;
+  config.mean_interactions_per_user = 15.0;
+  config.seed = seed;
+  AttackTestSetup setup{GenerateSynthetic(config), {}, {}};
+  setup.fed.model.dim = 6;
+  Rng rng(seed + 1);
+  setup.model = MfModel(120, setup.fed.model, rng);
+  return setup;
+}
+
+RoundContext MakeContext(const AttackTestSetup& setup) {
+  RoundContext context;
+  context.model = &setup.model;
+  context.config = &setup.fed;
+  context.num_benign_users = setup.data.num_users();
+  return context;
+}
+
+TEST(ShillingTest, FillerCountFormula) {
+  RandomAttack attack({3, 5}, /*kappa=*/20, /*num_items=*/100, 1);
+  // floor(20/2) - 2 targets = 8 fillers.
+  EXPECT_EQ(attack.filler_count(), 8u);
+  RandomAttack tight({3, 5}, /*kappa=*/4, 100, 1);
+  EXPECT_EQ(tight.filler_count(), 0u);
+}
+
+TEST(ShillingTest, ProfilesContainTargetsAndRespectBudget) {
+  AttackTestSetup setup = MakeSetup(10);
+  RandomAttack attack({3, 5}, 20, setup.data.num_items(), 2);
+  const RoundContext context = MakeContext(setup);
+  const std::uint32_t id = static_cast<std::uint32_t>(setup.data.num_users());
+  attack.ProduceUpdates(context, std::vector<std::uint32_t>{id});
+  const auto& profile = attack.ProfileForSlot(0);
+  EXPECT_TRUE(std::binary_search(profile.begin(), profile.end(), 3u));
+  EXPECT_TRUE(std::binary_search(profile.begin(), profile.end(), 5u));
+  EXPECT_LE(profile.size(), 10u);  // floor(kappa/2)
+}
+
+TEST(ShillingTest, UploadsLookLikeBenignClients) {
+  AttackTestSetup setup = MakeSetup(11);
+  RandomAttack attack({3}, 20, setup.data.num_items(), 3);
+  const RoundContext context = MakeContext(setup);
+  const std::uint32_t id = static_cast<std::uint32_t>(setup.data.num_users());
+  const auto updates =
+      attack.ProduceUpdates(context, std::vector<std::uint32_t>{id});
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].user, id);
+  // Rows bounded by kappa (positives + negatives of the fake profile).
+  EXPECT_LE(updates[0].item_gradients.row_count(), 20u);
+  EXPECT_LE(updates[0].item_gradients.MaxRowNorm(),
+            setup.fed.clip_norm * 1.001f);
+  EXPECT_GT(updates[0].item_gradients.CountNonZeroRows(), 0u);
+}
+
+TEST(ShillingTest, SameClientKeepsItsProfile) {
+  AttackTestSetup setup = MakeSetup(12);
+  RandomAttack attack({3}, 20, setup.data.num_items(), 4);
+  const RoundContext context = MakeContext(setup);
+  const std::uint32_t id = static_cast<std::uint32_t>(setup.data.num_users());
+  attack.ProduceUpdates(context, std::vector<std::uint32_t>{id});
+  const auto profile_first = attack.ProfileForSlot(0);
+  attack.ProduceUpdates(context, std::vector<std::uint32_t>{id});
+  EXPECT_EQ(attack.ProfileForSlot(0), profile_first);
+}
+
+TEST(ShillingTest, DistinctClientsGetDistinctRandomProfiles) {
+  AttackTestSetup setup = MakeSetup(13);
+  RandomAttack attack({3}, 30, setup.data.num_items(), 5);
+  const RoundContext context = MakeContext(setup);
+  const std::uint32_t base = static_cast<std::uint32_t>(setup.data.num_users());
+  attack.ProduceUpdates(context, std::vector<std::uint32_t>{base, base + 1});
+  EXPECT_NE(attack.ProfileForSlot(0), attack.ProfileForSlot(1));
+}
+
+TEST(ShillingTest, PopularAttackUsesMostPopularItems) {
+  AttackTestSetup setup = MakeSetup(14);
+  const auto order = setup.data.ItemsByPopularity();
+  PopularAttack attack({order.back()}, 12, order, 6);
+  const RoundContext context = MakeContext(setup);
+  const std::uint32_t id = static_cast<std::uint32_t>(setup.data.num_users());
+  attack.ProduceUpdates(context, std::vector<std::uint32_t>{id});
+  const auto& profile = attack.ProfileForSlot(0);
+  // Profile = target + the 5 most popular items.
+  std::set<std::uint32_t> expected(order.begin(), order.begin() + 5);
+  expected.insert(order.back());
+  const std::set<std::uint32_t> actual(profile.begin(), profile.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ShillingTest, PopularProfilesIdenticalAcrossClients) {
+  AttackTestSetup setup = MakeSetup(15);
+  const auto order = setup.data.ItemsByPopularity();
+  PopularAttack attack({order.back()}, 16, order, 7);
+  const RoundContext context = MakeContext(setup);
+  const std::uint32_t base = static_cast<std::uint32_t>(setup.data.num_users());
+  attack.ProduceUpdates(context, std::vector<std::uint32_t>{base, base + 1});
+  EXPECT_EQ(attack.ProfileForSlot(0), attack.ProfileForSlot(1));
+}
+
+TEST(ShillingTest, BandwagonMixesHeadAndTail) {
+  AttackTestSetup setup = MakeSetup(16);
+  const auto order = setup.data.ItemsByPopularity();
+  BandwagonAttack attack({order.back()}, 42, order, 8);
+  const RoundContext context = MakeContext(setup);
+  const std::uint32_t id = static_cast<std::uint32_t>(setup.data.num_users());
+  attack.ProduceUpdates(context, std::vector<std::uint32_t>{id});
+  const auto& profile = attack.ProfileForSlot(0);
+  // 20 fillers: 2 from the top-10% head, 18 from the tail.
+  const std::size_t head_size = order.size() / 10;
+  const std::set<std::uint32_t> head(order.begin(),
+                                     order.begin() +
+                                         static_cast<std::ptrdiff_t>(head_size));
+  std::size_t head_hits = 0;
+  for (std::uint32_t item : profile) {
+    if (head.count(item)) ++head_hits;
+  }
+  EXPECT_GE(head_hits, 1u);
+  EXPECT_LE(head_hits, 6u);  // mostly tail items
+  EXPECT_GE(profile.size(), 15u);
+}
+
+TEST(ShillingTest, AttackNames) {
+  AttackTestSetup setup = MakeSetup(17);
+  const auto order = setup.data.ItemsByPopularity();
+  EXPECT_EQ(RandomAttack({0}, 10, 50, 1).name(), "random");
+  EXPECT_EQ(BandwagonAttack({0}, 10, order, 1).name(), "bandwagon");
+  EXPECT_EQ(PopularAttack({0}, 10, order, 1).name(), "popular");
+}
+
+TEST(ShillingTest, ProfileForUnknownSlotAborts) {
+  RandomAttack attack({0}, 10, 50, 1);
+  EXPECT_DEATH(attack.ProfileForSlot(0), "");
+}
+
+}  // namespace
+}  // namespace fedrec

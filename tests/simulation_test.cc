@@ -1,0 +1,195 @@
+#include "fed/simulation.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fedrec {
+namespace {
+
+Dataset SmallData(std::uint64_t seed = 1) {
+  SyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 90;
+  config.mean_interactions_per_user = 12.0;
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+FedConfig SmallConfig() {
+  FedConfig config;
+  config.model.dim = 8;
+  config.model.learning_rate = 0.05f;
+  config.clients_per_round = 16;
+  config.epochs = 5;
+  config.seed = 2;
+  return config;
+}
+
+/// Coordinator that records calls and uploads nothing harmful.
+class RecordingCoordinator : public MaliciousCoordinator {
+ public:
+  std::string name() const override { return "recording"; }
+
+  std::vector<ClientUpdate> ProduceUpdates(
+      const RoundContext& context,
+      std::span<const std::uint32_t> selected_malicious) override {
+    ++calls_;
+    total_selected_ += selected_malicious.size();
+    for (std::uint32_t id : selected_malicious) {
+      EXPECT_GE(id, context.num_benign_users);
+      seen_ids_.insert(id);
+    }
+    EXPECT_NE(context.model, nullptr);
+    EXPECT_NE(context.config, nullptr);
+    std::vector<ClientUpdate> updates;
+    for (std::uint32_t id : selected_malicious) {
+      ClientUpdate update;
+      update.user = id;
+      update.item_gradients = SparseRowMatrix(context.model->dim());
+      updates.push_back(std::move(update));
+    }
+    return updates;
+  }
+
+  int calls_ = 0;
+  std::size_t total_selected_ = 0;
+  std::set<std::uint32_t> seen_ids_;
+};
+
+TEST(SimulationTest, TrainingReducesLoss) {
+  const Dataset data = SmallData();
+  FedConfig config = SmallConfig();
+  config.epochs = 30;
+  Simulation sim(data, config, 0, nullptr, nullptr);
+  const double first = sim.RunEpoch();
+  double last = 0.0;
+  for (std::size_t e = 1; e < 30; ++e) last = sim.RunEpoch();
+  EXPECT_LT(last, first);
+}
+
+TEST(SimulationTest, EveryClientParticipatesOncePerEpoch) {
+  const Dataset data = SmallData();
+  const FedConfig config = SmallConfig();
+  Simulation sim(data, config, 0, nullptr, nullptr);
+  std::size_t uploads = 0;
+  sim.SetRoundObserver([&uploads](const std::vector<ClientUpdate>& updates,
+                                  const std::vector<bool>&) {
+    uploads += updates.size();
+  });
+  sim.RunEpoch();
+  EXPECT_EQ(uploads, data.num_users());
+  // Rounds per epoch = ceil(num_users / clients_per_round).
+  EXPECT_EQ(sim.global_round(), (data.num_users() + 15) / 16);
+}
+
+TEST(SimulationTest, MaliciousSelectionReachesCoordinator) {
+  const Dataset data = SmallData();
+  const FedConfig config = SmallConfig();
+  RecordingCoordinator coordinator;
+  const std::size_t num_malicious = 10;
+  Simulation sim(data, config, num_malicious, &coordinator, nullptr);
+  sim.RunEpoch();
+  // All malicious clients are selected exactly once per epoch.
+  EXPECT_EQ(coordinator.total_selected_, num_malicious);
+  for (std::uint32_t id : coordinator.seen_ids_) {
+    EXPECT_GE(id, data.num_users());
+    EXPECT_LT(id, data.num_users() + num_malicious);
+  }
+}
+
+TEST(SimulationTest, MaliciousWithoutCoordinatorAborts) {
+  const Dataset data = SmallData();
+  const FedConfig config = SmallConfig();
+  EXPECT_DEATH(Simulation(data, config, 5, nullptr, nullptr), "coordinator");
+}
+
+TEST(SimulationTest, ObserverSeesMaliciousFlags) {
+  const Dataset data = SmallData();
+  const FedConfig config = SmallConfig();
+  RecordingCoordinator coordinator;
+  Simulation sim(data, config, 8, &coordinator, nullptr);
+  std::size_t malicious_flagged = 0;
+  sim.SetRoundObserver([&](const std::vector<ClientUpdate>& updates,
+                           const std::vector<bool>& is_malicious) {
+    ASSERT_EQ(updates.size(), is_malicious.size());
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (is_malicious[i]) {
+        ++malicious_flagged;
+        EXPECT_GE(updates[i].user, data.num_users());
+      }
+    }
+  });
+  sim.RunEpoch();
+  EXPECT_EQ(malicious_flagged, 8u);
+}
+
+TEST(SimulationTest, BenignUserFactorsShape) {
+  const Dataset data = SmallData();
+  const FedConfig config = SmallConfig();
+  Simulation sim(data, config, 0, nullptr, nullptr);
+  const Matrix users = sim.BenignUserFactors();
+  EXPECT_EQ(users.rows(), data.num_users());
+  EXPECT_EQ(users.cols(), config.model.dim);
+  EXPECT_GT(users.FrobeniusNorm(), 0.0f);
+}
+
+TEST(SimulationTest, RunCollectsMetricsAtRequestedCadence) {
+  const Dataset data = SmallData();
+  Rng rng(5);
+  const LeaveOneOutSplit split = SplitLeaveOneOut(data, rng);
+  FedConfig config = SmallConfig();
+  config.epochs = 6;
+  MetricsConfig metrics_config;
+  metrics_config.hr_negatives = 20;
+  Evaluator evaluator(split.train, split.test_items, metrics_config, 3);
+  Simulation sim(split.train, config, 0, nullptr, nullptr);
+  const auto records = sim.Run(&evaluator, {0}, /*eval_every=*/2);
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_FALSE(records[0].has_metrics);
+  EXPECT_TRUE(records[1].has_metrics);
+  EXPECT_FALSE(records[2].has_metrics);
+  EXPECT_TRUE(records[3].has_metrics);
+  EXPECT_TRUE(records[5].has_metrics);  // final epoch always evaluated
+  for (const auto& record : records) {
+    if (record.has_metrics) {
+      EXPECT_GE(record.metrics.hit_ratio, 0.0);
+      EXPECT_LE(record.metrics.hit_ratio, 1.0);
+    }
+  }
+}
+
+TEST(SimulationTest, DeterministicAcrossRunsWithSameSeed) {
+  const Dataset data = SmallData();
+  const FedConfig config = SmallConfig();
+  Simulation a(data, config, 0, nullptr, nullptr);
+  Simulation b(data, config, 0, nullptr, nullptr);
+  const double loss_a = a.RunEpoch();
+  const double loss_b = b.RunEpoch();
+  EXPECT_DOUBLE_EQ(loss_a, loss_b);
+  EXPECT_TRUE(a.model().item_factors() == b.model().item_factors());
+}
+
+TEST(SimulationTest, ParallelExecutionMatchesModelQuality) {
+  // Thread scheduling must not break training (losses are aggregated the
+  // same way; exact float order differs, so compare convergence quality).
+  const Dataset data = SmallData();
+  FedConfig config = SmallConfig();
+  config.epochs = 10;
+  ThreadPool pool(4);
+  Simulation serial(data, config, 0, nullptr, nullptr);
+  Simulation parallel(data, config, 0, nullptr, &pool);
+  double serial_loss = 0.0, parallel_loss = 0.0;
+  for (std::size_t e = 0; e < 10; ++e) {
+    serial_loss = serial.RunEpoch();
+    parallel_loss = parallel.RunEpoch();
+  }
+  EXPECT_NEAR(serial_loss, parallel_loss,
+              0.35 * std::max(serial_loss, parallel_loss));
+}
+
+}  // namespace
+}  // namespace fedrec

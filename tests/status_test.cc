@@ -1,0 +1,108 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fedrec {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("disk gone").message(), "disk gone");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::IOError("disk gone").ToString(), "IOError: disk gone");
+  EXPECT_EQ(Status::NotFound("nope").ToString(), "NotFound: nope");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("a"));
+  EXPECT_FALSE(Status::IOError("a") == Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::Corruption("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(Status::Internal("boom").CheckOK(), "Internal: boom");
+  Status::OK().CheckOK();  // must not abort
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(ResultTest, HoldsValueOnSuccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsStatusOnFailure) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOnFailureAborts) {
+  Result<int> r(Status::IOError("nope"));
+  EXPECT_DEATH((void)r.value(), "IOError");
+}
+
+TEST(ResultTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int>{Status::OK()}, "without value");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ReturnNotOkTest, PropagatesError) {
+  auto fails = []() -> Status { return Status::IOError("inner"); };
+  auto outer = [&]() -> Status {
+    FEDREC_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kIOError);
+
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto outer_ok = [&]() -> Status {
+    FEDREC_RETURN_NOT_OK(succeeds());
+    return Status::Internal("reached end");
+  };
+  EXPECT_EQ(outer_ok().code(), StatusCode::kInternal);
+}
+
+TEST(CheckTest, PassingCheckDoesNotAbort) {
+  FEDREC_CHECK(1 + 1 == 2) << "never shown";
+  FEDREC_CHECK_EQ(4, 4);
+  FEDREC_CHECK_LE(1, 1);
+}
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_DEATH(FEDREC_CHECK(false) << "ctx 123", "ctx 123");
+  EXPECT_DEATH(FEDREC_CHECK_EQ(1, 2), "1 vs 2");
+  EXPECT_DEATH(FEDREC_CHECK_GT(0, 5), "0 vs 5");
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,97 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fedrec {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  const auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, PreservesEmptyFields) {
+  const auto parts = SplitString(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitStringTest, NoDelimiterYieldsWholeString) {
+  const auto parts = SplitString("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitStringTest, EmptyInputYieldsOneEmptyField) {
+  const auto parts = SplitString("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(ParseIntTest, ParsesValidIntegers) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-7").value(), -7);
+  EXPECT_EQ(ParseInt("  123  ").value(), 123);
+  EXPECT_EQ(ParseInt("0").value(), 0);
+}
+
+TEST(ParseIntTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("12x").ok());
+  EXPECT_FALSE(ParseInt("x12").ok());
+  EXPECT_FALSE(ParseInt("1.5").ok());
+  EXPECT_FALSE(ParseInt("999999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-0.5").value(), -0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 7 ").value(), 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+}
+
+TEST(ToLowerTest, LowersAsciiOnly) {
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(JoinStringsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(FormatDoubleTest, FormatsWithPrecision) {
+  EXPECT_EQ(FormatDouble(0.94, 4), "0.9400");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,125 @@
+#include "fed/svm_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fedrec {
+namespace {
+
+/// Builds a labeled feature population: clean uploads cluster near
+/// (rows=60, max=0.4, total=2); poisoned ones deviate by `separation` sigmas.
+void MakePopulation(double separation, std::size_t n, std::uint64_t seed,
+                    std::vector<UploadFeatures>& features,
+                    std::vector<bool>& labels) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool poisoned = i % 4 == 0;
+    UploadFeatures f;
+    const double shift = poisoned ? separation : 0.0;
+    f.row_count = 60.0 + rng.NextGaussian(0.0, 5.0) + shift * 5.0;
+    f.max_row_norm = 0.4 + rng.NextGaussian(0.0, 0.05) + shift * 0.05;
+    f.total_norm = 2.0 + rng.NextGaussian(0.0, 0.2) + shift * 0.2;
+    features.push_back(f);
+    labels.push_back(poisoned);
+  }
+}
+
+TEST(SvmDetectorTest, LearnsWellSeparatedClasses) {
+  std::vector<UploadFeatures> features;
+  std::vector<bool> labels;
+  MakePopulation(/*separation=*/4.0, 400, 1, features, labels);
+  SvmDetector svm;
+  svm.Train(features, labels);
+  EXPECT_GT(svm.Accuracy(features, labels), 0.95);
+}
+
+TEST(SvmDetectorTest, StrugglesWithOverlappingClasses) {
+  // The paper's point: benign-shaped poisoned gradients are not separable.
+  std::vector<UploadFeatures> features;
+  std::vector<bool> labels;
+  MakePopulation(/*separation=*/0.0, 400, 2, features, labels);
+  SvmDetector svm;
+  svm.Train(features, labels);
+  // With zero separation the best achievable is the majority class (75%).
+  EXPECT_LT(svm.Accuracy(features, labels), 0.85);
+}
+
+TEST(SvmDetectorTest, GeneralizesToHeldOutData) {
+  std::vector<UploadFeatures> train_x, test_x;
+  std::vector<bool> train_y, test_y;
+  MakePopulation(3.0, 300, 3, train_x, train_y);
+  MakePopulation(3.0, 100, 4, test_x, test_y);
+  SvmDetector svm;
+  svm.Train(train_x, train_y);
+  EXPECT_GT(svm.Accuracy(test_x, test_y), 0.9);
+}
+
+TEST(SvmDetectorTest, DecisionValueSignMatchesClassify) {
+  std::vector<UploadFeatures> features;
+  std::vector<bool> labels;
+  MakePopulation(4.0, 100, 5, features, labels);
+  SvmDetector svm;
+  svm.Train(features, labels);
+  for (const UploadFeatures& f : features) {
+    EXPECT_EQ(svm.Classify(f), svm.DecisionValue(f) > 0.0);
+  }
+}
+
+TEST(SvmDetectorTest, ScreenFlagsPredictedPoisoned) {
+  std::vector<UploadFeatures> features;
+  std::vector<bool> labels;
+  MakePopulation(4.0, 200, 6, features, labels);
+  SvmDetector svm;
+  svm.Train(features, labels);
+
+  // Build sparse uploads realizing two feature points: one clean-ish,
+  // one far out.
+  auto make_update = [](std::size_t rows, float norm_per_row) {
+    ClientUpdate update;
+    update.item_gradients = SparseRowMatrix(4);
+    for (std::size_t r = 0; r < rows; ++r) {
+      auto row = update.item_gradients.RowMutable(r);
+      row[0] = norm_per_row;
+    }
+    return update;
+  };
+  std::vector<ClientUpdate> updates;
+  updates.push_back(make_update(60, 0.06f));   // clean-shaped
+  updates.push_back(make_update(120, 10.0f));  // extreme outlier
+  const DetectionReport report = svm.Screen(updates);
+  // The extreme upload must be flagged; decision values exposed per upload.
+  EXPECT_EQ(report.z_scores.size(), 6u);
+  bool outlier_flagged = false;
+  for (std::size_t idx : report.flagged) outlier_flagged |= idx == 1;
+  EXPECT_TRUE(outlier_flagged);
+}
+
+TEST(SvmDetectorTest, RequiresBothClasses) {
+  std::vector<UploadFeatures> features(10);
+  std::vector<bool> all_clean(10, false);
+  SvmDetector svm;
+  EXPECT_DEATH(svm.Train(features, all_clean), "poisoned");
+  std::vector<bool> all_poisoned(10, true);
+  EXPECT_DEATH(svm.Train(features, all_poisoned), "clean");
+}
+
+TEST(SvmDetectorTest, UseBeforeTrainingAborts) {
+  SvmDetector svm;
+  UploadFeatures f;
+  EXPECT_DEATH(svm.DecisionValue(f), "Train");
+}
+
+TEST(SvmDetectorTest, TrainingIsDeterministic) {
+  std::vector<UploadFeatures> features;
+  std::vector<bool> labels;
+  MakePopulation(2.0, 100, 7, features, labels);
+  SvmDetector a, b;
+  a.Train(features, labels);
+  b.Train(features, labels);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,125 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/stats.h"
+
+namespace fedrec {
+namespace {
+
+TEST(SyntheticTest, RespectsConfiguredShape) {
+  SyntheticConfig config;
+  config.num_users = 200;
+  config.num_items = 300;
+  config.mean_interactions_per_user = 20.0;
+  config.seed = 1;
+  const Dataset ds = GenerateSynthetic(config);
+  EXPECT_EQ(ds.num_users(), 200u);
+  EXPECT_EQ(ds.num_items(), 300u);
+  // Mean activity within 25% of target.
+  EXPECT_NEAR(ds.AverageInteractionsPerUser(), 20.0, 5.0);
+}
+
+TEST(SyntheticTest, EveryUserHasAtLeastTwoInteractions) {
+  SyntheticConfig config;
+  config.num_users = 150;
+  config.num_items = 100;
+  config.mean_interactions_per_user = 4.0;
+  config.activity_sigma = 1.2;  // heavy tail -> many low-activity draws
+  config.seed = 2;
+  const Dataset ds = GenerateSynthetic(config);
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    EXPECT_GE(ds.UserItems(u).size(), 2u) << "user " << u;
+  }
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  SyntheticConfig config;
+  config.num_users = 50;
+  config.num_items = 80;
+  config.seed = 7;
+  const Dataset a = GenerateSynthetic(config);
+  const Dataset b = GenerateSynthetic(config);
+  EXPECT_EQ(a.num_interactions(), b.num_interactions());
+  for (std::size_t u = 0; u < a.num_users(); ++u) {
+    EXPECT_EQ(a.UserItems(u), b.UserItems(u));
+  }
+  config.seed = 8;
+  const Dataset c = GenerateSynthetic(config);
+  bool differs = c.num_interactions() != a.num_interactions();
+  for (std::size_t u = 0; !differs && u < a.num_users(); ++u) {
+    differs = a.UserItems(u) != c.UserItems(u);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticTest, PopularityIsLongTailed) {
+  SyntheticConfig config;
+  config.num_users = 400;
+  config.num_items = 600;
+  config.mean_interactions_per_user = 30.0;
+  config.seed = 3;
+  const Dataset ds = GenerateSynthetic(config);
+  const DatasetStats stats = ComputeStats(ds);
+  // Zipf-ish data concentrates a large share on the head.
+  EXPECT_GT(stats.top10_percent_share, 0.3);
+  EXPECT_GT(stats.gini_popularity, 0.4);
+}
+
+TEST(SyntheticTest, PresetsMatchTableII) {
+  const SyntheticConfig ml100k = MovieLens100KConfig();
+  EXPECT_EQ(ml100k.num_users, 943u);
+  EXPECT_EQ(ml100k.num_items, 1682u);
+  EXPECT_DOUBLE_EQ(ml100k.mean_interactions_per_user, 106.0);
+
+  const SyntheticConfig ml1m = MovieLens1MConfig();
+  EXPECT_EQ(ml1m.num_users, 6040u);
+  EXPECT_EQ(ml1m.num_items, 3706u);
+
+  const SyntheticConfig steam = Steam200KConfig();
+  EXPECT_EQ(steam.num_users, 3753u);
+  EXPECT_EQ(steam.num_items, 5134u);
+  EXPECT_DOUBLE_EQ(steam.mean_interactions_per_user, 31.0);
+}
+
+TEST(SyntheticTest, GenerateByNameKnownPresets) {
+  for (const char* name : {"ml-100k", "ml-1m", "steam-200k"}) {
+    auto ds = GenerateByName(name, /*seed=*/5, /*scale=*/0.05);
+    ASSERT_TRUE(ds.ok()) << name;
+    EXPECT_GT(ds.value().num_users(), 0u);
+  }
+}
+
+TEST(SyntheticTest, GenerateByNameScaleShrinks) {
+  auto full = GenerateByName("ml-100k", 5, 1.0);
+  auto half = GenerateByName("ml-100k", 5, 0.5);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(half.ok());
+  EXPECT_EQ(full.value().num_users(), 943u);
+  EXPECT_NEAR(static_cast<double>(half.value().num_users()), 471.5, 1.0);
+  EXPECT_NE(half.value().name().find("@"), std::string::npos);
+}
+
+TEST(SyntheticTest, GenerateByNameRejectsBadInput) {
+  EXPECT_FALSE(GenerateByName("no-such-dataset", 1).ok());
+  EXPECT_FALSE(GenerateByName("ml-100k", 1, 0.0).ok());
+  EXPECT_FALSE(GenerateByName("ml-100k", 1, 1.5).ok());
+}
+
+TEST(SyntheticTest, PopularHeadDominatesMedianItem) {
+  SyntheticConfig config;
+  config.num_users = 300;
+  config.num_items = 400;
+  config.mean_interactions_per_user = 25.0;
+  config.seed = 11;
+  const Dataset ds = GenerateSynthetic(config);
+  const auto pop = ds.ItemPopularity();
+  std::vector<std::size_t> sorted = pop;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(sorted.back(), 4 * std::max<std::size_t>(1, sorted[sorted.size() / 2]));
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,90 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace fedrec {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable table("Title");
+  table.SetHeader({"Metric", "Value"});
+  table.AddRow({"ER@5", "0.9400"});
+  table.AddRow({"ER@10", "0.9475"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("Metric"), std::string::npos);
+  EXPECT_NE(out.find("0.9400"), std::string::npos);
+  EXPECT_NE(out.find("| ER@10"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAligned) {
+  TextTable table;
+  table.SetHeader({"a", "bbbb"});
+  table.AddRow({"cccccc", "d"});
+  const std::string out = table.Render();
+  // Every rendered line has the same length.
+  std::size_t expected = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    const std::size_t len = end - start;
+    if (len > 0) {
+      if (expected == std::string::npos) expected = len;
+      EXPECT_EQ(len, expected);
+    }
+    start = end + 1;
+  }
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"1"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| 1"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorRendersRule) {
+  TextTable table;
+  table.SetHeader({"x"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string out = table.Render();
+  // 5 rules: top, after header, separator, bottom... count '+--' occurrences.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 4u);
+  EXPECT_EQ(table.row_count(), 3u);  // separator counts as a row entry
+}
+
+TEST(TextTableTest, EmptyTable) {
+  TextTable table;
+  EXPECT_EQ(table.Render(), "");
+  TextTable titled("only title");
+  EXPECT_EQ(titled.Render(), "only title\n");
+}
+
+TEST(TextTableTest, CsvExport) {
+  TextTable table("ignored title");
+  table.SetHeader({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddSeparator();
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(table.RenderCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCharacters) {
+  TextTable table;
+  table.SetHeader({"name"});
+  table.AddRow({"va,lue"});
+  table.AddRow({"q\"uote"});
+  EXPECT_EQ(table.RenderCsv(), "name\n\"va,lue\"\n\"q\"\"uote\"\n");
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,108 @@
+#include "attack/target_select.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fedrec {
+namespace {
+
+Dataset MakeData() {
+  SyntheticConfig config;
+  config.num_users = 200;
+  config.num_items = 300;
+  config.mean_interactions_per_user = 25.0;
+  config.seed = 17;
+  return GenerateSynthetic(config);
+}
+
+TEST(TargetSelectTest, CountAndRangeAndDistinct) {
+  const Dataset ds = MakeData();
+  Rng rng(1);
+  for (std::size_t count : {1u, 3u, 10u}) {
+    const auto targets =
+        SelectTargetItems(ds, count, TargetSelection::kUnpopular, rng);
+    EXPECT_EQ(targets.size(), count);
+    std::set<std::uint32_t> unique(targets.begin(), targets.end());
+    EXPECT_EQ(unique.size(), count);
+    for (std::uint32_t t : targets) EXPECT_LT(t, ds.num_items());
+    EXPECT_TRUE(std::is_sorted(targets.begin(), targets.end()));
+  }
+}
+
+TEST(TargetSelectTest, UnpopularTargetsComeFromColdTail) {
+  const Dataset ds = MakeData();
+  const auto popularity = ds.ItemPopularity();
+  // Compute the popularity threshold of the coldest 20%.
+  std::vector<std::size_t> sorted = popularity;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t threshold = sorted[sorted.size() / 5];
+
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto targets =
+        SelectTargetItems(ds, 5, TargetSelection::kUnpopular, rng, 0.2);
+    for (std::uint32_t t : targets) {
+      EXPECT_LE(popularity[t], threshold + 1)
+          << "target " << t << " too popular";
+    }
+  }
+}
+
+TEST(TargetSelectTest, PopularModeReturnsHead) {
+  const Dataset ds = MakeData();
+  Rng rng(3);
+  const auto targets = SelectTargetItems(ds, 3, TargetSelection::kPopular, rng);
+  const auto order = ds.ItemsByPopularity();
+  const std::set<std::uint32_t> expected(order.begin(), order.begin() + 3);
+  for (std::uint32_t t : targets) {
+    EXPECT_TRUE(expected.count(t)) << t;
+  }
+}
+
+TEST(TargetSelectTest, RandomModeCoversWholeCatalog) {
+  const Dataset ds = MakeData();
+  Rng rng(4);
+  std::set<std::uint32_t> seen;
+  for (int trial = 0; trial < 300; ++trial) {
+    for (std::uint32_t t :
+         SelectTargetItems(ds, 2, TargetSelection::kRandom, rng)) {
+      seen.insert(t);
+    }
+  }
+  // Random draws should reach far beyond any 20% pool.
+  EXPECT_GT(seen.size(), ds.num_items() / 2);
+}
+
+TEST(TargetSelectTest, DeterministicPerSeed) {
+  const Dataset ds = MakeData();
+  Rng a(9), b(9);
+  EXPECT_EQ(SelectTargetItems(ds, 4, TargetSelection::kUnpopular, a),
+            SelectTargetItems(ds, 4, TargetSelection::kUnpopular, b));
+}
+
+TEST(TargetSelectTest, InvalidArgumentsAbort) {
+  const Dataset ds = MakeData();
+  Rng rng(5);
+  EXPECT_DEATH(SelectTargetItems(ds, 0, TargetSelection::kRandom, rng), "");
+  EXPECT_DEATH(
+      SelectTargetItems(ds, ds.num_items() + 1, TargetSelection::kRandom, rng),
+      "");
+  EXPECT_DEATH(SelectTargetItems(ds, 1, TargetSelection::kUnpopular, rng, 0.0),
+               "");
+}
+
+TEST(TargetSelectTest, CountLargerThanColdPoolStillWorks) {
+  const Dataset ds = MakeData();
+  Rng rng(6);
+  // Ask for more targets than a tiny cold quantile holds: pool expands.
+  const auto targets =
+      SelectTargetItems(ds, 20, TargetSelection::kUnpopular, rng, 0.01);
+  EXPECT_EQ(targets.size(), 20u);
+}
+
+}  // namespace
+}  // namespace fedrec

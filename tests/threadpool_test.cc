@@ -1,0 +1,97 @@
+#include "common/threadpool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedrec {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, MultipleWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 20; ++i) pool.Submit([&counter] { counter.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (cycle + 1) * 20);
+  }
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(&pool, n, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, [&order](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroCountIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(&pool, 0, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleIterationRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  ParallelFor(&pool, 1, [&count](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(8);
+  const std::size_t n = 100000;
+  std::vector<long long> values(n);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<long long> parallel_sum{0};
+  ParallelFor(&pool, n, [&](std::size_t i) {
+    parallel_sum.fetch_add(values[i], std::memory_order_relaxed);
+  });
+  const long long serial =
+      std::accumulate(values.begin(), values.end(), 0LL);
+  EXPECT_EQ(parallel_sum.load(), serial);
+}
+
+TEST(DefaultThreadCountTest, AtLeastOne) {
+  EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,111 @@
+#include "model/topk.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fedrec {
+namespace {
+
+TEST(TopKTest, BasicDescendingOrder) {
+  const std::vector<float> scores{0.1f, 0.9f, 0.5f, 0.7f, 0.3f};
+  const auto top = TopKIndices(scores, 3, nullptr);
+  EXPECT_EQ(top, (std::vector<std::uint32_t>{1, 3, 2}));
+}
+
+TEST(TopKTest, KLargerThanInput) {
+  const std::vector<float> scores{0.2f, 0.8f};
+  const auto top = TopKIndices(scores, 10, nullptr);
+  EXPECT_EQ(top, (std::vector<std::uint32_t>{1, 0}));
+}
+
+TEST(TopKTest, KZeroEmpty) {
+  const std::vector<float> scores{0.2f, 0.8f};
+  EXPECT_TRUE(TopKIndices(scores, 0, nullptr).empty());
+}
+
+TEST(TopKTest, TiesBreakTowardSmallerIndex) {
+  const std::vector<float> scores{0.5f, 0.5f, 0.5f, 0.5f};
+  const auto top = TopKIndices(scores, 2, nullptr);
+  EXPECT_EQ(top, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(TopKTest, ExcludePredicate) {
+  const std::vector<float> scores{0.9f, 0.8f, 0.7f, 0.6f};
+  const auto top =
+      TopKIndices(scores, 2, [](std::uint32_t i) { return i % 2 == 0; });
+  EXPECT_EQ(top, (std::vector<std::uint32_t>{1, 3}));
+}
+
+TEST(TopKTest, ExcludeAllYieldsEmpty) {
+  const std::vector<float> scores{1.0f, 2.0f};
+  const auto top = TopKIndices(scores, 2, [](std::uint32_t) { return true; });
+  EXPECT_TRUE(top.empty());
+}
+
+TEST(TopKTest, MatchesFullSortOnRandomData) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> scores(200);
+    for (auto& s : scores) s = rng.NextFloat();
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.NextBounded(50));
+
+    std::vector<std::uint32_t> all(scores.size());
+    std::iota(all.begin(), all.end(), 0);
+    std::sort(all.begin(), all.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
+    });
+    all.resize(k);
+
+    EXPECT_EQ(TopKIndices(scores, k, nullptr), all) << "trial " << trial;
+  }
+}
+
+TEST(TopKExcludingSortedTest, ExcludesListedIndices) {
+  const std::vector<float> scores{0.9f, 0.8f, 0.7f, 0.6f, 0.5f};
+  const std::vector<std::uint32_t> excluded{0, 2};
+  const auto top = TopKIndicesExcludingSorted(scores, 3, excluded);
+  EXPECT_EQ(top, (std::vector<std::uint32_t>{1, 3, 4}));
+}
+
+TEST(TopKExcludingSortedTest, EmptyExclusionEqualsPlain) {
+  Rng rng(18);
+  std::vector<float> scores(50);
+  for (auto& s : scores) s = rng.NextFloat();
+  const std::vector<std::uint32_t> none;
+  EXPECT_EQ(TopKIndicesExcludingSorted(scores, 7, none),
+            TopKIndices(scores, 7, nullptr));
+}
+
+TEST(RankOfIndexTest, BasicRanks) {
+  const std::vector<float> scores{0.1f, 0.9f, 0.5f};
+  const std::vector<std::uint32_t> none;
+  EXPECT_EQ(RankOfIndex(scores, 1, none), 0u);
+  EXPECT_EQ(RankOfIndex(scores, 2, none), 1u);
+  EXPECT_EQ(RankOfIndex(scores, 0, none), 2u);
+}
+
+TEST(RankOfIndexTest, ExclusionsSkipped) {
+  const std::vector<float> scores{0.9f, 0.8f, 0.7f};
+  const std::vector<std::uint32_t> excluded{0};
+  EXPECT_EQ(RankOfIndex(scores, 2, excluded), 1u);  // only item 1 is better
+}
+
+TEST(RankOfIndexTest, TieBreakConsistentWithTopK) {
+  const std::vector<float> scores{0.5f, 0.5f};
+  const std::vector<std::uint32_t> none;
+  EXPECT_EQ(RankOfIndex(scores, 0, none), 0u);  // index 0 wins ties
+  EXPECT_EQ(RankOfIndex(scores, 1, none), 1u);
+}
+
+TEST(RankOfIndexTest, OutOfRangeAborts) {
+  const std::vector<float> scores{0.5f};
+  const std::vector<std::uint32_t> none;
+  EXPECT_DEATH(RankOfIndex(scores, 5, none), "");
+}
+
+}  // namespace
+}  // namespace fedrec
