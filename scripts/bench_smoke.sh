@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Smoke-runs one paper-table bench in its --quick preset and records the
+# result as BENCH_<bench>_<utc>.json, so every PR leaves a perf/quality
+# data point behind.
+#
+# Usage: scripts/bench_smoke.sh [build_dir] [bench_name] [out_dir]
+#   build_dir   defaults to build-release, then build (first that exists)
+#   bench_name  defaults to bench_table3_xi (~seconds in --quick)
+#   out_dir     defaults to the repository root
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-}"
+bench_name="${2:-bench_table3_xi}"
+out_dir="${3:-$repo_root}"
+
+if [[ -z "$build_dir" ]]; then
+  for candidate in "$repo_root/build-release" "$repo_root/build"; do
+    if [[ -d "$candidate" ]]; then build_dir="$candidate"; break; fi
+  done
+fi
+if [[ -z "$build_dir" || ! -d "$build_dir" ]]; then
+  echo "error: no build directory found (run: cmake --preset release && cmake --build build-release -j)" >&2
+  exit 1
+fi
+
+bench_bin="$build_dir/bench/$bench_name"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not built" >&2
+  exit 1
+fi
+
+csv_file="$(mktemp)"
+trap 'rm -f "$csv_file"' EXIT
+
+start_s=$(python3 -c 'import time; print(time.time())')
+"$bench_bin" --quick --csv="$csv_file"
+end_s=$(python3 -c 'import time; print(time.time())')
+wall_seconds=$(awk -v a="$start_s" -v b="$end_s" 'BEGIN { printf "%.3f", b - a }')
+
+stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+git_rev="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+out_file="$out_dir/BENCH_${bench_name}_${stamp}.json"
+
+CSV_FILE="$csv_file" BENCH_NAME="$bench_name" WALL_SECONDS="$wall_seconds" \
+GIT_REV="$git_rev" STAMP="$stamp" OUT_FILE="$out_file" python3 - <<'PY'
+import csv, json, os
+
+with open(os.environ["CSV_FILE"], newline="") as f:
+    rows = list(csv.DictReader(f))
+
+report = {
+    "bench": os.environ["BENCH_NAME"],
+    "preset": "--quick",
+    "utc": os.environ["STAMP"],
+    "git_rev": os.environ["GIT_REV"],
+    "wall_seconds": float(os.environ["WALL_SECONDS"]),
+    "nproc": os.cpu_count(),
+    "rows": rows,
+}
+with open(os.environ["OUT_FILE"], "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+PY
+
+echo "wrote $out_file (${wall_seconds}s)"

@@ -6,6 +6,10 @@
 #include <sstream>
 #include <string>
 
+static_assert(__cplusplus >= 202002L,
+              "fedrec requires C++20 (std::span and friends); build with "
+              "-std=c++20 / CMAKE_CXX_STANDARD 20, not the compiler default");
+
 /// \file
 /// Fatal assertion macros in the style of glog/absl CHECK.
 ///

@@ -196,7 +196,10 @@ Result<Dataset> GenerateByName(const std::string& preset, std::uint64_t seed,
     // item is drawn as a BPR negative) stop being representative.
     config.mean_interactions_per_user =
         std::max(6.0, config.mean_interactions_per_user * scale);
-    config.name += "@" + FormatDouble(scale, 2);
+    // Two appends, not `"@" + Format...`: GCC 12's -Wrestrict misfires on
+    // operator+(const char*, string&&) at -O2 (GCC PR105329).
+    config.name += '@';
+    config.name += FormatDouble(scale, 2);
   }
   return GenerateSynthetic(config);
 }

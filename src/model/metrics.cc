@@ -46,19 +46,27 @@ MetricsResult Evaluator::Evaluate(const Matrix& user_factors,
                                   const Matrix& item_factors,
                                   const std::vector<std::uint32_t>& target_items,
                                   ThreadPool* pool) const {
+  return EvaluateWithConfig(config_, /*with_hr=*/true, user_factors,
+                            item_factors, target_items, pool);
+}
+
+MetricsResult Evaluator::EvaluateWithConfig(
+    const MetricsConfig& config, bool with_hr, const Matrix& user_factors,
+    const Matrix& item_factors, const std::vector<std::uint32_t>& target_items,
+    ThreadPool* pool) const {
   const std::size_t num_users = train_->num_users();
   const std::size_t num_items = train_->num_items();
   FEDREC_CHECK_EQ(user_factors.rows(), num_users);
   FEDREC_CHECK_EQ(item_factors.rows(), num_items);
 
-  std::size_t max_k = config_.ndcg_k;
-  for (std::size_t k : config_.er_ks) max_k = std::max(max_k, k);
+  std::size_t max_k = config.ndcg_k;
+  for (std::size_t k : config.er_ks) max_k = std::max(max_k, k);
 
   std::vector<std::uint32_t> sorted_targets = target_items;
   std::sort(sorted_targets.begin(), sorted_targets.end());
 
   // Per-user accumulators, summed after the parallel sweep.
-  std::vector<std::vector<double>> er_user(config_.er_ks.size());
+  std::vector<std::vector<double>> er_user(config.er_ks.size());
   for (auto& v : er_user) v.assign(num_users, 0.0);
   std::vector<double> ndcg_user(num_users, 0.0);
   std::vector<double> hr_user(num_users, 0.0);
@@ -83,8 +91,8 @@ MetricsResult Evaluator::Evaluate(const Matrix& user_factors,
 
     if (targets_available > 0) {
       // ER@K (Eq. 8) for every configured K.
-      for (std::size_t ki = 0; ki < config_.er_ks.size(); ++ki) {
-        const std::size_t k = config_.er_ks[ki];
+      for (std::size_t ki = 0; ki < config.er_ks.size(); ++ki) {
+        const std::size_t k = config.er_ks[ki];
         std::size_t hits = 0;
         for (std::size_t r = 0; r < rec.size() && r < k; ++r) {
           if (std::binary_search(sorted_targets.begin(), sorted_targets.end(),
@@ -97,14 +105,14 @@ MetricsResult Evaluator::Evaluate(const Matrix& user_factors,
       }
       // NDCG@K of target items.
       double dcg = 0.0;
-      for (std::size_t r = 0; r < rec.size() && r < config_.ndcg_k; ++r) {
+      for (std::size_t r = 0; r < rec.size() && r < config.ndcg_k; ++r) {
         if (std::binary_search(sorted_targets.begin(), sorted_targets.end(),
                                rec[r])) {
           dcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
         }
       }
       double idcg = 0.0;
-      const std::size_t ideal = std::min(targets_available, config_.ndcg_k);
+      const std::size_t ideal = std::min(targets_available, config.ndcg_k);
       for (std::size_t r = 0; r < ideal; ++r) {
         idcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
       }
@@ -113,7 +121,7 @@ MetricsResult Evaluator::Evaluate(const Matrix& user_factors,
 
     // HR@K over the fixed sampled candidate set ([1]'s protocol).
     const auto& candidates = hr_candidates_[u];
-    if (!candidates.empty()) {
+    if (with_hr && !candidates.empty()) {
       const float test_score = scores[candidates[0]];
       std::size_t rank = 0;
       for (std::size_t c = 1; c < candidates.size(); ++c) {
@@ -122,13 +130,13 @@ MetricsResult Evaluator::Evaluate(const Matrix& user_factors,
           ++rank;
         }
       }
-      hr_user[u] = rank < config_.hr_k ? 1.0 : 0.0;
+      hr_user[u] = rank < config.hr_k ? 1.0 : 0.0;
     }
   });
 
   MetricsResult result;
-  result.er_at.assign(config_.er_ks.size(), 0.0);
-  for (std::size_t ki = 0; ki < config_.er_ks.size(); ++ki) {
+  result.er_at.assign(config.er_ks.size(), 0.0);
+  for (std::size_t ki = 0; ki < config.er_ks.size(); ++ki) {
     double sum = 0.0;
     for (double v : er_user[ki]) sum += v;
     result.er_at[ki] = num_users == 0 ? 0.0 : sum / static_cast<double>(num_users);
@@ -137,15 +145,18 @@ MetricsResult Evaluator::Evaluate(const Matrix& user_factors,
   for (double v : ndcg_user) ndcg_sum += v;
   result.ndcg = num_users == 0 ? 0.0 : ndcg_sum / static_cast<double>(num_users);
 
-  double hr_sum = 0.0;
-  std::size_t hr_users = 0;
-  for (std::size_t u = 0; u < num_users; ++u) {
-    if (!hr_candidates_[u].empty()) {
-      hr_sum += hr_user[u];
-      ++hr_users;
+  if (with_hr) {
+    double hr_sum = 0.0;
+    std::size_t hr_users = 0;
+    for (std::size_t u = 0; u < num_users; ++u) {
+      if (!hr_candidates_[u].empty()) {
+        hr_sum += hr_user[u];
+        ++hr_users;
+      }
     }
+    result.hit_ratio =
+        hr_users == 0 ? 0.0 : hr_sum / static_cast<double>(hr_users);
   }
-  result.hit_ratio = hr_users == 0 ? 0.0 : hr_sum / static_cast<double>(hr_users);
   return result;
 }
 
@@ -153,21 +164,12 @@ double Evaluator::ExposureRatio(const Matrix& user_factors,
                                 const Matrix& item_factors,
                                 const std::vector<std::uint32_t>& target_items,
                                 std::size_t k, ThreadPool* pool) const {
-  MetricsConfig saved = config_;
   MetricsConfig minimal;
   minimal.er_ks = {k};
   minimal.ndcg_k = 1;
-  minimal.hr_k = 0;
-  minimal.hr_negatives = 0;
-  // Evaluate with a stripped config without touching HR candidates: cheapest
-  // correct implementation is a local const_cast-free copy of the loop; to
-  // keep one code path we temporarily swap configs on a copy of *this.
-  Evaluator copy = *this;
-  copy.config_ = minimal;
-  for (auto& c : copy.hr_candidates_) c.clear();
-  const MetricsResult r =
-      copy.Evaluate(user_factors, item_factors, target_items, pool);
-  (void)saved;
+  const MetricsResult r = EvaluateWithConfig(minimal, /*with_hr=*/false,
+                                             user_factors, item_factors,
+                                             target_items, pool);
   return r.er_at[0];
 }
 

@@ -63,6 +63,15 @@ class Evaluator {
                        std::size_t k, ThreadPool* pool) const;
 
  private:
+  /// Shared implementation: evaluates under an arbitrary config without
+  /// copying the evaluator. `with_hr == false` skips the HR sweep entirely
+  /// (the precomputed candidate sets stay untouched and unread).
+  MetricsResult EvaluateWithConfig(const MetricsConfig& config, bool with_hr,
+                                   const Matrix& user_factors,
+                                   const Matrix& item_factors,
+                                   const std::vector<std::uint32_t>& target_items,
+                                   ThreadPool* pool) const;
+
   const Dataset* train_;
   std::vector<std::int64_t> test_items_;
   MetricsConfig config_;

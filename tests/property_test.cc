@@ -37,7 +37,9 @@ TEST_P(ClipProperty, BoundDirectionIdempotence) {
   const float original_norm = L2Norm(original);
   if (original_norm > 0.0f) {
     const float cosine = Dot(v, original) / (L2Norm(v) * original_norm + 1e-12f);
-    if (L2Norm(v) > 0.0f) EXPECT_NEAR(cosine, 1.0f, 1e-4f);
+    if (L2Norm(v) > 0.0f) {
+      EXPECT_NEAR(cosine, 1.0f, 1e-4f);
+    }
   }
   // Idempotent.
   const std::vector<float> once = v;
@@ -69,7 +71,9 @@ TEST_P(GFunctionProperty, ShapeInvariants) {
   // g lies on or above its tangent line y = x (e^x - 1 >= x), with equality
   // exactly on x >= 0.
   EXPECT_GE(AttackG(x), x);
-  if (x >= 0.0) EXPECT_DOUBLE_EQ(AttackG(x), x);
+  if (x >= 0.0) {
+    EXPECT_DOUBLE_EQ(AttackG(x), x);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, GFunctionProperty,

@@ -1,0 +1,20 @@
+# CTest-level guard comparing the number of registered GoogleTest suites
+# against the number of tests/*_test.cc files on disk. Run by the
+# `test_manifest` suite registered in tests/CMakeLists.txt:
+#   cmake -DTEST_SOURCE_DIR=<tests dir> -DREGISTERED_COUNT=<n> -P this_file
+
+if(NOT DEFINED TEST_SOURCE_DIR OR NOT DEFINED REGISTERED_COUNT)
+  message(FATAL_ERROR "test_manifest_test.cmake needs -DTEST_SOURCE_DIR and -DREGISTERED_COUNT")
+endif()
+
+file(GLOB on_disk RELATIVE ${TEST_SOURCE_DIR} ${TEST_SOURCE_DIR}/*_test.cc)
+list(LENGTH on_disk on_disk_count)
+
+if(NOT on_disk_count EQUAL REGISTERED_COUNT)
+  message(FATAL_ERROR
+    "tests/ holds ${on_disk_count} *_test.cc files but only ${REGISTERED_COUNT} "
+    "suites are registered in tests/CMakeLists.txt. Add the missing file(s) to "
+    "FEDREC_TEST_SOURCES so the new suite actually runs:\n  ${on_disk}")
+endif()
+
+message(STATUS "test manifest OK: ${on_disk_count} suites registered")
