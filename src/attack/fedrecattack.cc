@@ -1,7 +1,9 @@
 #include "attack/fedrecattack.h"
 
 #include <algorithm>
+#include <span>
 
+#include "common/kernels.h"
 #include "common/math.h"
 #include "model/bpr.h"
 #include "model/topk.h"
@@ -51,6 +53,7 @@ Matrix FedRecAttack::ComputePoisonGradient(const Matrix& item_factors,
   const std::size_t num_items = item_factors.rows();
   const std::size_t dim = item_factors.cols();
   const std::size_t num_users = u_hat_.rows();
+  FEDREC_CHECK_EQ(u_hat_.cols(), dim);
 
   // Ablation semantics: with no public knowledge at all the attacker cannot
   // rationally approximate U, so no poisoned gradient can be formed (the
@@ -82,44 +85,67 @@ Matrix FedRecAttack::ComputePoisonGradient(const Matrix& item_factors,
                       : 1;
   std::vector<Matrix> partial(num_chunks, Matrix(num_items, dim));
 
+  // Each chunk owns a contiguous range of the sampled users and scores them
+  // through the blocked batch-scoring kernel over a shared packed item
+  // matrix, gathering (possibly non-adjacent) u_hat rows into a small
+  // contiguous tile first. The scoring and scratch buffers are reused across
+  // the whole chunk — no per-user allocation.
+  std::vector<float> items_packed(kernels::PackedItemsSize(num_items, dim));
+  kernels::PackItems(item_factors.Data().data(), num_items, dim,
+                     items_packed.data());
+  constexpr std::size_t kScoreTile = 8;
   auto process_chunk = [&](std::size_t chunk) {
     Matrix& grad = partial[chunk];
-    std::vector<float> scores(num_items);
-    for (std::size_t pos = chunk; pos < users.size(); pos += num_chunks) {
-      const std::uint32_t user = users[pos];
-      const auto u_vec = u_hat_.Row(user);
-      for (std::size_t j = 0; j < num_items; ++j) {
-        scores[j] = Dot(u_vec, item_factors.Row(j));
+    const std::size_t begin = chunk * users.size() / num_chunks;
+    const std::size_t end = (chunk + 1) * users.size() / num_chunks;
+    std::vector<float> gathered(kScoreTile * dim);
+    std::vector<float> scores(kScoreTile * num_items);
+    for (std::size_t tile_begin = begin; tile_begin < end;
+         tile_begin += kScoreTile) {
+      const std::size_t tile = std::min(kScoreTile, end - tile_begin);
+      for (std::size_t t = 0; t < tile; ++t) {
+        const auto src = u_hat_.Row(users[tile_begin + t]);
+        std::copy(src.begin(), src.end(), gathered.begin() + t * dim);
       }
-      const auto& public_items = public_positives_[user];
-      // V^rec'_i: top-K of V-''_i (items without a *public* interaction).
-      const std::vector<std::uint32_t> rec =
-          TopKIndicesExcludingSorted(scores, config_.rec_k, public_items);
-      // Boundary: the lowest-scored non-target item of the list (Eq. 15).
-      bool has_boundary = false;
-      std::uint32_t boundary_item = 0;
-      for (std::size_t r = rec.size(); r-- > 0;) {
-        if (!std::binary_search(sorted_targets_.begin(), sorted_targets_.end(),
-                                rec[r])) {
-          boundary_item = rec[r];
-          has_boundary = true;
-          break;
+      kernels::ScoreBlockPacked(gathered.data(), tile, items_packed.data(),
+                                num_items, dim, scores.data(), num_items);
+      for (std::size_t t = 0; t < tile; ++t) {
+        const std::uint32_t user = users[tile_begin + t];
+        const auto u_vec = u_hat_.Row(user);
+        const std::span<const float> user_scores(scores.data() + t * num_items,
+                                                 num_items);
+        const auto& public_items = public_positives_[user];
+        // V^rec'_i: top-K of V-''_i (items without a *public* interaction).
+        const std::vector<std::uint32_t> rec =
+            TopKIndicesExcludingSorted(user_scores, config_.rec_k, public_items);
+        // Boundary: the lowest-scored non-target item of the list (Eq. 15).
+        bool has_boundary = false;
+        std::uint32_t boundary_item = 0;
+        for (std::size_t r = rec.size(); r-- > 0;) {
+          if (!std::binary_search(sorted_targets_.begin(),
+                                  sorted_targets_.end(), rec[r])) {
+            boundary_item = rec[r];
+            has_boundary = true;
+            break;
+          }
         }
-      }
-      if (!has_boundary) continue;  // every slot already a target: user done
-      const double boundary_score = scores[boundary_item];
+        if (!has_boundary) continue;  // every slot already a target: user done
+        const double boundary_score = user_scores[boundary_item];
 
-      for (std::uint32_t target : sorted_targets_) {
-        // Sum over v_t in V^tar with (u_i, v_t) not in D' (Eq. 15).
-        if (std::binary_search(public_items.begin(), public_items.end(), target)) {
-          continue;
+        for (std::uint32_t target : sorted_targets_) {
+          // Sum over v_t in V^tar with (u_i, v_t) not in D' (Eq. 15).
+          if (std::binary_search(public_items.begin(), public_items.end(),
+                                 target)) {
+            continue;
+          }
+          const double s =
+              boundary_score - static_cast<double>(user_scores[target]);
+          const float w = static_cast<float>(AttackGPrime(s));
+          if (w == 0.0f) continue;
+          // dL/dx_boundary = +g'(s), dL/dx_target = -g'(s); dx_ij/dv_j = u_i.
+          Axpy(w, u_vec, grad.Row(boundary_item));
+          Axpy(-w, u_vec, grad.Row(target));
         }
-        const double s = boundary_score - static_cast<double>(scores[target]);
-        const float w = static_cast<float>(AttackGPrime(s));
-        if (w == 0.0f) continue;
-        // dL/dx_boundary = +g'(s), dL/dx_target = -g'(s); dx_ij/dv_j = u_i.
-        Axpy(w, u_vec, grad.Row(boundary_item));
-        Axpy(-w, u_vec, grad.Row(target));
       }
     }
   };
@@ -127,9 +153,12 @@ Matrix FedRecAttack::ComputePoisonGradient(const Matrix& item_factors,
   if (num_chunks == 1) {
     process_chunk(0);
   } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(num_chunks);
     for (std::size_t c = 0; c < num_chunks; ++c) {
-      pool->Submit([&process_chunk, c] { process_chunk(c); });
+      tasks.emplace_back([&process_chunk, c] { process_chunk(c); });
     }
+    pool->SubmitBatch(std::move(tasks));
     pool->Wait();
   }
 

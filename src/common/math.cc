@@ -6,34 +6,6 @@
 
 namespace fedrec {
 
-float Dot(std::span<const float> a, std::span<const float> b) {
-  FEDREC_DCHECK(a.size() == b.size());
-  float acc = 0.0f;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
-}
-
-void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
-  FEDREC_DCHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
-}
-
-void Scale(float alpha, std::span<float> x) {
-  for (float& v : x) v *= alpha;
-}
-
-void Fill(std::span<float> x, float value) {
-  for (float& v : x) v = value;
-}
-
-float L2NormSquared(std::span<const float> x) {
-  float acc = 0.0f;
-  for (float v : x) acc += v * v;
-  return acc;
-}
-
-float L2Norm(std::span<const float> x) { return std::sqrt(L2NormSquared(x)); }
-
 float ClipL2(std::span<float> x, float max_norm) {
   FEDREC_CHECK_GE(max_norm, 0.0f);
   const float norm = L2Norm(x);

@@ -1,33 +1,53 @@
 #ifndef FEDREC_COMMON_MATH_H_
 #define FEDREC_COMMON_MATH_H_
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 
+#include "common/check.h"
+#include "common/kernels.h"
+
 /// \file
-/// Dense float kernels used throughout the recommender, federated-protocol and
+/// Dense float math used throughout the recommender, federated-protocol and
 /// attack code paths: dot products, AXPY updates, L2 norms / clipping, and the
 /// numerically stable sigmoid family that Bayesian Personalized Ranking needs.
+/// The span-level primitives are thin inline wrappers over the vectorized
+/// kernel layer in common/kernels.h.
 
 namespace fedrec {
 
 /// Dot product <a, b>; spans must have equal length.
-float Dot(std::span<const float> a, std::span<const float> b);
+inline float Dot(std::span<const float> a, std::span<const float> b) {
+  FEDREC_DCHECK(a.size() == b.size());
+  return kernels::Dot(a.data(), b.data(), a.size());
+}
 
 /// y += alpha * x.
-void Axpy(float alpha, std::span<const float> x, std::span<float> y);
+inline void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  FEDREC_DCHECK(x.size() == y.size());
+  kernels::Axpy(alpha, x.data(), y.data(), x.size());
+}
 
 /// x *= alpha.
-void Scale(float alpha, std::span<float> x);
+inline void Scale(float alpha, std::span<float> x) {
+  kernels::Scale(alpha, x.data(), x.size());
+}
 
 /// Sets all elements to `value`.
-void Fill(std::span<float> x, float value);
-
-/// Euclidean norm ||x||_2.
-float L2Norm(std::span<const float> x);
+inline void Fill(std::span<float> x, float value) {
+  kernels::Fill(x.data(), value, x.size());
+}
 
 /// Squared Euclidean norm.
-float L2NormSquared(std::span<const float> x);
+inline float L2NormSquared(std::span<const float> x) {
+  return kernels::L2NormSquared(x.data(), x.size());
+}
+
+/// Euclidean norm ||x||_2.
+inline float L2Norm(std::span<const float> x) {
+  return std::sqrt(L2NormSquared(x));
+}
 
 /// Scales `x` in place so that ||x||_2 <= max_norm (no-op when already within
 /// the bound or when the vector is zero). Returns the scaling factor applied.

@@ -51,12 +51,16 @@ std::size_t Matrix::CountNonZeroRows() const {
 }
 
 std::size_t SparseRowMatrix::FindSlot(std::size_t row) const {
-  auto it = std::lower_bound(
-      lookup_.begin(), lookup_.end(), row,
-      [](const std::pair<std::size_t, std::size_t>& e, std::size_t r) {
-        return e.first < r;
-      });
-  if (it != lookup_.end() && it->first == row) return it->second;
+  // Out-of-range rejects are free and common (server probing absent rows).
+  if (lookup_rows_.empty() || row < lookup_rows_.front() ||
+      row > lookup_rows_.back()) {
+    return kNpos;
+  }
+  const auto it =
+      std::lower_bound(lookup_rows_.begin(), lookup_rows_.end(), row);
+  if (it != lookup_rows_.end() && *it == row) {
+    return lookup_slots_[static_cast<std::size_t>(it - lookup_rows_.begin())];
+  }
   return kNpos;
 }
 
@@ -66,12 +70,11 @@ std::span<float> SparseRowMatrix::RowMutable(std::size_t row) {
     slot = index_.size();
     index_.push_back(row);
     values_.resize(values_.size() + cols_, 0.0f);
-    auto it = std::lower_bound(
-        lookup_.begin(), lookup_.end(), row,
-        [](const std::pair<std::size_t, std::size_t>& e, std::size_t r) {
-          return e.first < r;
-        });
-    lookup_.insert(it, {row, slot});
+    const auto it =
+        std::lower_bound(lookup_rows_.begin(), lookup_rows_.end(), row);
+    const auto pos = it - lookup_rows_.begin();
+    lookup_rows_.insert(it, row);
+    lookup_slots_.insert(lookup_slots_.begin() + pos, slot);
   }
   return std::span<float>(values_.data() + slot * cols_, cols_);
 }
@@ -89,7 +92,8 @@ bool SparseRowMatrix::Contains(std::size_t row) const {
 void SparseRowMatrix::Clear() {
   index_.clear();
   values_.clear();
-  lookup_.clear();
+  lookup_rows_.clear();
+  lookup_slots_.clear();
 }
 
 void SparseRowMatrix::AddTo(Matrix& target, float alpha) const {

@@ -111,6 +111,14 @@ class SparseRowMatrix {
   /// Const view of row `row`; aborts if the row is absent (see Contains()).
   std::span<const float> Row(std::size_t row) const;
 
+  /// Const view of the row stored at `slot` (its id is row_ids()[slot]).
+  /// O(1) — the fast path for full sweeps over an upload, with no per-row
+  /// id lookup.
+  std::span<const float> RowAtSlot(std::size_t slot) const {
+    FEDREC_DCHECK(slot < index_.size());
+    return std::span<const float>(values_.data() + slot * cols_, cols_);
+  }
+
   bool Contains(std::size_t row) const;
 
   /// Removes all rows (keeps the column count).
@@ -133,13 +141,13 @@ class SparseRowMatrix {
 
  private:
   std::size_t cols_;
-  std::vector<std::size_t> index_;          // row ids, insertion order
-  std::vector<std::size_t> slot_of_row_;    // not used; kept empty
-  std::vector<float> values_;               // row_count * cols, row-major
-  // Map from row id to slot; linear probe over index_ is avoided with a
-  // secondary vector built lazily when lookups get hot. For the scales used
-  // here (kappa <= a few hundred rows) a flat map is fastest and simplest.
-  std::vector<std::pair<std::size_t, std::size_t>> lookup_;  // (row, slot) sorted
+  std::vector<std::size_t> index_;   // row ids, insertion order
+  std::vector<float> values_;        // row_count * cols, row-major
+  // Row-id -> slot map as two parallel sorted vectors. Splitting keys from
+  // slots keeps the binary-searched keys contiguous in cache; for the scales
+  // used here (kappa <= a few hundred rows) this beats any node-based map.
+  std::vector<std::size_t> lookup_rows_;   // sorted row ids
+  std::vector<std::size_t> lookup_slots_;  // slot for lookup_rows_[i]
 
   std::size_t FindSlot(std::size_t row) const;  // npos when absent
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);

@@ -31,6 +31,23 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  const std::size_t count = tasks.size();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (std::function<void()>& task : tasks) {
+      queue_.push(std::move(task));
+    }
+    in_flight_ += count;
+  }
+  if (count == 1) {
+    work_available_.notify_one();
+  } else {
+    work_available_.notify_all();
+  }
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
@@ -68,9 +85,11 @@ void ParallelFor(ThreadPool* pool, std::size_t count,
   const std::size_t threads = pool->thread_count();
   const std::size_t chunk = std::max<std::size_t>(1, count / (threads * 4));
   std::atomic<std::size_t> next{0};
-  const std::size_t tasks = std::min(threads, (count + chunk - 1) / chunk);
-  for (std::size_t t = 0; t < tasks; ++t) {
-    pool->Submit([&next, count, chunk, &fn] {
+  const std::size_t num_tasks = std::min(threads, (count + chunk - 1) / chunk);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    tasks.emplace_back([&next, count, chunk, &fn] {
       for (;;) {
         const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
         if (begin >= count) return;
@@ -79,6 +98,7 @@ void ParallelFor(ThreadPool* pool, std::size_t count,
       }
     });
   }
+  pool->SubmitBatch(std::move(tasks));
   pool->Wait();
 }
 

@@ -33,6 +33,10 @@ class ThreadPool {
   /// Enqueues a task. Tasks must not throw.
   void Submit(std::function<void()> task);
 
+  /// Enqueues a batch of tasks with a single lock acquisition and a single
+  /// wake-up, instead of one lock + notify per task. Tasks must not throw.
+  void SubmitBatch(std::vector<std::function<void()>> tasks);
+
   /// Blocks until every submitted task has finished executing.
   void Wait();
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 
 #include "common/math.h"
 
@@ -51,54 +50,94 @@ Matrix AggregateNormBound(const std::vector<ClientUpdate>& updates,
   return total;
 }
 
-/// Gathers, per item row, the list of contributing updates.
-std::map<std::size_t, std::vector<const ClientUpdate*>> GroupByRow(
+/// One uploaded row: the item id plus a direct pointer to the contributor's
+/// values (resolved once — the per-coordinate loops below never pay a row
+/// lookup again).
+struct RowContribution {
+  std::size_t row;
+  const float* data;
+};
+
+/// Flat row -> contributors index: every uploaded row as a (row, values)
+/// entry, sorted by row id so each item's contributors form one contiguous
+/// run. Replaces the node-based map-of-vectors grouping.
+std::vector<RowContribution> BuildRowIndex(
     const std::vector<ClientUpdate>& updates) {
-  std::map<std::size_t, std::vector<const ClientUpdate*>> by_row;
+  std::size_t total_rows = 0;
   for (const ClientUpdate& update : updates) {
-    for (std::size_t row : update.item_gradients.row_ids()) {
-      by_row[row].push_back(&update);
+    total_rows += update.item_gradients.row_count();
+  }
+  std::vector<RowContribution> entries;
+  entries.reserve(total_rows);
+  for (const ClientUpdate& update : updates) {
+    const auto& rows = update.item_gradients.row_ids();
+    for (std::size_t slot = 0; slot < rows.size(); ++slot) {
+      entries.push_back({rows[slot], update.item_gradients.RowAtSlot(slot).data()});
     }
   }
-  return by_row;
+  // Stable: contributors of a row keep update order, like the old grouping.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const RowContribution& a, const RowContribution& b) {
+                     return a.row < b.row;
+                   });
+  return entries;
 }
 
 Matrix AggregateCoordinateWise(const std::vector<ClientUpdate>& updates,
                                std::size_t num_items, std::size_t dim,
                                bool median, double trim_fraction) {
   Matrix total(num_items, dim);
-  const auto by_row = GroupByRow(updates);
+  const std::vector<RowContribution> entries = BuildRowIndex(updates);
   std::vector<float> column;
-  for (const auto& [row, contributors] : by_row) {
-    const std::size_t n = contributors.size();
+  for (std::size_t group_begin = 0; group_begin < entries.size();) {
+    const std::size_t row = entries[group_begin].row;
+    std::size_t group_end = group_begin;
+    while (group_end < entries.size() && entries[group_end].row == row) {
+      ++group_end;
+    }
+    const std::size_t n = group_end - group_begin;
+    const RowContribution* contributors = entries.data() + group_begin;
     auto out = total.Row(row);
+    column.resize(n);
     for (std::size_t d = 0; d < dim; ++d) {
-      column.clear();
-      for (const ClientUpdate* update : contributors) {
-        column.push_back(update->item_gradients.Row(row)[d]);
-      }
-      std::sort(column.begin(), column.end());
+      for (std::size_t i = 0; i < n; ++i) column[i] = contributors[i].data[d];
       double robust = 0.0;
       if (median) {
-        robust = (column.size() % 2 == 1)
-                     ? column[column.size() / 2]
-                     : 0.5 * (column[column.size() / 2 - 1] +
-                              column[column.size() / 2]);
+        // Selection instead of a full sort. For even n the lower middle is
+        // the maximum of the partition left of the upper middle.
+        const std::size_t mid = n / 2;
+        std::nth_element(column.begin(), column.begin() + mid, column.end());
+        if (n % 2 == 1) {
+          robust = column[mid];
+        } else {
+          const float lower =
+              *std::max_element(column.begin(), column.begin() + mid);
+          // Float addition first, exactly like the historical
+          // column[n/2 - 1] + column[n/2] on the sorted column.
+          robust = 0.5 * (lower + column[mid]);
+        }
       } else {
         std::size_t trim = static_cast<std::size_t>(
-            std::floor(trim_fraction * static_cast<double>(column.size())));
-        if (2 * trim >= column.size()) trim = (column.size() - 1) / 2;
-        double sum = 0.0;
-        std::size_t kept = 0;
-        for (std::size_t i = trim; i + trim < column.size(); ++i) {
-          sum += column[i];
-          ++kept;
+            std::floor(trim_fraction * static_cast<double>(n)));
+        if (2 * trim >= n) trim = (n - 1) / 2;
+        // Partition both tails away with nth_element, then sort only the kept
+        // middle so the ascending summation order (and therefore every bit of
+        // the result) matches the historical sorted-column implementation.
+        if (trim > 0) {
+          std::nth_element(column.begin(), column.begin() + trim, column.end());
+          std::nth_element(column.begin() + trim, column.begin() + (n - trim),
+                           column.end());
         }
-        robust = kept == 0 ? 0.0 : sum / static_cast<double>(kept);
+        std::sort(column.begin() + trim, column.begin() + (n - trim));
+        double sum = 0.0;
+        const std::size_t kept = n - 2 * trim;
+        for (std::size_t i = trim; i < n - trim; ++i) sum += column[i];
+        robust = sum / static_cast<double>(kept);
       }
       // Rescale by the contributor count to stay comparable with kSum.
       out[d] = static_cast<float>(robust * static_cast<double>(n));
     }
+    group_begin = group_end;
   }
   return total;
 }
@@ -115,33 +154,67 @@ std::size_t KrumSelect(const std::vector<ClientUpdate>& updates,
   if (honest == 0 || honest > n) {
     honest = static_cast<std::size_t>(std::ceil(0.7 * static_cast<double>(n)));
   }
-  // Distance between sparse uploads, absent rows counted as zero rows.
-  auto distance2 = [&](const ClientUpdate& a, const ClientUpdate& b) {
-    double acc = 0.0;
-    for (std::size_t row : a.item_gradients.row_ids()) {
-      const auto ra = a.item_gradients.Row(row);
-      if (b.item_gradients.Contains(row)) {
-        const auto rb = b.item_gradients.Row(row);
-        for (std::size_t d = 0; d < dim; ++d) {
-          const double diff = static_cast<double>(ra[d]) - rb[d];
-          acc += diff * diff;
-        }
+  // Per-update tables: rows sorted by id with direct value pointers, one
+  // double row norm each, and the total squared norm. With these,
+  //   ||a - b||^2 = ||a||^2 + ||b||^2 - 2 <a, b>
+  // over the sparse union, so each pair costs O(overlap * dim) for the shared
+  // dot products plus an O(rows) merge — absent rows are covered by the
+  // precomputed totals instead of being re-reduced for every pair.
+  struct UpdateTable {
+    std::vector<std::size_t> rows;   // sorted row ids
+    std::vector<const float*> data;  // values, parallel to rows
+    double total_norm2 = 0.0;
+  };
+  std::vector<UpdateTable> tables(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SparseRowMatrix& upload = updates[i].item_gradients;
+    const auto& row_ids = upload.row_ids();
+    std::vector<std::size_t> order(row_ids.size());
+    for (std::size_t slot = 0; slot < order.size(); ++slot) order[slot] = slot;
+    std::sort(order.begin(), order.end(),
+              [&row_ids](std::size_t a, std::size_t b) {
+                return row_ids[a] < row_ids[b];
+              });
+    UpdateTable& table = tables[i];
+    table.rows.reserve(order.size());
+    table.data.reserve(order.size());
+    for (std::size_t slot : order) {
+      const auto row = upload.RowAtSlot(slot);
+      table.rows.push_back(row_ids[slot]);
+      table.data.push_back(row.data());
+      // Coordinate-wise double accumulation: the norm expansion below
+      // cancels catastrophically for near-identical updates, so float row
+      // norms would drown the true distances of clustered clients in noise.
+      double norm2 = 0.0;
+      for (const float v : row) norm2 += static_cast<double>(v) * v;
+      table.total_norm2 += norm2;
+    }
+  }
+  auto distance2 = [&](const UpdateTable& a, const UpdateTable& b) {
+    double cross = 0.0;
+    std::size_t ia = 0, ib = 0;
+    while (ia < a.rows.size() && ib < b.rows.size()) {
+      if (a.rows[ia] < b.rows[ib]) {
+        ++ia;
+      } else if (a.rows[ia] > b.rows[ib]) {
+        ++ib;
       } else {
-        acc += static_cast<double>(L2NormSquared(ra));
+        const float* ra = a.data[ia];
+        const float* rb = b.data[ib];
+        for (std::size_t d = 0; d < dim; ++d) {
+          cross += static_cast<double>(ra[d]) * rb[d];
+        }
+        ++ia;
+        ++ib;
       }
     }
-    for (std::size_t row : b.item_gradients.row_ids()) {
-      if (!a.item_gradients.Contains(row)) {
-        acc += static_cast<double>(L2NormSquared(b.item_gradients.Row(row)));
-      }
-    }
-    return acc;
+    return std::max(0.0, a.total_norm2 + b.total_norm2 - 2.0 * cross);
   };
 
   std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      dist[i][j] = dist[j][i] = distance2(updates[i], updates[j]);
+      dist[i][j] = dist[j][i] = distance2(tables[i], tables[j]);
     }
   }
   // Score: sum of the closest (honest - 2) neighbour distances.

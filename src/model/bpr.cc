@@ -98,6 +98,8 @@ double TrainBprEpoch(Matrix& user_factors, Matrix& item_factors,
   const std::size_t num_items = item_factors.rows();
   double total_loss = 0.0;
   std::size_t total_pairs = 0;
+  // Reused across every pair of the epoch; see the update_items branch.
+  std::vector<float> u_copy;
   for (std::size_t idx : order) {
     const Interaction& tuple = interactions[idx];
     const auto user_row = user_factors.Row(tuple.user);
@@ -126,7 +128,7 @@ double TrainBprEpoch(Matrix& user_factors, Matrix& item_factors,
         if (options.l2_reg > 0.0f) Scale(1.0f - lr * options.l2_reg, u);
       }
       if (options.update_items) {
-        const std::vector<float> u_copy(user_row.begin(), user_row.end());
+        u_copy.assign(user_row.begin(), user_row.end());
         std::span<const float> u(u_copy);
         std::span<float> vp = item_factors.Row(tuple.item);
         std::span<float> vn = item_factors.Row(neg);

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
-#include "common/math.h"
+#include "common/kernels.h"
 #include "model/bpr.h"
 #include "model/topk.h"
 
@@ -58,6 +59,7 @@ MetricsResult Evaluator::EvaluateWithConfig(
   const std::size_t num_items = train_->num_items();
   FEDREC_CHECK_EQ(user_factors.rows(), num_users);
   FEDREC_CHECK_EQ(item_factors.rows(), num_items);
+  FEDREC_CHECK_EQ(user_factors.cols(), item_factors.cols());
 
   std::size_t max_k = config.ndcg_k;
   for (std::size_t k : config.er_ks) max_k = std::max(max_k, k);
@@ -71,66 +73,89 @@ MetricsResult Evaluator::EvaluateWithConfig(
   std::vector<double> ndcg_user(num_users, 0.0);
   std::vector<double> hr_user(num_users, 0.0);
 
-  ParallelFor(pool, num_users, [&](std::size_t u) {
-    std::vector<float> scores(num_items);
-    const auto user_vec = user_factors.Row(u);
-    for (std::size_t j = 0; j < num_items; ++j) {
-      scores[j] = Dot(user_vec, item_factors.Row(j));
-    }
-    const auto& interacted = train_->UserItems(u);
-    const std::vector<std::uint32_t> rec =
-        TopKIndicesExcludingSorted(scores, max_k, interacted);
+  // Users are scored in fixed-size blocks through the blocked batch-scoring
+  // kernel over a once-per-call packed item matrix: each loaded item lane
+  // group is shared by the whole user block instead of re-streaming item rows
+  // per user, and scores accumulate as pure vertical SIMD. The block
+  // partition is a constant, so results are identical whether a pool is used
+  // or not.
+  const std::size_t dim = item_factors.cols();
+  std::vector<float> items_packed(kernels::PackedItemsSize(num_items, dim));
+  kernels::PackItems(item_factors.Data().data(), num_items, dim,
+                     items_packed.data());
+  constexpr std::size_t kUserBlock = 8;
+  const std::size_t num_blocks = (num_users + kUserBlock - 1) / kUserBlock;
+  ParallelFor(pool, num_blocks, [&](std::size_t block) {
+    // Reusable per-thread scoring buffer — no per-user allocation.
+    static thread_local std::vector<float> scores_buffer;
+    scores_buffer.resize(kUserBlock * num_items);
+    const std::size_t user_begin = block * kUserBlock;
+    const std::size_t user_end =
+        std::min(user_begin + kUserBlock, num_users);
+    kernels::ScoreBlockPacked(user_factors.Row(user_begin).data(),
+                              user_end - user_begin, items_packed.data(),
+                              num_items, dim, scores_buffer.data(),
+                              num_items);
+    for (std::size_t u = user_begin; u < user_end; ++u) {
+      const std::span<const float> scores(
+          scores_buffer.data() + (u - user_begin) * num_items, num_items);
+      const auto& interacted = train_->UserItems(u);
+      const std::vector<std::uint32_t> rec =
+          TopKIndicesExcludingSorted(scores, max_k, interacted);
 
-    // Number of target items the user has not interacted with: |Vtar ^ V-_i|.
-    std::size_t targets_available = 0;
-    for (std::uint32_t t : sorted_targets) {
-      if (!std::binary_search(interacted.begin(), interacted.end(), t)) {
-        ++targets_available;
+      // Number of target items the user has not interacted with:
+      // |Vtar ^ V-_i|.
+      std::size_t targets_available = 0;
+      for (std::uint32_t t : sorted_targets) {
+        if (!std::binary_search(interacted.begin(), interacted.end(), t)) {
+          ++targets_available;
+        }
       }
-    }
 
-    if (targets_available > 0) {
-      // ER@K (Eq. 8) for every configured K.
-      for (std::size_t ki = 0; ki < config.er_ks.size(); ++ki) {
-        const std::size_t k = config.er_ks[ki];
-        std::size_t hits = 0;
-        for (std::size_t r = 0; r < rec.size() && r < k; ++r) {
+      if (targets_available > 0) {
+        // ER@K (Eq. 8) for every configured K.
+        for (std::size_t ki = 0; ki < config.er_ks.size(); ++ki) {
+          const std::size_t k = config.er_ks[ki];
+          std::size_t hits = 0;
+          for (std::size_t r = 0; r < rec.size() && r < k; ++r) {
+            if (std::binary_search(sorted_targets.begin(), sorted_targets.end(),
+                                   rec[r])) {
+              ++hits;
+            }
+          }
+          er_user[ki][u] = static_cast<double>(hits) /
+                           static_cast<double>(targets_available);
+        }
+        // NDCG@K of target items.
+        double dcg = 0.0;
+        for (std::size_t r = 0; r < rec.size() && r < config.ndcg_k; ++r) {
           if (std::binary_search(sorted_targets.begin(), sorted_targets.end(),
                                  rec[r])) {
-            ++hits;
+            dcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
           }
         }
-        er_user[ki][u] = static_cast<double>(hits) /
-                         static_cast<double>(targets_available);
-      }
-      // NDCG@K of target items.
-      double dcg = 0.0;
-      for (std::size_t r = 0; r < rec.size() && r < config.ndcg_k; ++r) {
-        if (std::binary_search(sorted_targets.begin(), sorted_targets.end(),
-                               rec[r])) {
-          dcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
+        double idcg = 0.0;
+        const std::size_t ideal = std::min(targets_available, config.ndcg_k);
+        for (std::size_t r = 0; r < ideal; ++r) {
+          idcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
         }
+        ndcg_user[u] = idcg > 0.0 ? dcg / idcg : 0.0;
       }
-      double idcg = 0.0;
-      const std::size_t ideal = std::min(targets_available, config.ndcg_k);
-      for (std::size_t r = 0; r < ideal; ++r) {
-        idcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
-      }
-      ndcg_user[u] = idcg > 0.0 ? dcg / idcg : 0.0;
-    }
 
-    // HR@K over the fixed sampled candidate set ([1]'s protocol).
-    const auto& candidates = hr_candidates_[u];
-    if (with_hr && !candidates.empty()) {
-      const float test_score = scores[candidates[0]];
-      std::size_t rank = 0;
-      for (std::size_t c = 1; c < candidates.size(); ++c) {
-        const float s = scores[candidates[c]];
-        if (s > test_score || (s == test_score && candidates[c] < candidates[0])) {
-          ++rank;
+      // HR@K over the fixed sampled candidate set ([1]'s protocol).
+      const auto& candidates = hr_candidates_[u];
+      if (with_hr && !candidates.empty()) {
+        const float test_score = scores[candidates[0]];
+        std::size_t rank = 0;
+        for (std::size_t c = 1; c < candidates.size(); ++c) {
+          const float s = scores[candidates[c]];
+          if (s > test_score ||
+              (s == test_score && candidates[c] < candidates[0])) {
+            ++rank;
+          }
         }
+        hr_user[u] = rank < config.hr_k ? 1.0 : 0.0;
       }
-      hr_user[u] = rank < config.hr_k ? 1.0 : 0.0;
     }
   });
 

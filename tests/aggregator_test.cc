@@ -1,8 +1,13 @@
 #include "fed/aggregator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
 
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
 
 namespace fedrec {
 namespace {
@@ -151,6 +156,178 @@ TEST(KrumTest, AggregateScalesSelectedByRoundSize) {
   updates.push_back(MakeUpdate(2, 1, {{0, 1.0f}}));
   const Matrix total = AggregateUpdates(updates, 1, 1, options);
   EXPECT_FLOAT_EQ(total.At(0, 0), 3.0f);
+}
+
+// --- Bit-identity regression against the historical implementation ---------
+//
+// The production median/trimmed-mean path was rewritten from a
+// std::map-grouped, full-sort-per-coordinate implementation to a flat
+// row-index + nth_element one. The rewrite must be bit-identical, so the
+// reference below reimplements the historical algorithm verbatim.
+Matrix ReferenceCoordinateWise(const std::vector<ClientUpdate>& updates,
+                               std::size_t num_items, std::size_t dim,
+                               bool median, double trim_fraction) {
+  Matrix total(num_items, dim);
+  std::map<std::size_t, std::vector<const ClientUpdate*>> by_row;
+  for (const ClientUpdate& update : updates) {
+    for (std::size_t row : update.item_gradients.row_ids()) {
+      by_row[row].push_back(&update);
+    }
+  }
+  std::vector<float> column;
+  for (const auto& [row, contributors] : by_row) {
+    const std::size_t n = contributors.size();
+    auto out = total.Row(row);
+    for (std::size_t d = 0; d < dim; ++d) {
+      column.clear();
+      for (const ClientUpdate* update : contributors) {
+        column.push_back(update->item_gradients.Row(row)[d]);
+      }
+      std::sort(column.begin(), column.end());
+      double robust = 0.0;
+      if (median) {
+        robust = (column.size() % 2 == 1)
+                     ? column[column.size() / 2]
+                     : 0.5 * (column[column.size() / 2 - 1] +
+                              column[column.size() / 2]);
+      } else {
+        std::size_t trim = static_cast<std::size_t>(
+            std::floor(trim_fraction * static_cast<double>(column.size())));
+        if (2 * trim >= column.size()) trim = (column.size() - 1) / 2;
+        double sum = 0.0;
+        std::size_t kept = 0;
+        for (std::size_t i = trim; i + trim < column.size(); ++i) {
+          sum += column[i];
+          ++kept;
+        }
+        robust = kept == 0 ? 0.0 : sum / static_cast<double>(kept);
+      }
+      out[d] = static_cast<float>(robust * static_cast<double>(n));
+    }
+  }
+  return total;
+}
+
+std::vector<ClientUpdate> RandomUpdates(std::size_t num_clients,
+                                        std::size_t num_items, std::size_t dim,
+                                        std::size_t rows_per_client,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ClientUpdate> updates;
+  updates.reserve(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    ClientUpdate update;
+    update.user = static_cast<std::uint32_t>(c);
+    update.item_gradients = SparseRowMatrix(dim);
+    for (std::size_t r = 0; r < rows_per_client; ++r) {
+      auto row = update.item_gradients.RowMutable(rng.NextBounded(num_items));
+      for (auto& v : row) v = static_cast<float>(rng.NextGaussian(0.0, 0.1));
+    }
+    updates.push_back(std::move(update));
+  }
+  return updates;
+}
+
+TEST(AggregatorBitIdentityTest, MedianMatchesSortedColumnReference) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto updates = RandomUpdates(17, 40, 5, 12, seed);
+    AggregatorOptions options;
+    options.kind = AggregatorKind::kMedian;
+    const Matrix actual = AggregateUpdates(updates, 40, 5, options);
+    const Matrix expected =
+        ReferenceCoordinateWise(updates, 40, 5, /*median=*/true, 0.0);
+    EXPECT_TRUE(actual == expected) << "seed=" << seed;
+  }
+}
+
+TEST(AggregatorBitIdentityTest, TrimmedMeanMatchesSortedColumnReference) {
+  for (double trim_fraction : {0.0, 0.1, 0.25, 0.45}) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      const auto updates = RandomUpdates(16, 30, 4, 10, seed);
+      AggregatorOptions options;
+      options.kind = AggregatorKind::kTrimmedMean;
+      options.trim_fraction = trim_fraction;
+      const Matrix actual = AggregateUpdates(updates, 30, 4, options);
+      const Matrix expected = ReferenceCoordinateWise(
+          updates, 30, 4, /*median=*/false, trim_fraction);
+      EXPECT_TRUE(actual == expected)
+          << "seed=" << seed << " trim=" << trim_fraction;
+    }
+  }
+}
+
+TEST(AggregatorBitIdentityTest, SingleContributorRowsPassThrough) {
+  // Degenerate columns (one contributor) exercise the trim-clamp and the
+  // even/odd median edges of both implementations.
+  const auto updates = RandomUpdates(2, 100, 3, 4, 9);
+  for (const bool median : {true, false}) {
+    AggregatorOptions options;
+    options.kind =
+        median ? AggregatorKind::kMedian : AggregatorKind::kTrimmedMean;
+    const Matrix actual = AggregateUpdates(updates, 100, 3, options);
+    const Matrix expected = ReferenceCoordinateWise(updates, 100, 3, median,
+                                                    options.trim_fraction);
+    EXPECT_TRUE(actual == expected);
+  }
+}
+
+TEST(KrumTest, NormTableRewriteAgreesWithDirectDistances) {
+  // KrumSelect now expands ||a-b||^2 via precomputed row-norm tables; it must
+  // pick the same client as the direct per-pair reduction over the row union.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const auto updates = RandomUpdates(12, 25, 6, 8, seed);
+    const std::size_t dim = 6;
+    const std::size_t n = updates.size();
+    auto direct_distance2 = [&](const ClientUpdate& a, const ClientUpdate& b) {
+      double acc = 0.0;
+      for (std::size_t row : a.item_gradients.row_ids()) {
+        const auto ra = a.item_gradients.Row(row);
+        if (b.item_gradients.Contains(row)) {
+          const auto rb = b.item_gradients.Row(row);
+          for (std::size_t d = 0; d < dim; ++d) {
+            const double diff = static_cast<double>(ra[d]) - rb[d];
+            acc += diff * diff;
+          }
+        } else {
+          for (float v : ra) acc += static_cast<double>(v) * v;
+        }
+      }
+      for (std::size_t row : b.item_gradients.row_ids()) {
+        if (!a.item_gradients.Contains(row)) {
+          const auto rb = b.item_gradients.Row(row);
+          for (float v : rb) acc += static_cast<double>(v) * v;
+        }
+      }
+      return acc;
+    };
+    const std::size_t honest = 8;
+    // Reference selection: historical direct distances + neighbour scoring.
+    std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        dist[i][j] = dist[j][i] = direct_distance2(updates[i], updates[j]);
+      }
+    }
+    const std::size_t neighbours = honest - 2;
+    std::size_t best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> row;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) row.push_back(dist[i][j]);
+      }
+      std::sort(row.begin(), row.end());
+      double score = 0.0;
+      for (std::size_t r = 0; r < neighbours && r < row.size(); ++r) {
+        score += row[r];
+      }
+      if (score < best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    EXPECT_EQ(KrumSelect(updates, 25, dim, honest), best) << "seed=" << seed;
+  }
 }
 
 TEST(AggregatorKindTest, NamesRoundTrip) {
