@@ -95,6 +95,14 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec, ThreadPool* pool) {
   result.seconds = timer.ElapsedSeconds();
   result.num_malicious = num_malicious;
   result.target_items = targets;
+  for (const EpochRecord& record : result.history) {
+    result.total_rounds += record.rounds;
+    result.train_seconds += record.train_seconds;
+  }
+  result.rounds_per_sec =
+      result.train_seconds > 0.0
+          ? static_cast<double>(result.total_rounds) / result.train_seconds
+          : 0.0;
   return result;
 }
 
@@ -146,6 +154,15 @@ void ApplyScale(const BenchOptions& options, ExperimentSpec& spec) {
 }
 
 std::string Fmt4(double value) { return FormatDouble(value, 4); }
+
+void AddThroughputRow(TextTable& table,
+                      const std::vector<ExperimentResult>& results) {
+  std::vector<std::string> row{"rounds/s"};
+  for (const ExperimentResult& result : results) {
+    row.push_back(FormatDouble(result.rounds_per_sec, 1));
+  }
+  table.AddRow(row);
+}
 
 void EmitTable(const TextTable& table, const BenchOptions& options) {
   std::fputs(table.Render().c_str(), stdout);

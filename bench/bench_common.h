@@ -65,6 +65,11 @@ struct ExperimentResult {
   double seconds = 0.0;
   std::size_t num_malicious = 0;
   std::vector<std::uint32_t> target_items;
+
+  // Round-throughput instrumentation aggregated over `history`.
+  std::size_t total_rounds = 0;
+  double train_seconds = 0.0;        ///< summed epoch training wall time
+  double rounds_per_sec = 0.0;       ///< total_rounds / train_seconds
 };
 
 /// Runs one full federated-training experiment under the configured attack.
@@ -90,6 +95,12 @@ void ApplyScale(const BenchOptions& options, ExperimentSpec& spec);
 
 /// Formats a metric like the paper tables ("0.9400").
 std::string Fmt4(double value);
+
+/// Appends a "rounds/s" row (one cell per experiment, in order) so every
+/// table bench can surface its round throughput into the CSV export and the
+/// bench_smoke BENCH_*.json trajectory.
+void AddThroughputRow(TextTable& table,
+                      const std::vector<ExperimentResult>& results);
 
 /// Prints the table to stdout and optionally writes its CSV export.
 void EmitTable(const TextTable& table, const BenchOptions& options);

@@ -193,8 +193,10 @@ void BM_PoisonGradient(benchmark::State& state) {
 }
 BENCHMARK(BM_PoisonGradient)->Arg(256)->Arg(943)->Unit(benchmark::kMillisecond);
 
-void BM_Aggregate(benchmark::State& state) {
-  const auto kind = static_cast<AggregatorKind>(state.range(0));
+/// 64 clients x 60 random rows of 1682 items, dim 32 — the shared round
+/// shape for the dense and sparse aggregation benchmarks below (they must
+/// measure the identical workload).
+std::vector<ClientUpdate> MakeRoundUpdates() {
   Rng rng(8);
   std::vector<ClientUpdate> updates;
   for (std::uint32_t c = 0; c < 64; ++c) {
@@ -207,6 +209,12 @@ void BM_Aggregate(benchmark::State& state) {
     }
     updates.push_back(std::move(update));
   }
+  return updates;
+}
+
+void BM_Aggregate(benchmark::State& state) {
+  const auto kind = static_cast<AggregatorKind>(state.range(0));
+  const std::vector<ClientUpdate> updates = MakeRoundUpdates();
   AggregatorOptions options;
   options.kind = kind;
   for (auto _ : state) {
@@ -214,6 +222,25 @@ void BM_Aggregate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Aggregate)
+    ->Arg(static_cast<int>(AggregatorKind::kSum))
+    ->Arg(static_cast<int>(AggregatorKind::kTrimmedMean))
+    ->Arg(static_cast<int>(AggregatorKind::kMedian))
+    ->Arg(static_cast<int>(AggregatorKind::kKrum))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AggregateSparse(benchmark::State& state) {
+  const auto kind = static_cast<AggregatorKind>(state.range(0));
+  const std::vector<ClientUpdate> updates = MakeRoundUpdates();
+  AggregatorOptions options;
+  options.kind = kind;
+  AggregationWorkspace workspace;
+  SparseRoundDelta delta;
+  for (auto _ : state) {
+    AggregateUpdates(updates, 32, options, workspace, delta);
+    benchmark::DoNotOptimize(delta.row_count());
+  }
+}
+BENCHMARK(BM_AggregateSparse)
     ->Arg(static_cast<int>(AggregatorKind::kSum))
     ->Arg(static_cast<int>(AggregatorKind::kTrimmedMean))
     ->Arg(static_cast<int>(AggregatorKind::kMedian))

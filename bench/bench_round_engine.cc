@@ -1,0 +1,132 @@
+/// Round-engine throughput: the server-side cost of one federated round
+/// (aggregate the uploads, apply the result to V) under the historical dense
+/// path (materialize a num_items x dim gradient, apply it densely) vs. the
+/// touched-row sparse path the round engine runs. The gap is the point of the
+/// sparse server: per-round work scales with what the clients uploaded, not
+/// with the catalogue, so it widens as clients_per_round << num_items (the
+/// paper's regime, and the only one that survives catalogue growth).
+///
+///   ./bench_round_engine [--quick] [--clients=32] [--rows=60] [--csv=path]
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "fed/round_engine.h"
+
+namespace fedrec {
+namespace {
+
+std::vector<ClientUpdate> MakeUpdates(std::size_t clients, std::size_t rows,
+                                      std::size_t num_items, std::size_t dim,
+                                      Rng& rng) {
+  std::vector<ClientUpdate> updates;
+  updates.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    ClientUpdate update;
+    update.user = static_cast<std::uint32_t>(c);
+    update.item_gradients = SparseRowMatrix(dim);
+    for (std::size_t r = 0; r < rows; ++r) {
+      auto row = update.item_gradients.RowMutable(rng.NextBounded(num_items));
+      for (auto& v : row) v = static_cast<float>(rng.NextGaussian(0.0, 0.05));
+    }
+    updates.push_back(std::move(update));
+  }
+  return updates;
+}
+
+/// Runs `step` repeatedly for at least `min_seconds`; returns rounds/sec.
+template <typename Step>
+double MeasureRoundsPerSec(Step&& step, double min_seconds) {
+  step();  // warm-up (first dense pass pays the page faults)
+  Stopwatch timer;
+  std::size_t iterations = 0;
+  do {
+    step();
+    ++iterations;
+  } while (timer.ElapsedSeconds() < min_seconds);
+  return static_cast<double>(iterations) / timer.ElapsedSeconds();
+}
+
+int Main(int argc, const char* const* argv) {
+  FlagParser flags;
+  flags.Parse(argc, argv).CheckOK();
+  BenchOptions options = ParseBenchOptions(flags);
+  const bool quick = flags.GetBool("quick", false);
+  const double min_seconds = quick ? 0.10 : 0.40;
+  const std::size_t clients =
+      static_cast<std::size_t>(flags.GetInt("clients", 32));
+  const std::size_t rows = static_cast<std::size_t>(flags.GetInt("rows", 60));
+  const std::size_t dim = 32;
+  const float lr = 0.01f;
+
+  const std::vector<std::size_t> item_scales = {1682, 16820, 67280};
+  const std::vector<std::pair<AggregatorKind, const char*>> rules = {
+      {AggregatorKind::kSum, "sum"},
+      {AggregatorKind::kTrimmedMean, "trimmed-mean"},
+      {AggregatorKind::kMedian, "median"},
+      {AggregatorKind::kNormBound, "norm-bound"},
+      {AggregatorKind::kKrum, "krum"},
+  };
+
+  TextTable table(
+      "Round engine: server-side rounds/s, dense gradient vs touched-row "
+      "sparse delta (" + std::to_string(clients) +
+      " clients x " + std::to_string(rows) + " rows, dim=32)");
+  std::vector<std::string> header{"Aggregator / path"};
+  for (std::size_t num_items : item_scales) {
+    header.push_back("items=" + std::to_string(num_items));
+  }
+  table.SetHeader(header);
+
+  for (const auto& [kind, name] : rules) {
+    AggregatorOptions agg;
+    agg.kind = kind;
+    std::vector<std::string> dense_row{std::string(name) + " dense r/s"};
+    std::vector<std::string> sparse_row{std::string(name) + " sparse r/s"};
+    std::vector<std::string> speedup_row{std::string(name) + " speedup"};
+    for (std::size_t num_items : item_scales) {
+      Rng rng(42);
+      const auto updates = MakeUpdates(clients, rows, num_items, dim, rng);
+      Matrix dense_items(num_items, dim);
+      dense_items.FillGaussian(rng, 0.0f, 0.1f);
+      Matrix sparse_items = dense_items;
+
+      const double dense_rps = MeasureRoundsPerSec(
+          [&] {
+            const Matrix gradient =
+                AggregateUpdates(updates, num_items, dim, agg);
+            dense_items.Add(gradient, -lr);
+          },
+          min_seconds);
+
+      AggregationWorkspace workspace;
+      SparseRoundDelta delta;
+      const double sparse_rps = MeasureRoundsPerSec(
+          [&] {
+            AggregateUpdates(updates, dim, agg, workspace, delta);
+            delta.AddTo(sparse_items, -lr);
+          },
+          min_seconds);
+
+      dense_row.push_back(FormatDouble(dense_rps, 1));
+      sparse_row.push_back(FormatDouble(sparse_rps, 1));
+      speedup_row.push_back(FormatDouble(sparse_rps / dense_rps, 2) + "x");
+    }
+    table.AddRow(dense_row);
+    table.AddRow(sparse_row);
+    table.AddRow(speedup_row);
+  }
+
+  EmitTable(table, options);
+  std::puts(
+      "(dense = materialize num_items x dim gradient + dense apply; sparse = "
+      "touched rows only, reused workspace)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedrec
+
+int main(int argc, char** argv) { return fedrec::Main(argc, argv); }

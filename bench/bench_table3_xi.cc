@@ -20,7 +20,7 @@ int Main(int argc, const char* const* argv) {
       "Table III: impact of xi on FedRecAttack (ml-100k, rho=5%, kappa=60)");
   table.SetHeader({"Metric", "xi=1%", "xi=2%", "xi=3%", "xi=5%", "xi=10%"});
 
-  std::vector<MetricsResult> results;
+  std::vector<ExperimentResult> results;
   for (double xi : xis) {
     ExperimentSpec spec;
     spec.dataset = "ml-100k";
@@ -28,18 +28,19 @@ int Main(int argc, const char* const* argv) {
     spec.xi = xi;
     spec.rho = 0.05;
     ApplyScale(options, spec);
-    results.push_back(RunExperiment(spec, pool.get()).final_metrics);
+    results.push_back(RunExperiment(spec, pool.get()));
   }
 
   std::vector<std::string> er5{"ER@5"}, er10{"ER@10"}, ndcg{"NDCG@10"};
-  for (const MetricsResult& r : results) {
-    er5.push_back(Fmt4(r.er_at[0]));
-    er10.push_back(Fmt4(r.er_at[1]));
-    ndcg.push_back(Fmt4(r.ndcg));
+  for (const ExperimentResult& r : results) {
+    er5.push_back(Fmt4(r.final_metrics.er_at[0]));
+    er10.push_back(Fmt4(r.final_metrics.er_at[1]));
+    ndcg.push_back(Fmt4(r.final_metrics.ndcg));
   }
   table.AddRow(er5);
   table.AddRow(er10);
   table.AddRow(ndcg);
+  AddThroughputRow(table, results);
   EmitTable(table, options);
   std::puts("(paper ER@5 row: 0.9400 0.9818 0.9882 0.9936 0.9914)");
   return 0;

@@ -47,7 +47,9 @@ GIT_REV="$git_rev" STAMP="$stamp" OUT_FILE="$out_file" python3 - <<'PY'
 import csv, json, os
 
 with open(os.environ["CSV_FILE"], newline="") as f:
-    rows = list(csv.DictReader(f))
+    reader = csv.DictReader(f)
+    label_key = reader.fieldnames[0] if reader.fieldnames else None
+    rows = list(reader)
 
 report = {
     "bench": os.environ["BENCH_NAME"],
@@ -58,6 +60,17 @@ report = {
     "nproc": os.cpu_count(),
     "rows": rows,
 }
+
+# Surface the round-throughput instrumentation (benches emit it as a
+# "rounds/s" row) as a top-level aggregate for the perf trajectory.
+if label_key is not None:
+    for row in rows:
+        if row.get(label_key) == "rounds/s":
+            values = [float(v) for k, v in row.items()
+                      if k != label_key and v]
+            if values:
+                report["rounds_per_sec_mean"] = sum(values) / len(values)
+            break
 with open(os.environ["OUT_FILE"], "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")

@@ -200,18 +200,52 @@ P4LittleIsEnoughAttack::P4LittleIsEnoughAttack(ModelPoisonConfig config,
                                                float z_max)
     : ModelPoisonAttackBase("p4", std::move(config), num_items), z_max_(z_max) {}
 
+bool P4LittleIsEnoughAttack::BenignSigmaForRound(const RoundContext& context,
+                                                 double* sigma) {
+  if (context.workspace == nullptr) return false;
+  if (benign_sigma_valid_ && benign_sigma_round_ == context.global_round) {
+    *sigma = benign_sigma_;
+    return true;
+  }
+  const RoundWorkspace& ws = *context.workspace;
+  benign_coordinates_.clear();
+  const std::size_t n = std::min(ws.updates.size(), ws.is_malicious.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ws.is_malicious[i]) continue;
+    const SparseRowMatrix& benign = ws.updates[i].item_gradients;
+    for (std::size_t slot = 0; slot < benign.row_count(); ++slot) {
+      const auto r = benign.RowAtSlot(slot);
+      benign_coordinates_.insert(benign_coordinates_.end(), r.begin(), r.end());
+    }
+  }
+  if (benign_coordinates_.empty()) return false;
+  benign_sigma_ = std::sqrt(Variance(benign_coordinates_));
+  benign_sigma_round_ = context.global_round;
+  benign_sigma_valid_ = true;
+  *sigma = benign_sigma_;
+  return true;
+}
+
 void P4LittleIsEnoughAttack::EmitPoisonRows(const RoundContext& context,
                                             MaliciousState& state,
                                             ClientUpdate& update) {
   const Matrix& items = context.model->item_factors();
-  // Empirical coordinate spread of the benign-looking part of this upload —
-  // the population the crafted deviation must hide inside.
-  std::vector<float> coordinates;
-  for (std::size_t row : update.item_gradients.row_ids()) {
-    const auto r = update.item_gradients.Row(row);
-    coordinates.insert(coordinates.end(), r.begin(), r.end());
+  // Empirical coordinate spread of the population the crafted deviation must
+  // hide inside. When the round engine exposes its workspace, "a little is
+  // enough" gets its literal premise — the coordinate statistics of the
+  // round's *actual* benign uploads (the omniscient variant of [4]),
+  // gathered once per round and shared by all of the round's malicious
+  // clients; without an engine (stand-alone tests) it falls back to the
+  // benign-looking part of this upload as the stand-in population.
+  double sigma = 0.0;
+  if (!BenignSigmaForRound(context, &sigma)) {
+    std::vector<float> coordinates;
+    for (std::size_t row : update.item_gradients.row_ids()) {
+      const auto r = update.item_gradients.Row(row);
+      coordinates.insert(coordinates.end(), r.begin(), r.end());
+    }
+    sigma = std::sqrt(Variance(coordinates));
   }
-  double sigma = std::sqrt(Variance(coordinates));
   if (sigma <= 1e-9) sigma = 1e-3;
 
   for (std::uint32_t target : config().target_items) {

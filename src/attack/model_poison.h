@@ -135,7 +135,16 @@ class P4LittleIsEnoughAttack : public ModelPoisonAttackBase {
                       ClientUpdate& update) override;
 
  private:
+  /// Sigma of the round's benign uploads (RoundContext::workspace), gathered
+  /// once per round and reused across this round's malicious clients.
+  /// Returns false when no benign coordinates are available.
+  bool BenignSigmaForRound(const RoundContext& context, double* sigma);
+
   float z_max_;
+  std::vector<float> benign_coordinates_;  ///< gather buffer, reused
+  double benign_sigma_ = 0.0;
+  std::size_t benign_sigma_round_ = 0;
+  bool benign_sigma_valid_ = false;
 };
 
 }  // namespace fedrec

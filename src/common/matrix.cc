@@ -27,7 +27,7 @@ void Matrix::FillUniform(Rng& rng, float lo, float hi) {
 void Matrix::Add(const Matrix& other, float alpha) {
   FEDREC_CHECK_EQ(rows_, other.rows_);
   FEDREC_CHECK_EQ(cols_, other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  kernels::Axpy(alpha, other.data_.data(), data_.data(), data_.size());
 }
 
 float Matrix::FrobeniusNorm() const {
@@ -141,6 +141,27 @@ std::size_t SparseRowMatrix::CountNonZeroRows() const {
     }
   }
   return count;
+}
+
+void SparseRoundDelta::AddTo(Matrix& target, float alpha) const {
+  FEDREC_CHECK_EQ(target.cols(), cols_);
+  for (std::size_t slot = 0; slot < rows_.size(); ++slot) {
+    const std::size_t row = rows_[slot];
+    FEDREC_CHECK_LT(row, target.rows());
+    kernels::Axpy(alpha, values_.data() + slot * cols_,
+                  target.Row(row).data(), cols_);
+  }
+}
+
+Matrix SparseRoundDelta::ToDense(std::size_t num_items) const {
+  Matrix dense(num_items, cols_);
+  for (std::size_t slot = 0; slot < rows_.size(); ++slot) {
+    FEDREC_CHECK_LT(rows_[slot], num_items);
+    std::copy(values_.begin() + static_cast<std::ptrdiff_t>(slot * cols_),
+              values_.begin() + static_cast<std::ptrdiff_t>((slot + 1) * cols_),
+              dense.Row(rows_[slot]).begin());
+  }
+  return dense;
 }
 
 }  // namespace fedrec

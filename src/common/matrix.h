@@ -153,6 +153,63 @@ class SparseRowMatrix {
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 };
 
+/// The server's aggregate of one federated round, restricted to the item rows
+/// the round's clients actually uploaded (Eq. 7 only ever moves those rows).
+/// Unlike SparseRowMatrix this is not a wire format: rows are appended in
+/// ascending id order by the aggregator, there is no id->slot lookup, and
+/// Reset() keeps the backing capacity so a round loop that reuses one delta
+/// performs zero steady-state allocations.
+class SparseRoundDelta {
+ public:
+  SparseRoundDelta() = default;
+
+  /// Drops all rows and sets the column count; capacity is retained.
+  void Reset(std::size_t cols) {
+    cols_ = cols;
+    rows_.clear();
+    values_.clear();
+  }
+
+  std::size_t cols() const { return cols_; }
+  std::size_t row_count() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Touched row ids in strictly ascending order.
+  const std::vector<std::size_t>& rows() const { return rows_; }
+
+  /// Appends a zeroed row for `row` and returns its mutable view. Ids must
+  /// arrive in strictly ascending order (the aggregator walks its sorted
+  /// row->contributors index).
+  std::span<float> AppendRow(std::size_t row) {
+    FEDREC_DCHECK(rows_.empty() || rows_.back() < row);
+    rows_.push_back(row);
+    values_.resize(values_.size() + cols_, 0.0f);
+    return std::span<float>(values_.data() + (rows_.size() - 1) * cols_, cols_);
+  }
+
+  std::span<float> RowAtSlot(std::size_t slot) {
+    FEDREC_DCHECK(slot < rows_.size());
+    return std::span<float>(values_.data() + slot * cols_, cols_);
+  }
+  std::span<const float> RowAtSlot(std::size_t slot) const {
+    FEDREC_DCHECK(slot < rows_.size());
+    return std::span<const float>(values_.data() + slot * cols_, cols_);
+  }
+
+  /// Scatters `target.Row(rows()[slot]) += alpha * RowAtSlot(slot)` for every
+  /// stored row — the sparse application of Eq. (7).
+  void AddTo(Matrix& target, float alpha = 1.0f) const;
+
+  /// Materializes the delta as a dense num_items x dim gradient (untouched
+  /// rows zero). Compatibility/test path only — the round loop never calls it.
+  Matrix ToDense(std::size_t num_items) const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> rows_;  // ascending
+  std::vector<float> values_;      // row_count * cols, row-major
+};
+
 }  // namespace fedrec
 
 #endif  // FEDREC_COMMON_MATRIX_H_

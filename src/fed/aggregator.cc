@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/kernels.h"
 #include "common/math.h"
 
 namespace fedrec {
@@ -24,50 +25,14 @@ const char* AggregatorKindToString(AggregatorKind kind) {
   return "?";
 }
 
-namespace {
-
-Matrix AggregateSum(const std::vector<ClientUpdate>& updates,
-                    std::size_t num_items, std::size_t dim) {
-  Matrix total(num_items, dim);
-  for (const ClientUpdate& update : updates) {
-    update.item_gradients.AddTo(total);
-  }
-  return total;
-}
-
-Matrix AggregateNormBound(const std::vector<ClientUpdate>& updates,
-                          std::size_t num_items, std::size_t dim,
-                          double norm_bound) {
-  Matrix total(num_items, dim);
-  for (const ClientUpdate& update : updates) {
-    for (std::size_t row : update.item_gradients.row_ids()) {
-      const auto src = update.item_gradients.Row(row);
-      std::vector<float> clipped(src.begin(), src.end());
-      ClipL2(clipped, static_cast<float>(norm_bound));
-      Axpy(1.0f, clipped, total.Row(row));
-    }
-  }
-  return total;
-}
-
-/// One uploaded row: the item id plus a direct pointer to the contributor's
-/// values (resolved once — the per-coordinate loops below never pay a row
-/// lookup again).
-struct RowContribution {
-  std::size_t row;
-  const float* data;
-};
-
-/// Flat row -> contributors index: every uploaded row as a (row, values)
-/// entry, sorted by row id so each item's contributors form one contiguous
-/// run. Replaces the node-based map-of-vectors grouping.
-std::vector<RowContribution> BuildRowIndex(
-    const std::vector<ClientUpdate>& updates) {
+void BuildRowIndex(const std::vector<ClientUpdate>& updates,
+                   AggregationWorkspace& workspace) {
   std::size_t total_rows = 0;
   for (const ClientUpdate& update : updates) {
     total_rows += update.item_gradients.row_count();
   }
-  std::vector<RowContribution> entries;
+  std::vector<RowContribution>& entries = workspace.row_index;
+  entries.clear();
   entries.reserve(total_rows);
   for (const ClientUpdate& update : updates) {
     const auto& rows = update.item_gradients.row_ids();
@@ -80,24 +45,64 @@ std::vector<RowContribution> BuildRowIndex(
                    [](const RowContribution& a, const RowContribution& b) {
                      return a.row < b.row;
                    });
-  return entries;
 }
 
-Matrix AggregateCoordinateWise(const std::vector<ClientUpdate>& updates,
-                               std::size_t num_items, std::size_t dim,
-                               bool median, double trim_fraction) {
-  Matrix total(num_items, dim);
-  const std::vector<RowContribution> entries = BuildRowIndex(updates);
-  std::vector<float> column;
+namespace {
+
+/// Invokes fn(row, contributors, n) for every contiguous same-row run of the
+/// sorted index, in ascending row order — the shape all sparse rules share.
+template <typename Fn>
+void ForEachRowGroup(const std::vector<RowContribution>& entries, Fn&& fn) {
   for (std::size_t group_begin = 0; group_begin < entries.size();) {
     const std::size_t row = entries[group_begin].row;
     std::size_t group_end = group_begin;
     while (group_end < entries.size() && entries[group_end].row == row) {
       ++group_end;
     }
-    const std::size_t n = group_end - group_begin;
-    const RowContribution* contributors = entries.data() + group_begin;
-    auto out = total.Row(row);
+    fn(row, entries.data() + group_begin, group_end - group_begin);
+    group_begin = group_end;
+  }
+}
+
+void AggregateSumSparse(const AggregationWorkspace& workspace, std::size_t dim,
+                        SparseRoundDelta& out) {
+  // Each output element accumulates its contributors in update order
+  // (stable sort), exactly like the historical per-update dense AddTo sweep.
+  ForEachRowGroup(workspace.row_index, [&](std::size_t row,
+                                           const RowContribution* contributors,
+                                           std::size_t n) {
+    auto acc = out.AppendRow(row);
+    for (std::size_t i = 0; i < n; ++i) {
+      kernels::Axpy(1.0f, contributors[i].data, acc.data(), dim);
+    }
+  });
+}
+
+void AggregateNormBoundSparse(AggregationWorkspace& workspace, std::size_t dim,
+                              double norm_bound, SparseRoundDelta& out) {
+  std::vector<float>& clipped = workspace.clipped;
+  clipped.resize(dim);
+  ForEachRowGroup(workspace.row_index, [&](std::size_t row,
+                                           const RowContribution* contributors,
+                                           std::size_t n) {
+    auto acc = out.AppendRow(row);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::copy(contributors[i].data, contributors[i].data + dim,
+                clipped.begin());
+      ClipL2(clipped, static_cast<float>(norm_bound));
+      Axpy(1.0f, clipped, acc);
+    }
+  });
+}
+
+void AggregateCoordinateWiseSparse(AggregationWorkspace& workspace,
+                                   std::size_t dim, bool median,
+                                   double trim_fraction, SparseRoundDelta& out) {
+  std::vector<float>& column = workspace.column;
+  ForEachRowGroup(workspace.row_index, [&](std::size_t row,
+                                           const RowContribution* contributors,
+                                           std::size_t n) {
+    auto acc = out.AppendRow(row);
     column.resize(n);
     for (std::size_t d = 0; d < dim; ++d) {
       for (std::size_t i = 0; i < n; ++i) column[i] = contributors[i].data[d];
@@ -135,11 +140,35 @@ Matrix AggregateCoordinateWise(const std::vector<ClientUpdate>& updates,
         robust = sum / static_cast<double>(kept);
       }
       // Rescale by the contributor count to stay comparable with kSum.
-      out[d] = static_cast<float>(robust * static_cast<double>(n));
+      acc[d] = static_cast<float>(robust * static_cast<double>(n));
     }
-    group_begin = group_end;
+  });
+}
+
+void AggregateKrumSparse(const std::vector<ClientUpdate>& updates,
+                         std::size_t dim, std::size_t krum_honest,
+                         AggregationWorkspace& workspace, SparseRoundDelta& out) {
+  const std::size_t pick = KrumSelect(updates, 0, dim, krum_honest);
+  const SparseRowMatrix& upload = updates[pick].item_gradients;
+  // Only the selected client's rows are touched; reuse the row index to emit
+  // them in ascending order.
+  std::vector<RowContribution>& entries = workspace.row_index;
+  entries.clear();
+  entries.reserve(upload.row_count());
+  const auto& row_ids = upload.row_ids();
+  for (std::size_t slot = 0; slot < row_ids.size(); ++slot) {
+    entries.push_back({row_ids[slot], upload.RowAtSlot(slot).data()});
   }
-  return total;
+  std::sort(entries.begin(), entries.end(),
+            [](const RowContribution& a, const RowContribution& b) {
+              return a.row < b.row;
+            });
+  // The selected client's update stands in for the whole round, scaled to
+  // the round size to keep the learning-rate semantics of Eq. (7).
+  const float scale = static_cast<float>(updates.size());
+  for (const RowContribution& entry : entries) {
+    kernels::Axpy(scale, entry.data, out.AppendRow(entry.row).data(), dim);
+  }
 }
 
 }  // namespace
@@ -242,33 +271,43 @@ std::size_t KrumSelect(const std::vector<ClientUpdate>& updates,
   return best;
 }
 
+void AggregateUpdates(const std::vector<ClientUpdate>& updates, std::size_t dim,
+                      const AggregatorOptions& options,
+                      AggregationWorkspace& workspace, SparseRoundDelta& out) {
+  out.Reset(dim);
+  if (updates.empty()) return;
+  switch (options.kind) {
+    case AggregatorKind::kSum:
+      BuildRowIndex(updates, workspace);
+      AggregateSumSparse(workspace, dim, out);
+      return;
+    case AggregatorKind::kNormBound:
+      BuildRowIndex(updates, workspace);
+      AggregateNormBoundSparse(workspace, dim, options.norm_bound, out);
+      return;
+    case AggregatorKind::kTrimmedMean:
+      BuildRowIndex(updates, workspace);
+      AggregateCoordinateWiseSparse(workspace, dim, /*median=*/false,
+                                    options.trim_fraction, out);
+      return;
+    case AggregatorKind::kMedian:
+      BuildRowIndex(updates, workspace);
+      AggregateCoordinateWiseSparse(workspace, dim, /*median=*/true,
+                                    options.trim_fraction, out);
+      return;
+    case AggregatorKind::kKrum:
+      AggregateKrumSparse(updates, dim, options.krum_honest, workspace, out);
+      return;
+  }
+}
+
 Matrix AggregateUpdates(const std::vector<ClientUpdate>& updates,
                         std::size_t num_items, std::size_t dim,
                         const AggregatorOptions& options) {
-  if (updates.empty()) return Matrix(num_items, dim);
-  switch (options.kind) {
-    case AggregatorKind::kSum:
-      return AggregateSum(updates, num_items, dim);
-    case AggregatorKind::kNormBound:
-      return AggregateNormBound(updates, num_items, dim, options.norm_bound);
-    case AggregatorKind::kTrimmedMean:
-      return AggregateCoordinateWise(updates, num_items, dim, /*median=*/false,
-                                     options.trim_fraction);
-    case AggregatorKind::kMedian:
-      return AggregateCoordinateWise(updates, num_items, dim, /*median=*/true,
-                                     options.trim_fraction);
-    case AggregatorKind::kKrum: {
-      const std::size_t pick =
-          KrumSelect(updates, num_items, dim, options.krum_honest);
-      Matrix total(num_items, dim);
-      // The selected client's update stands in for the whole round, scaled to
-      // the round size to keep the learning-rate semantics of Eq. (7).
-      updates[pick].item_gradients.AddTo(
-          total, static_cast<float>(updates.size()));
-      return total;
-    }
-  }
-  return Matrix(num_items, dim);
+  AggregationWorkspace workspace;
+  SparseRoundDelta delta;
+  AggregateUpdates(updates, dim, options, workspace, delta);
+  return delta.ToDense(num_items);
 }
 
 }  // namespace fedrec

@@ -18,10 +18,54 @@
 /// contributor count so their output magnitude is comparable to kSum — in FR
 /// most clients touch disjoint item subsets, which is exactly why the paper
 /// argues classical byzantine-robust rules fit FR poorly.
+///
+/// The primary entry point is the sparse-output overload: a round only moves
+/// the rows its clients uploaded, so the aggregate is a SparseRoundDelta over
+/// the touched rows — O(touched * dim) instead of O(num_items * dim) — and
+/// all scratch state lives in a caller-owned AggregationWorkspace that is
+/// reused round over round. The dense overload materializes the same delta
+/// into a full matrix and exists for tests and offline analysis.
 
 namespace fedrec {
 
-/// Aggregates one round of uploads into a dense gradient of V.
+/// One uploaded row: the item id plus a direct pointer to the contributor's
+/// values (resolved once — the per-coordinate aggregation loops never pay a
+/// row lookup again).
+struct RowContribution {
+  std::size_t row;
+  const float* data;
+};
+
+/// Reusable server-side aggregation scratch. All vectors keep their capacity
+/// across rounds, so steady-state aggregation performs no allocations.
+struct AggregationWorkspace {
+  /// Flat row -> contributors index: every uploaded row as a (row, values)
+  /// entry, stable-sorted by row id so each item's contributors form one
+  /// contiguous run in update order.
+  std::vector<RowContribution> row_index;
+  /// Per-coordinate contributor gather buffer (median / trimmed mean).
+  std::vector<float> column;
+  /// Row clip buffer (norm-bound).
+  std::vector<float> clipped;
+};
+
+/// Rebuilds `workspace.row_index` from the round's uploads. Exposed so the
+/// round engine can share the index with other per-round consumers.
+void BuildRowIndex(const std::vector<ClientUpdate>& updates,
+                   AggregationWorkspace& workspace);
+
+/// Aggregates one round of uploads into the touched-row delta `out`
+/// (out.rows() is the ascending union of all uploaded row ids; for kKrum only
+/// the selected client's rows). All five AggregatorKind rules are routed
+/// through this overload; the result is bit-identical to materializing the
+/// historical dense gradient.
+void AggregateUpdates(const std::vector<ClientUpdate>& updates, std::size_t dim,
+                      const AggregatorOptions& options,
+                      AggregationWorkspace& workspace, SparseRoundDelta& out);
+
+/// Dense convenience overload: aggregates sparsely, then scatters into a
+/// num_items x dim matrix. Tests and offline tooling only — the round loop
+/// applies the sparse delta directly.
 Matrix AggregateUpdates(const std::vector<ClientUpdate>& updates,
                         std::size_t num_items, std::size_t dim,
                         const AggregatorOptions& options);

@@ -26,6 +26,22 @@ enum class AggregatorKind {
 
 const char* AggregatorKindToString(AggregatorKind kind);
 
+/// How the server draws each round's participants.
+enum class ParticipationMode {
+  /// Shuffle all clients each epoch and walk the permutation in batches of
+  /// clients_per_round: every client participates exactly once per epoch
+  /// (the protocol the paper's experiments use).
+  kShuffledEpochs,
+  /// Draw clients_per_round participants uniformly without replacement,
+  /// independently every round — the classical cross-device FL regime where
+  /// per-round participation is sparse and a client may go many rounds
+  /// without being selected. An "epoch" is FedConfig::rounds_per_epoch
+  /// rounds (0 keeps the shuffled-epoch round count for comparability).
+  kUniformPerRound,
+};
+
+const char* ParticipationModeToString(ParticipationMode mode);
+
 /// Options for robust aggregation.
 struct AggregatorOptions {
   AggregatorKind kind = AggregatorKind::kSum;
@@ -43,6 +59,11 @@ struct FedConfig {
 
   /// |U'|: clients selected per training iteration.
   std::size_t clients_per_round = 64;
+  /// Round participation sampling (see ParticipationMode).
+  ParticipationMode participation = ParticipationMode::kShuffledEpochs;
+  /// kUniformPerRound only: rounds per epoch (0 = ceil(clients / round size),
+  /// matching the shuffled-epoch round count).
+  std::size_t rounds_per_epoch = 0;
   /// Total training epochs; one epoch cycles every client once (paper: 200).
   std::size_t epochs = 200;
   /// C: L2 bound on each uploaded gradient row.

@@ -1,0 +1,191 @@
+#include "fed/round_engine.h"
+
+#include <algorithm>
+
+namespace fedrec {
+
+const char* ParticipationModeToString(ParticipationMode mode) {
+  switch (mode) {
+    case ParticipationMode::kShuffledEpochs:
+      return "shuffled-epochs";
+    case ParticipationMode::kUniformPerRound:
+      return "uniform-per-round";
+  }
+  return "?";
+}
+
+RoundEngine::RoundEngine(const FedConfig* config, MfModel* model,
+                         std::vector<Client>* benign_clients,
+                         std::size_t num_malicious,
+                         MaliciousCoordinator* coordinator, ThreadPool* pool,
+                         Rng* rng)
+    : config_(config),
+      model_(model),
+      benign_clients_(benign_clients),
+      num_malicious_(num_malicious),
+      coordinator_(coordinator),
+      pool_(pool),
+      rng_(rng) {
+  FEDREC_CHECK(config_ != nullptr);
+  FEDREC_CHECK(model_ != nullptr);
+  FEDREC_CHECK(benign_clients_ != nullptr);
+  FEDREC_CHECK(rng_ != nullptr);
+  FEDREC_CHECK_GT(config_->clients_per_round, 0u);
+  if (num_malicious_ > 0) {
+    FEDREC_CHECK(coordinator_ != nullptr)
+        << "malicious users configured without a coordinator";
+  }
+}
+
+void RoundEngine::BeginEpoch(std::size_t epoch) {
+  epoch_ = epoch;
+  round_in_epoch_ = 0;
+
+  // Per-epoch negative resampling (the paper samples V-_i' per client; fresh
+  // negatives each epoch are the standard BPR variant and converge better).
+  const std::size_t num_items = model_->num_items();
+  std::vector<Client>& clients = *benign_clients_;
+  ParallelFor(pool_, clients.size(), [&](std::size_t i) {
+    clients[i].ResampleNegatives(num_items, config_->negatives_per_positive);
+  });
+
+  const std::size_t total = TotalClients();
+  const std::size_t batch = config_->clients_per_round;
+  const std::size_t full_cycle = (total + batch - 1) / batch;
+
+  // Reset the persistent order buffer to the identity permutation (no
+  // reallocation in steady state). The refill keeps every epoch's shuffle a
+  // pure function of the rng state, so training trajectories stay bit-stable
+  // against the historical per-epoch iota + shuffle.
+  std::vector<std::uint32_t>& order = workspace_.order;
+  order.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+
+  switch (config_->participation) {
+    case ParticipationMode::kShuffledEpochs:
+      rng_->Shuffle(order);
+      rounds_this_epoch_ = full_cycle;
+      break;
+    case ParticipationMode::kUniformPerRound:
+      // Sampling happens per round in Select(); an epoch is only a reporting
+      // unit here.
+      rounds_this_epoch_ = config_->rounds_per_epoch > 0
+                               ? config_->rounds_per_epoch
+                               : full_cycle;
+      break;
+  }
+}
+
+void RoundEngine::Select() {
+  std::vector<std::uint32_t>& selected_benign = workspace_.selected_benign;
+  std::vector<std::uint32_t>& selected_malicious = workspace_.selected_malicious;
+  selected_benign.clear();
+  selected_malicious.clear();
+
+  std::vector<std::uint32_t>& order = workspace_.order;
+  const std::size_t total = TotalClients();
+  const std::size_t batch = config_->clients_per_round;
+  const std::size_t num_benign = benign_clients_->size();
+
+  const auto route = [&](std::uint32_t id) {
+    if (id < num_benign) {
+      selected_benign.push_back(id);
+    } else {
+      selected_malicious.push_back(id);
+    }
+  };
+
+  switch (config_->participation) {
+    case ParticipationMode::kShuffledEpochs: {
+      const std::size_t begin = round_in_epoch_ * batch;
+      const std::size_t end = std::min(begin + batch, total);
+      for (std::size_t i = begin; i < end; ++i) route(order[i]);
+      break;
+    }
+    case ParticipationMode::kUniformPerRound: {
+      // Partial Fisher-Yates over the persistent pool: after k swaps,
+      // order[0..k) is a uniform sample of k distinct clients — no per-round
+      // allocation, and each round's draw is independent.
+      const std::size_t k = std::min(batch, total);
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + static_cast<std::size_t>(
+                                      rng_->NextBounded(total - i));
+        std::swap(order[i], order[j]);
+        route(order[i]);
+      }
+      break;
+    }
+  }
+}
+
+double RoundEngine::LocalTrain() {
+  const std::vector<std::uint32_t>& selected = workspace_.selected_benign;
+  std::vector<ClientUpdate>& updates = workspace_.updates;
+  std::vector<Client>& clients = *benign_clients_;
+  // Move-assign into persistent slots: the vector itself is reused; each
+  // slot's previous-round buffers are released by the incoming update.
+  updates.resize(selected.size());
+  ParallelFor(pool_, selected.size(), [&](std::size_t i) {
+    updates[i] = clients[selected[i]].TrainRound(model_->item_factors(),
+                                                 *config_);
+  });
+  workspace_.is_malicious.assign(updates.size(), false);
+  double loss = 0.0;
+  for (const ClientUpdate& update : updates) loss += update.loss;
+  return loss;
+}
+
+void RoundEngine::Attack() {
+  if (workspace_.selected_malicious.empty() || coordinator_ == nullptr) return;
+  const RoundContext context = MakeContext();
+  std::vector<ClientUpdate> poisoned = coordinator_->ProduceUpdates(
+      context, std::span<const std::uint32_t>(workspace_.selected_malicious));
+  FEDREC_CHECK_EQ(poisoned.size(), workspace_.selected_malicious.size());
+  for (ClientUpdate& update : poisoned) {
+    workspace_.updates.push_back(std::move(update));
+    workspace_.is_malicious.push_back(true);
+  }
+}
+
+void RoundEngine::Observe(const RoundObserver& observer) const {
+  if (observer) observer(workspace_.updates, workspace_.is_malicious);
+}
+
+void RoundEngine::Aggregate() {
+  AggregateUpdates(workspace_.updates, model_->dim(), config_->aggregator,
+                   workspace_.aggregation, workspace_.delta);
+}
+
+void RoundEngine::Apply() {
+  model_->ApplySparseGradient(workspace_.delta, config_->model.learning_rate);
+}
+
+double RoundEngine::RunRound(const RoundObserver& observer) {
+  FEDREC_CHECK(HasNextRound()) << "epoch " << epoch_ << " has no rounds left";
+  Select();
+  const double loss = LocalTrain();
+  Attack();
+  Observe(observer);
+  Aggregate();
+  Apply();
+  ++round_in_epoch_;
+  ++global_round_;
+  return loss;
+}
+
+RoundContext RoundEngine::MakeContext() const {
+  RoundContext context;
+  context.model = model_;
+  context.config = config_;
+  context.epoch = epoch_;
+  context.round_in_epoch = round_in_epoch_;
+  context.global_round = global_round_;
+  context.num_benign_users = benign_clients_->size();
+  context.pool = pool_;
+  context.workspace = &workspace_;
+  return context;
+}
+
+}  // namespace fedrec

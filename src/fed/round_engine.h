@@ -1,0 +1,162 @@
+#ifndef FEDREC_FED_ROUND_ENGINE_H_
+#define FEDREC_FED_ROUND_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "fed/aggregator.h"
+#include "fed/client.h"
+#include "fed/config.h"
+#include "model/mf_model.h"
+
+/// \file
+/// The server's round loop, decomposed into its protocol stages:
+///
+///   Select -> LocalTrain -> Attack -> Observe -> Aggregate -> Apply
+///
+/// Every stage operates over one reusable RoundWorkspace: the selection
+/// vectors, the update slots, the flat row->contributors aggregation index
+/// and the touched-row SparseRoundDelta all keep their capacity across
+/// rounds, so the steady-state loop performs no server-side allocations.
+/// A round only moves the item rows its clients uploaded (Eq. 7), so the
+/// engine aggregates and applies O(touched_rows * dim) work per round
+/// instead of materializing a dense num_items x dim gradient.
+///
+/// Simulation (fed/simulation.h) drives the engine epoch by epoch; tests and
+/// custom drivers may also invoke the stages individually.
+
+namespace fedrec {
+
+/// Per-round server state, reused across rounds (capacity is never released).
+struct RoundWorkspace {
+  /// Participation permutation. Shuffled-epoch mode shuffles the whole vector
+  /// once per epoch; uniform-per-round mode draws each round's sample via a
+  /// partial Fisher-Yates over its front.
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> selected_benign;
+  std::vector<std::uint32_t> selected_malicious;
+  /// The round's uploads: benign first (parallel to selected_benign), then
+  /// one per selected malicious client.
+  std::vector<ClientUpdate> updates;
+  /// Parallel to `updates`: which uploads came from malicious clients.
+  std::vector<bool> is_malicious;
+  /// Aggregation scratch (flat row->contributors index, gather buffers).
+  AggregationWorkspace aggregation;
+  /// The round's touched-row aggregate.
+  SparseRoundDelta delta;
+};
+
+/// Read-only view of the server state an attacker legitimately observes when
+/// one of its clients is selected: the shared parameters (V; Theta is empty
+/// for MF) and the protocol hyper-parameters. `workspace` additionally
+/// exposes the engine's round state (including the benign uploads of the
+/// current round) — a *simulator* capability for omniscient-attacker and
+/// adaptive-defense experiments that goes beyond the paper's threat model;
+/// attacks that stay within the paper's model must only read the shared
+/// parameters. It is null when no engine drives the round (stand-alone use).
+struct RoundContext {
+  const MfModel* model = nullptr;
+  const FedConfig* config = nullptr;
+  std::size_t epoch = 0;
+  std::size_t round_in_epoch = 0;
+  std::size_t global_round = 0;
+  std::size_t num_benign_users = 0;
+  ThreadPool* pool = nullptr;
+  const RoundWorkspace* workspace = nullptr;
+};
+
+/// Producer of malicious uploads; implemented by every attack in src/attack.
+class MaliciousCoordinator {
+ public:
+  virtual ~MaliciousCoordinator() = default;
+
+  /// Attack name for reports ("fedrecattack", "random", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once per round in which at least one malicious client was
+  /// selected; returns exactly one upload per id in `selected_malicious`
+  /// (ids are in [num_benign_users, num_benign_users + num_malicious)).
+  virtual std::vector<ClientUpdate> ProduceUpdates(
+      const RoundContext& context,
+      std::span<const std::uint32_t> selected_malicious) = 0;
+};
+
+/// Observer invoked after each round with all uploads of the round and the
+/// flags marking which came from malicious clients (detector experiments).
+using RoundObserver =
+    std::function<void(const std::vector<ClientUpdate>&, const std::vector<bool>&)>;
+
+/// Stage-decomposed federated round loop over a persistent workspace.
+class RoundEngine {
+ public:
+  /// All pointers are borrowed and must outlive the engine. `benign_clients`
+  /// may still be empty at construction (it is only read from BeginEpoch on);
+  /// `rng` is the server's selection stream.
+  RoundEngine(const FedConfig* config, MfModel* model,
+              std::vector<Client>* benign_clients, std::size_t num_malicious,
+              MaliciousCoordinator* coordinator, ThreadPool* pool, Rng* rng);
+
+  /// Starts epoch `epoch`: resamples every benign client's negative set and
+  /// prepares the participation order for the configured ParticipationMode.
+  void BeginEpoch(std::size_t epoch);
+
+  /// True while the current epoch has rounds left to run.
+  bool HasNextRound() const { return round_in_epoch_ < rounds_this_epoch_; }
+
+  /// Runs all six stages of one round and advances the round counters.
+  /// Returns the round's summed benign BPR loss. `observer` may be null.
+  double RunRound(const RoundObserver& observer);
+
+  // -- Individual stages, in protocol order (exposed for tests and custom
+  //    drivers; RunRound invokes them in exactly this sequence) -------------
+
+  /// Fills selected_benign / selected_malicious for the current round.
+  void Select();
+  /// Trains the selected benign clients (in parallel when a pool is set) and
+  /// stores their uploads; returns the summed benign loss.
+  double LocalTrain();
+  /// Lets the coordinator append one poisoned upload per selected malicious
+  /// client (no-op without coordinator or malicious selection).
+  void Attack();
+  /// Hands the round's uploads and malicious flags to `observer` (if any).
+  void Observe(const RoundObserver& observer) const;
+  /// Aggregates the round's uploads into the touched-row delta.
+  void Aggregate();
+  /// Applies the delta to the shared item matrix (Eq. 7).
+  void Apply();
+
+  std::size_t epoch() const { return epoch_; }
+  std::size_t round_in_epoch() const { return round_in_epoch_; }
+  std::size_t rounds_this_epoch() const { return rounds_this_epoch_; }
+  std::size_t global_round() const { return global_round_; }
+  std::size_t num_malicious() const { return num_malicious_; }
+  const RoundWorkspace& workspace() const { return workspace_; }
+
+ private:
+  std::size_t TotalClients() const {
+    return benign_clients_->size() + num_malicious_;
+  }
+  RoundContext MakeContext() const;
+
+  const FedConfig* config_;
+  MfModel* model_;
+  std::vector<Client>* benign_clients_;
+  std::size_t num_malicious_;
+  MaliciousCoordinator* coordinator_;
+  ThreadPool* pool_;
+  Rng* rng_;
+  RoundWorkspace workspace_;
+  std::size_t epoch_ = 0;
+  std::size_t round_in_epoch_ = 0;
+  std::size_t rounds_this_epoch_ = 0;
+  std::size_t global_round_ = 0;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_FED_ROUND_ENGINE_H_

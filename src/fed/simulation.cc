@@ -2,93 +2,31 @@
 
 #include <algorithm>
 
+#include "common/stopwatch.h"
+
 namespace fedrec {
 
 Simulation::Simulation(const Dataset& train, const FedConfig& config,
                        std::size_t num_malicious,
                        MaliciousCoordinator* coordinator, ThreadPool* pool)
     : config_(config),
-      num_malicious_(num_malicious),
-      coordinator_(coordinator),
       pool_(pool),
-      rng_(config.seed) {
-  FEDREC_CHECK_GT(config_.clients_per_round, 0u);
+      rng_(config.seed),
+      engine_(&config_, &model_, &benign_clients_, num_malicious, coordinator,
+              pool, &rng_) {
   model_ = MfModel(train.num_items(), config_.model, rng_);
   benign_clients_.reserve(train.num_users());
   for (std::uint32_t u = 0; u < train.num_users(); ++u) {
     benign_clients_.emplace_back(u, train.UserItems(u), config_.model,
                                  rng_.Fork(u));
   }
-  if (num_malicious_ > 0) {
-    FEDREC_CHECK(coordinator_ != nullptr)
-        << "malicious users configured without a coordinator";
-  }
 }
 
 double Simulation::RunEpoch() {
-  const std::size_t num_items = model_.num_items();
-  // Per-epoch negative resampling (the paper samples V-_i' per client; fresh
-  // negatives each epoch are the standard BPR variant and converge better).
-  ParallelFor(pool_, benign_clients_.size(), [&](std::size_t i) {
-    benign_clients_[i].ResampleNegatives(num_items,
-                                         config_.negatives_per_positive);
-  });
-
-  // Shuffle all participating client ids (benign + malicious) into rounds.
-  std::vector<std::uint32_t> order(benign_clients_.size() + num_malicious_);
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    order[i] = static_cast<std::uint32_t>(i);
-  }
-  rng_.Shuffle(order);
-
+  engine_.BeginEpoch(epoch_);
   double epoch_loss = 0.0;
-  const std::size_t batch = config_.clients_per_round;
-  std::size_t round_in_epoch = 0;
-  for (std::size_t begin = 0; begin < order.size(); begin += batch) {
-    const std::size_t end = std::min(begin + batch, order.size());
-    std::vector<std::uint32_t> selected_benign;
-    std::vector<std::uint32_t> selected_malicious;
-    for (std::size_t i = begin; i < end; ++i) {
-      if (order[i] < benign_clients_.size()) {
-        selected_benign.push_back(order[i]);
-      } else {
-        selected_malicious.push_back(order[i]);
-      }
-    }
-
-    std::vector<ClientUpdate> updates(selected_benign.size());
-    ParallelFor(pool_, selected_benign.size(), [&](std::size_t i) {
-      updates[i] = benign_clients_[selected_benign[i]].TrainRound(
-          model_.item_factors(), config_);
-    });
-    for (const ClientUpdate& update : updates) epoch_loss += update.loss;
-
-    std::vector<bool> is_malicious(updates.size(), false);
-    if (!selected_malicious.empty() && coordinator_ != nullptr) {
-      RoundContext context;
-      context.model = &model_;
-      context.config = &config_;
-      context.epoch = epoch_;
-      context.round_in_epoch = round_in_epoch;
-      context.global_round = global_round_;
-      context.num_benign_users = benign_clients_.size();
-      context.pool = pool_;
-      std::vector<ClientUpdate> poisoned =
-          coordinator_->ProduceUpdates(context, selected_malicious);
-      FEDREC_CHECK_EQ(poisoned.size(), selected_malicious.size());
-      for (ClientUpdate& update : poisoned) {
-        updates.push_back(std::move(update));
-        is_malicious.push_back(true);
-      }
-    }
-
-    if (observer_) observer_(updates, is_malicious);
-
-    const Matrix gradient = AggregateUpdates(
-        updates, num_items, model_.dim(), config_.aggregator);
-    model_.ApplyGradient(gradient, config_.model.learning_rate);
-    ++round_in_epoch;
-    ++global_round_;
+  while (engine_.HasNextRound()) {
+    epoch_loss += engine_.RunRound(observer_);
   }
   ++epoch_;
   return epoch_loss;
@@ -99,16 +37,25 @@ std::vector<EpochRecord> Simulation::Run(
     std::size_t eval_every) {
   std::vector<EpochRecord> records;
   records.reserve(config_.epochs);
+  Stopwatch epoch_timer;
   for (std::size_t e = 0; e < config_.epochs; ++e) {
     EpochRecord record;
     record.epoch = e;
+    const std::size_t rounds_before = engine_.global_round();
+    epoch_timer.Reset();
     record.train_loss = RunEpoch();
+    record.train_seconds = epoch_timer.ElapsedSeconds();
+    record.rounds = engine_.global_round() - rounds_before;
+    record.rounds_per_sec =
+        record.train_seconds > 0.0
+            ? static_cast<double>(record.rounds) / record.train_seconds
+            : 0.0;
     const bool last = e + 1 == config_.epochs;
     if (evaluator != nullptr && eval_every > 0 &&
         ((e + 1) % eval_every == 0 || last)) {
-      const Matrix users = BenignUserFactors();
-      record.metrics =
-          evaluator->Evaluate(users, model_.item_factors(), target_items, pool_);
+      record.metrics = evaluator->Evaluate(BenignUserFactors(),
+                                           model_.item_factors(), target_items,
+                                           pool_);
       record.has_metrics = true;
     }
     records.push_back(std::move(record));
@@ -116,13 +63,17 @@ std::vector<EpochRecord> Simulation::Run(
   return records;
 }
 
-Matrix Simulation::BenignUserFactors() const {
-  Matrix users(benign_clients_.size(), model_.dim());
-  for (std::size_t u = 0; u < benign_clients_.size(); ++u) {
-    const auto& vec = benign_clients_[u].user_vector();
-    std::copy(vec.begin(), vec.end(), users.Row(u).begin());
+const Matrix& Simulation::BenignUserFactors() {
+  if (user_factors_.rows() != benign_clients_.size() ||
+      user_factors_.cols() != model_.dim()) {
+    user_factors_ = Matrix(benign_clients_.size(), model_.dim());
   }
-  return users;
+  std::vector<Client>& clients = benign_clients_;
+  ParallelFor(pool_, clients.size(), [&](std::size_t u) {
+    const auto& vec = clients[u].user_vector();
+    std::copy(vec.begin(), vec.end(), user_factors_.Row(u).begin());
+  });
+  return user_factors_;
 }
 
 }  // namespace fedrec

@@ -1,17 +1,13 @@
 #ifndef FEDREC_FED_SIMULATION_H_
 #define FEDREC_FED_SIMULATION_H_
 
-#include <functional>
-#include <memory>
-#include <span>
-#include <string>
+#include <cstdint>
 #include <vector>
 
 #include "common/threadpool.h"
 #include "data/dataset.h"
-#include "fed/aggregator.h"
-#include "fed/client.h"
 #include "fed/config.h"
+#include "fed/round_engine.h"
 #include "model/metrics.h"
 
 /// \file
@@ -19,52 +15,26 @@
 /// attacker hook of Section III-C: benign users are regular clients holding
 /// private data; malicious users are additional injected clients whose uploads
 /// are produced by a MaliciousCoordinator (the Attack implementations in
-/// src/attack). One epoch cycles every client once in shuffled batches of
-/// `clients_per_round`.
+/// src/attack). Simulation is a thin facade: it owns the shared model, the
+/// benign clients and the server rng, and drives the stage-decomposed
+/// RoundEngine (fed/round_engine.h) epoch by epoch. Round mechanics — client
+/// selection, local training fan-out, attack injection, touched-row
+/// aggregation and the sparse model update — live in the engine.
 
 namespace fedrec {
 
-/// Read-only view of the server state an attacker legitimately observes when
-/// one of its clients is selected: the shared parameters (V; Theta is empty
-/// for MF) and the protocol hyper-parameters.
-struct RoundContext {
-  const MfModel* model = nullptr;
-  const FedConfig* config = nullptr;
-  std::size_t epoch = 0;
-  std::size_t round_in_epoch = 0;
-  std::size_t global_round = 0;
-  std::size_t num_benign_users = 0;
-  ThreadPool* pool = nullptr;
-};
-
-/// Producer of malicious uploads; implemented by every attack in src/attack.
-class MaliciousCoordinator {
- public:
-  virtual ~MaliciousCoordinator() = default;
-
-  /// Attack name for reports ("fedrecattack", "random", ...).
-  virtual std::string name() const = 0;
-
-  /// Called once per round in which at least one malicious client was
-  /// selected; returns exactly one upload per id in `selected_malicious`
-  /// (ids are in [num_benign_users, num_benign_users + num_malicious)).
-  virtual std::vector<ClientUpdate> ProduceUpdates(
-      const RoundContext& context,
-      std::span<const std::uint32_t> selected_malicious) = 0;
-};
-
-/// Per-epoch record for the Fig. 3 curves.
+/// Per-epoch record for the Fig. 3 curves, plus round-throughput
+/// instrumentation for the perf trajectory of the repo.
 struct EpochRecord {
   std::size_t epoch = 0;
   double train_loss = 0.0;  ///< summed benign BPR loss (paper plots the sum)
+  std::size_t rounds = 0;   ///< training rounds executed this epoch
+  /// Wall time of the epoch's training rounds (excludes evaluation).
+  double train_seconds = 0.0;
+  double rounds_per_sec = 0.0;
   bool has_metrics = false;
   MetricsResult metrics;
 };
-
-/// Observer invoked after each round with all uploads of the round and the
-/// flags marking which came from malicious clients (detector experiments).
-using RoundObserver =
-    std::function<void(const std::vector<ClientUpdate>&, const std::vector<bool>&)>;
 
 /// Federated training simulation.
 class Simulation {
@@ -76,12 +46,20 @@ class Simulation {
              std::size_t num_malicious, MaliciousCoordinator* coordinator,
              ThreadPool* pool);
 
+  // The engine borrows pointers to members, so relocation would leave it
+  // aiming at the source object.
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
   std::size_t num_benign() const { return benign_clients_.size(); }
-  std::size_t num_malicious() const { return num_malicious_; }
-  std::size_t global_round() const { return global_round_; }
+  std::size_t num_malicious() const { return engine_.num_malicious(); }
+  std::size_t global_round() const { return engine_.global_round(); }
 
   MfModel& model() { return model_; }
   const MfModel& model() const { return model_; }
+
+  RoundEngine& engine() { return engine_; }
+  const RoundEngine& engine() const { return engine_; }
 
   /// Installs an observer receiving every round's uploads.
   void SetRoundObserver(RoundObserver observer) { observer_ = std::move(observer); }
@@ -95,21 +73,22 @@ class Simulation {
                                const std::vector<std::uint32_t>& target_items,
                                std::size_t eval_every);
 
-  /// Assembles the benign users' current feature vectors (evaluation is an
-  /// omniscient-simulator operation; the attacker never sees this matrix).
-  Matrix BenignUserFactors() const;
+  /// Assembles the benign users' current feature vectors into a reused member
+  /// buffer (evaluation is an omniscient-simulator operation; the attacker
+  /// never sees this matrix). The returned reference is invalidated by the
+  /// next call.
+  const Matrix& BenignUserFactors();
 
  private:
   FedConfig config_;
-  std::size_t num_malicious_;
-  MaliciousCoordinator* coordinator_;
   ThreadPool* pool_;
   MfModel model_;
   std::vector<Client> benign_clients_;
   Rng rng_;
   std::size_t epoch_ = 0;
-  std::size_t global_round_ = 0;
   RoundObserver observer_;
+  Matrix user_factors_;  ///< BenignUserFactors() buffer, reused per call
+  RoundEngine engine_;   ///< declared last: borrows the members above
 };
 
 }  // namespace fedrec

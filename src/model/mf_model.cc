@@ -26,6 +26,11 @@ void MfModel::ApplyGradient(const Matrix& gradient, float learning_rate) {
   item_factors_.Add(gradient, -learning_rate);
 }
 
+void MfModel::ApplySparseGradient(const SparseRoundDelta& delta,
+                                  float learning_rate) {
+  delta.AddTo(item_factors_, -learning_rate);
+}
+
 std::vector<float> InitUserVector(const MfHyperParams& params, Rng& rng) {
   std::vector<float> vec(params.dim);
   for (float& v : vec) {

@@ -58,6 +58,13 @@ class MfModel {
   /// Applies an aggregated gradient: V <- V - lr * grad (Eq. 7).
   void ApplyGradient(const Matrix& gradient, float learning_rate);
 
+  /// Applies a touched-rows-only round aggregate: v_j <- v_j - lr * delta_j
+  /// for every row in `delta` (Eq. 7 restricted to the rows the round's
+  /// clients uploaded — the other rows are untouched by construction).
+  /// Scatters via the vectorized kernel layer; bit-identical to applying
+  /// delta.ToDense(num_items()) densely.
+  void ApplySparseGradient(const SparseRoundDelta& delta, float learning_rate);
+
  private:
   MfHyperParams params_;
   Matrix item_factors_;
