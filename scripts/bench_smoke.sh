@@ -7,6 +7,8 @@
 #   build_dir   defaults to build-release, then build (first that exists)
 #   bench_name  defaults to bench_table3_xi (~seconds in --quick)
 #   out_dir     defaults to the repository root
+#   BENCH_ARGS  env var overriding the default "--quick" preset flags
+#               (e.g. BENCH_ARGS="" for a full-length measured run)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -33,8 +35,10 @@ fi
 csv_file="$(mktemp)"
 trap 'rm -f "$csv_file"' EXIT
 
+bench_args="${BENCH_ARGS---quick}"
 start_s=$(python3 -c 'import time; print(time.time())')
-"$bench_bin" --quick --csv="$csv_file"
+# shellcheck disable=SC2086  # word-splitting of the arg list is intended
+"$bench_bin" $bench_args --csv="$csv_file"
 end_s=$(python3 -c 'import time; print(time.time())')
 wall_seconds=$(awk -v a="$start_s" -v b="$end_s" 'BEGIN { printf "%.3f", b - a }')
 
@@ -42,7 +46,8 @@ stamp="$(date -u +%Y%m%dT%H%M%SZ)"
 git_rev="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 out_file="$out_dir/BENCH_${bench_name}_${stamp}.json"
 
-CSV_FILE="$csv_file" BENCH_NAME="$bench_name" WALL_SECONDS="$wall_seconds" \
+CSV_FILE="$csv_file" BENCH_NAME="$bench_name" BENCH_PRESET="$bench_args" \
+WALL_SECONDS="$wall_seconds" \
 GIT_REV="$git_rev" STAMP="$stamp" OUT_FILE="$out_file" python3 - <<'PY'
 import csv, json, os
 
@@ -53,7 +58,7 @@ with open(os.environ["CSV_FILE"], newline="") as f:
 
 report = {
     "bench": os.environ["BENCH_NAME"],
-    "preset": "--quick",
+    "preset": os.environ.get("BENCH_PRESET", "--quick") or "(default full)",
     "utc": os.environ["STAMP"],
     "git_rev": os.environ["GIT_REV"],
     "wall_seconds": float(os.environ["WALL_SECONDS"]),

@@ -150,16 +150,12 @@ Matrix FedRecAttack::ComputePoisonGradient(const Matrix& item_factors,
     }
   };
 
+  // One chunk per pool thread with unit grain: each task is exactly one
+  // partial-accumulator chunk.
   if (num_chunks == 1) {
     process_chunk(0);
   } else {
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(num_chunks);
-    for (std::size_t c = 0; c < num_chunks; ++c) {
-      tasks.emplace_back([&process_chunk, c] { process_chunk(c); });
-    }
-    pool->SubmitBatch(std::move(tasks));
-    pool->Wait();
+    pool->ParallelFor(0, num_chunks, /*grain=*/1, process_chunk);
   }
 
   Matrix gradient = std::move(partial[0]);

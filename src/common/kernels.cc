@@ -22,10 +22,12 @@ bool HasVectorPath() { return FEDREC_KERNELS_VECTOR != 0; }
 // Vec8 arithmetic below. NB: a comma-separated feature list would create one
 // clone per feature, not one clone with all features — arch= is the correct
 // way to get a combined micro-architecture level.
-// Sanitized builds skip multi-versioning: ASan shadow setup and ifunc
-// resolution order do not compose reliably, and perf is irrelevant there.
+// Sanitized builds skip multi-versioning: ASan/TSan runtime setup and ifunc
+// resolution order do not compose reliably (TSan crashes before main), and
+// perf is irrelevant there.
 #if FEDREC_KERNELS_VECTOR && defined(__x86_64__) && defined(__gnu_linux__) && \
-    !defined(__clang__) && !defined(__SANITIZE_ADDRESS__)
+    !defined(__clang__) && !defined(__SANITIZE_ADDRESS__) && \
+    !defined(__SANITIZE_THREAD__)
 #define FEDREC_KERNEL_CLONES \
   __attribute__((target_clones("arch=x86-64-v3", "default")))
 #else

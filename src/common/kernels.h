@@ -26,6 +26,22 @@ namespace kernels {
 /// compiled in. Exposed so benches and tests can report which path ran.
 bool HasVectorPath();
 
+/// Hints the CPU to start loading the cache line(s) holding [p, p + bytes).
+/// Used by gather-heavy loops (a federated round reads a scatter of item
+/// rows from a matrix far larger than cache) to overlap the miss latency of
+/// upcoming rows with current work. No-op where unsupported.
+inline void PrefetchRead(const void* p, std::size_t bytes) {
+#if defined(__GNUC__) || defined(__clang__)
+  const char* c = static_cast<const char*>(p);
+  for (std::size_t offset = 0; offset < bytes; offset += 64) {
+    __builtin_prefetch(c + offset, /*rw=*/0, /*locality=*/3);
+  }
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
 // -- Scalar reference implementations (ascending-order accumulation) --------
 
 float ScalarDot(const float* a, const float* b, std::size_t n);

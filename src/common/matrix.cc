@@ -68,6 +68,11 @@ std::span<float> SparseRowMatrix::RowMutable(std::size_t row) {
   std::size_t slot = FindSlot(row);
   if (slot == kNpos) {
     slot = index_.size();
+    internal::NoteSparseGrowth(index_.size() + 1, index_.capacity());
+    internal::NoteSparseGrowth(values_.size() + cols_, values_.capacity());
+    internal::NoteSparseGrowth(lookup_rows_.size() + 1, lookup_rows_.capacity());
+    internal::NoteSparseGrowth(lookup_slots_.size() + 1,
+                               lookup_slots_.capacity());
     index_.push_back(row);
     values_.resize(values_.size() + cols_, 0.0f);
     const auto it =

@@ -1,7 +1,10 @@
 #ifndef FEDREC_COMMON_MATRIX_H_
 #define FEDREC_COMMON_MATRIX_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -14,6 +17,32 @@
 /// rows, and uploaded gradients are (sparse sets of) rows.
 
 namespace fedrec {
+
+namespace internal {
+/// Process-wide count of heap-growth events in the sparse round containers
+/// (SparseRowMatrix, SparseRoundDelta). Incremented whenever an internal
+/// buffer must reallocate; operations served from retained capacity add
+/// nothing. The round loop's steady-state zero-allocation guarantee is
+/// measured against this counter (tests and bench_round_engine).
+inline std::atomic<std::uint64_t> g_sparse_allocations{0};
+
+/// Notes one growth event when `needed` exceeds `capacity`.
+inline void NoteSparseGrowth(std::size_t needed, std::size_t capacity) {
+  if (needed > capacity) {
+    g_sparse_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+}  // namespace internal
+
+/// Current value of the sparse-container allocation counter.
+inline std::uint64_t SparseAllocationCount() {
+  return internal::g_sparse_allocations.load(std::memory_order_relaxed);
+}
+
+/// Resets the sparse-container allocation counter to zero.
+inline void ResetSparseAllocationCount() {
+  internal::g_sparse_allocations.store(0, std::memory_order_relaxed);
+}
 
 /// Row-major dense matrix of float with contiguous storage.
 class Matrix {
@@ -124,6 +153,14 @@ class SparseRowMatrix {
   /// Removes all rows (keeps the column count).
   void Clear();
 
+  /// Drops all rows and sets the column count; every internal buffer keeps
+  /// its capacity, so refilling a recycled upload with a same-shaped round
+  /// performs no heap allocations (the basis of Client::TrainRoundInto).
+  void Reset(std::size_t cols) {
+    cols_ = cols;
+    Clear();
+  }
+
   /// Accumulates `this` into the dense `target` scaled by alpha.
   void AddTo(Matrix& target, float alpha = 1.0f) const;
 
@@ -163,11 +200,12 @@ class SparseRoundDelta {
  public:
   SparseRoundDelta() = default;
 
-  /// Drops all rows and sets the column count; capacity is retained.
+  /// Drops all rows and sets the column count; capacity is retained. The
+  /// value store is a high-water buffer: it is never shrunk or cleared, so a
+  /// same-shaped next round reuses it without a single write.
   void Reset(std::size_t cols) {
     cols_ = cols;
     rows_.clear();
-    values_.clear();
   }
 
   std::size_t cols() const { return cols_; }
@@ -182,9 +220,31 @@ class SparseRoundDelta {
   /// row->contributors index).
   std::span<float> AppendRow(std::size_t row) {
     FEDREC_DCHECK(rows_.empty() || rows_.back() < row);
+    internal::NoteSparseGrowth(rows_.size() + 1, rows_.capacity());
     rows_.push_back(row);
-    values_.resize(values_.size() + cols_, 0.0f);
-    return std::span<float>(values_.data() + (rows_.size() - 1) * cols_, cols_);
+    const std::size_t needed = rows_.size() * cols_;
+    if (values_.size() < needed) {
+      internal::NoteSparseGrowth(needed, values_.capacity());
+      values_.resize(needed);
+    }
+    std::span<float> slot(values_.data() + (rows_.size() - 1) * cols_, cols_);
+    std::fill(slot.begin(), slot.end(), 0.0f);  // reused storage may be stale
+    return slot;
+  }
+
+  /// Bulk row assignment for callers that overwrite every element of every
+  /// row before reading it back (the aggregator's rules all do: they copy or
+  /// write their first contribution instead of accumulating onto zeros).
+  /// Skips the per-round zero-fill entirely — the values are whatever the
+  /// previous round left in the high-water buffer until the caller writes.
+  void AssignRowsForOverwrite(const std::vector<std::size_t>& rows) {
+    internal::NoteSparseGrowth(rows.size(), rows_.capacity());
+    rows_ = rows;
+    const std::size_t needed = rows_.size() * cols_;
+    if (values_.size() < needed) {
+      internal::NoteSparseGrowth(needed, values_.capacity());
+      values_.resize(needed);
+    }
   }
 
   std::span<float> RowAtSlot(std::size_t slot) {

@@ -1,7 +1,6 @@
 #include "common/threadpool.h"
 
 #include <algorithm>
-#include <atomic>
 
 namespace fedrec {
 
@@ -75,31 +74,40 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(ThreadPool* pool, std::size_t count,
-                 const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
-  if (pool == nullptr || pool->thread_count() <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             std::size_t grain,
+                             const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  if (thread_count() <= 1 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  const std::size_t threads = pool->thread_count();
-  const std::size_t chunk = std::max<std::size_t>(1, count / (threads * 4));
-  std::atomic<std::size_t> next{0};
-  const std::size_t num_tasks = std::min(threads, (count + chunk - 1) / chunk);
+  const std::size_t chunk =
+      grain > 0 ? grain
+                : std::max<std::size_t>(1, count / (thread_count() * 4));
+  const std::size_t num_tasks = (count + chunk - 1) / chunk;
   std::vector<std::function<void()>> tasks;
   tasks.reserve(num_tasks);
   for (std::size_t t = 0; t < num_tasks; ++t) {
-    tasks.emplace_back([&next, count, chunk, &fn] {
-      for (;;) {
-        const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
-        if (begin >= count) return;
-        const std::size_t end = std::min(begin + chunk, count);
-        for (std::size_t i = begin; i < end; ++i) fn(i);
-      }
+    const std::size_t chunk_begin = begin + t * chunk;
+    const std::size_t chunk_end = std::min(chunk_begin + chunk, end);
+    tasks.emplace_back([&fn, chunk_begin, chunk_end] {
+      for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
     });
   }
-  pool->SubmitBatch(std::move(tasks));
-  pool->Wait();
+  SubmitBatch(std::move(tasks));
+  Wait();
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(0, count, 0, fn);
 }
 
 std::size_t DefaultThreadCount() {

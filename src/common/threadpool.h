@@ -40,6 +40,16 @@ class ThreadPool {
   /// Blocks until every submitted task has finished executing.
   void Wait();
 
+  /// Executes fn(i) for i in [begin, end) across the pool with *static*
+  /// chunking: the range is split up front into contiguous chunks of `grain`
+  /// iterations (grain = 0 derives a chunk size from the thread count), one
+  /// task per chunk, and the call blocks until all chunks finished. Static
+  /// assignment keeps the index->task mapping deterministic; callers must
+  /// still not depend on execution order. With <= 1 worker the loop runs
+  /// inline on the calling thread. Must be called from outside the pool.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t)>& fn);
+
  private:
   void WorkerLoop();
 
@@ -53,8 +63,8 @@ class ThreadPool {
 };
 
 /// Executes fn(i) for i in [0, count) across the pool, blocking until done.
-/// Iterations are dealt in contiguous chunks to limit synchronization.
-/// When `pool` is null the loop runs inline on the calling thread.
+/// Thin wrapper over ThreadPool::ParallelFor (auto grain); when `pool` is
+/// null the loop runs inline on the calling thread.
 void ParallelFor(ThreadPool* pool, std::size_t count,
                  const std::function<void(std::size_t)>& fn);
 

@@ -6,6 +6,7 @@
 
 #include "common/kernels.h"
 #include "common/math.h"
+#include "common/threadpool.h"
 
 namespace fedrec {
 
@@ -34,75 +35,154 @@ void BuildRowIndex(const std::vector<ClientUpdate>& updates,
   std::vector<RowContribution>& entries = workspace.row_index;
   entries.clear();
   entries.reserve(total_rows);
+  std::size_t max_row = 0;
   for (const ClientUpdate& update : updates) {
     const auto& rows = update.item_gradients.row_ids();
     for (std::size_t slot = 0; slot < rows.size(); ++slot) {
       entries.push_back({rows[slot], update.item_gradients.RowAtSlot(slot).data()});
+      max_row = std::max(max_row, rows[slot]);
     }
   }
-  // Stable: contributors of a row keep update order, like the old grouping.
-  std::stable_sort(entries.begin(), entries.end(),
-                   [](const RowContribution& a, const RowContribution& b) {
-                     return a.row < b.row;
-                   });
+  // Stable LSD radix passes over the row bytes: branch-free counting
+  // scatters group the entries by row while preserving update order within a
+  // row (what stable_sort gave, minus its per-call temp buffer and minus a
+  // comparison sort's mispredicted branches on fresh data every round).
+  // All scratch lives in the workspace; zero steady-state allocations.
+  std::vector<RowContribution>& scratch = workspace.row_index_scratch;
+  std::vector<std::uint32_t>& counts = workspace.radix_counts;
+  scratch.resize(entries.size());
+  counts.resize(256);
+  std::vector<RowContribution>* source = &entries;
+  std::vector<RowContribution>* target = &scratch;
+  for (std::size_t shift = 0;
+       shift < 64 && ((max_row >> shift) != 0 || shift == 0); shift += 8) {
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (const RowContribution& entry : *source) {
+      ++counts[(entry.row >> shift) & 0xFF];
+    }
+    std::uint32_t running = 0;
+    for (std::uint32_t& count : counts) {
+      const std::uint32_t begin = running;
+      running += count;
+      count = begin;
+    }
+    for (const RowContribution& entry : *source) {
+      (*target)[counts[(entry.row >> shift) & 0xFF]++] = entry;
+    }
+    std::swap(source, target);
+  }
+  if (source != &entries) entries.swap(scratch);
 }
 
 namespace {
 
-/// Invokes fn(row, contributors, n) for every contiguous same-row run of the
-/// sorted index, in ascending row order — the shape all sparse rules share.
-template <typename Fn>
-void ForEachRowGroup(const std::vector<RowContribution>& entries, Fn&& fn) {
+/// Fills workspace.group_offsets/group_rows with the start and row id of
+/// every contiguous same-row run of the sorted index (plus a trailing
+/// offset sentinel) and bulk-assigns the rows to the delta WITHOUT zeroing —
+/// every rule below writes its first contribution into the row instead of
+/// accumulating onto zeros. Returns the group count. After this, shards may
+/// fill out.RowAtSlot(g) for disjoint group ranges without shared state.
+std::size_t BuildGroups(AggregationWorkspace& workspace, SparseRoundDelta& out) {
+  const std::vector<RowContribution>& entries = workspace.row_index;
+  std::vector<std::size_t>& offsets = workspace.group_offsets;
+  std::vector<std::size_t>& rows = workspace.group_rows;
+  offsets.clear();
+  rows.clear();
   for (std::size_t group_begin = 0; group_begin < entries.size();) {
     const std::size_t row = entries[group_begin].row;
+    offsets.push_back(group_begin);
+    rows.push_back(row);
     std::size_t group_end = group_begin;
     while (group_end < entries.size() && entries[group_end].row == row) {
       ++group_end;
     }
-    fn(row, entries.data() + group_begin, group_end - group_begin);
     group_begin = group_end;
   }
+  offsets.push_back(entries.size());
+  out.AssignRowsForOverwrite(rows);
+  return rows.size();
 }
 
-void AggregateSumSparse(const AggregationWorkspace& workspace, std::size_t dim,
-                        SparseRoundDelta& out) {
-  // Each output element accumulates its contributors in update order
-  // (stable sort), exactly like the historical per-update dense AddTo sweep.
-  ForEachRowGroup(workspace.row_index, [&](std::size_t row,
-                                           const RowContribution* contributors,
-                                           std::size_t n) {
-    auto acc = out.AppendRow(row);
-    for (std::size_t i = 0; i < n; ++i) {
-      kernels::Axpy(1.0f, contributors[i].data, acc.data(), dim);
-    }
+/// Runs worker(group_begin, group_end, scratch) over a static partition of
+/// the groups into `num_shards` contiguous ranges (0 = pool size, 1 without
+/// a pool), fanned across `pool` when present. Row groups are independent
+/// and the partition never splits a group, so the result is bit-identical
+/// to the serial sweep for every shard count.
+template <typename Worker>
+void ForEachGroupSharded(AggregationWorkspace& workspace, std::size_t groups,
+                         ThreadPool* pool, std::size_t num_shards,
+                         Worker&& worker) {
+  std::size_t shards = num_shards != 0
+                           ? num_shards
+                           : (pool != nullptr ? pool->thread_count() : 1);
+  shards = std::min(std::max<std::size_t>(1, shards), groups);
+  if (workspace.shards.size() < shards) workspace.shards.resize(shards);
+  if (shards == 1) {
+    worker(0, groups, workspace.shards[0]);
+    return;
+  }
+  ParallelFor(pool, shards, [&](std::size_t s) {
+    worker(groups * s / shards, groups * (s + 1) / shards,
+           workspace.shards[s]);
   });
 }
 
-void AggregateNormBoundSparse(AggregationWorkspace& workspace, std::size_t dim,
-                              double norm_bound, SparseRoundDelta& out) {
-  std::vector<float>& clipped = workspace.clipped;
+void AggregateSumGroups(const AggregationWorkspace& workspace, std::size_t dim,
+                        std::size_t group_begin, std::size_t group_end,
+                        SparseRoundDelta& out) {
+  // Each output element accumulates its contributors in update order
+  // (stable sort), exactly like the historical per-update dense AddTo sweep;
+  // the first contributor is copied (rows arrive unzeroed), the rest add.
+  for (std::size_t g = group_begin; g < group_end; ++g) {
+    const RowContribution* contributors =
+        workspace.row_index.data() + workspace.group_offsets[g];
+    const std::size_t n =
+        workspace.group_offsets[g + 1] - workspace.group_offsets[g];
+    auto acc = out.RowAtSlot(g);
+    std::copy(contributors[0].data, contributors[0].data + dim, acc.begin());
+    for (std::size_t i = 1; i < n; ++i) {
+      kernels::Axpy(1.0f, contributors[i].data, acc.data(), dim);
+    }
+  }
+}
+
+void AggregateNormBoundGroups(const AggregationWorkspace& workspace,
+                              std::size_t dim, double norm_bound,
+                              std::size_t group_begin, std::size_t group_end,
+                              AggregationWorkspace::ShardScratch& scratch,
+                              SparseRoundDelta& out) {
+  std::vector<float>& clipped = scratch.clipped;
   clipped.resize(dim);
-  ForEachRowGroup(workspace.row_index, [&](std::size_t row,
-                                           const RowContribution* contributors,
-                                           std::size_t n) {
-    auto acc = out.AppendRow(row);
-    for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t g = group_begin; g < group_end; ++g) {
+    const RowContribution* contributors =
+        workspace.row_index.data() + workspace.group_offsets[g];
+    const std::size_t n =
+        workspace.group_offsets[g + 1] - workspace.group_offsets[g];
+    auto acc = out.RowAtSlot(g);
+    // First contributor is clipped straight into the (unzeroed) output row;
+    // later contributors clip into scratch and add.
+    std::copy(contributors[0].data, contributors[0].data + dim, acc.begin());
+    ClipL2(acc, static_cast<float>(norm_bound));
+    for (std::size_t i = 1; i < n; ++i) {
       std::copy(contributors[i].data, contributors[i].data + dim,
                 clipped.begin());
       ClipL2(clipped, static_cast<float>(norm_bound));
       Axpy(1.0f, clipped, acc);
     }
-  });
+  }
 }
 
-void AggregateCoordinateWiseSparse(AggregationWorkspace& workspace,
-                                   std::size_t dim, bool median,
-                                   double trim_fraction, SparseRoundDelta& out) {
-  std::vector<float>& column = workspace.column;
-  ForEachRowGroup(workspace.row_index, [&](std::size_t row,
-                                           const RowContribution* contributors,
-                                           std::size_t n) {
-    auto acc = out.AppendRow(row);
+void AggregateCoordinateWiseGroups(
+    const AggregationWorkspace& workspace, std::size_t dim, bool median,
+    double trim_fraction, std::size_t group_begin, std::size_t group_end,
+    AggregationWorkspace::ShardScratch& scratch, SparseRoundDelta& out) {
+  std::vector<float>& column = scratch.column;
+  for (std::size_t g = group_begin; g < group_end; ++g) {
+    const RowContribution* contributors =
+        workspace.row_index.data() + workspace.group_offsets[g];
+    const std::size_t n =
+        workspace.group_offsets[g + 1] - workspace.group_offsets[g];
+    auto acc = out.RowAtSlot(g);
     column.resize(n);
     for (std::size_t d = 0; d < dim; ++d) {
       for (std::size_t i = 0; i < n; ++i) column[i] = contributors[i].data[d];
@@ -142,7 +222,7 @@ void AggregateCoordinateWiseSparse(AggregationWorkspace& workspace,
       // Rescale by the contributor count to stay comparable with kSum.
       acc[d] = static_cast<float>(robust * static_cast<double>(n));
     }
-  });
+  }
 }
 
 void AggregateKrumSparse(const std::vector<ClientUpdate>& updates,
@@ -273,31 +353,59 @@ std::size_t KrumSelect(const std::vector<ClientUpdate>& updates,
 
 void AggregateUpdates(const std::vector<ClientUpdate>& updates, std::size_t dim,
                       const AggregatorOptions& options,
-                      AggregationWorkspace& workspace, SparseRoundDelta& out) {
+                      AggregationWorkspace& workspace, SparseRoundDelta& out,
+                      ThreadPool* pool, std::size_t num_shards) {
   out.Reset(dim);
   if (updates.empty()) return;
+  if (options.kind == AggregatorKind::kKrum) {
+    // Krum is a whole-round selection, not a per-row reduction; it never
+    // shards (the selected upload's emit loop is O(kappa * dim)).
+    AggregateKrumSparse(updates, dim, options.krum_honest, workspace, out);
+    return;
+  }
+  BuildRowIndex(updates, workspace);
+  const std::size_t groups = BuildGroups(workspace, out);
+  if (groups == 0) return;
   switch (options.kind) {
     case AggregatorKind::kSum:
-      BuildRowIndex(updates, workspace);
-      AggregateSumSparse(workspace, dim, out);
+      ForEachGroupSharded(workspace, groups, pool, num_shards,
+                          [&](std::size_t group_begin, std::size_t group_end,
+                              AggregationWorkspace::ShardScratch&) {
+                            AggregateSumGroups(workspace, dim, group_begin,
+                                               group_end, out);
+                          });
       return;
     case AggregatorKind::kNormBound:
-      BuildRowIndex(updates, workspace);
-      AggregateNormBoundSparse(workspace, dim, options.norm_bound, out);
+      ForEachGroupSharded(
+          workspace, groups, pool, num_shards,
+          [&](std::size_t group_begin, std::size_t group_end,
+              AggregationWorkspace::ShardScratch& scratch) {
+            AggregateNormBoundGroups(workspace, dim, options.norm_bound,
+                                     group_begin, group_end, scratch, out);
+          });
       return;
     case AggregatorKind::kTrimmedMean:
-      BuildRowIndex(updates, workspace);
-      AggregateCoordinateWiseSparse(workspace, dim, /*median=*/false,
-                                    options.trim_fraction, out);
+      ForEachGroupSharded(
+          workspace, groups, pool, num_shards,
+          [&](std::size_t group_begin, std::size_t group_end,
+              AggregationWorkspace::ShardScratch& scratch) {
+            AggregateCoordinateWiseGroups(workspace, dim, /*median=*/false,
+                                          options.trim_fraction, group_begin,
+                                          group_end, scratch, out);
+          });
       return;
     case AggregatorKind::kMedian:
-      BuildRowIndex(updates, workspace);
-      AggregateCoordinateWiseSparse(workspace, dim, /*median=*/true,
-                                    options.trim_fraction, out);
+      ForEachGroupSharded(
+          workspace, groups, pool, num_shards,
+          [&](std::size_t group_begin, std::size_t group_end,
+              AggregationWorkspace::ShardScratch& scratch) {
+            AggregateCoordinateWiseGroups(workspace, dim, /*median=*/true,
+                                          options.trim_fraction, group_begin,
+                                          group_end, scratch, out);
+          });
       return;
     case AggregatorKind::kKrum:
-      AggregateKrumSparse(updates, dim, options.krum_honest, workspace, out);
-      return;
+      return;  // handled above
   }
 }
 

@@ -40,13 +40,29 @@ struct RowContribution {
 /// across rounds, so steady-state aggregation performs no allocations.
 struct AggregationWorkspace {
   /// Flat row -> contributors index: every uploaded row as a (row, values)
-  /// entry, stable-sorted by row id so each item's contributors form one
-  /// contiguous run in update order.
+  /// entry, stably grouped by row id (LSD radix passes) so each item's
+  /// contributors form one contiguous run in update order.
   std::vector<RowContribution> row_index;
-  /// Per-coordinate contributor gather buffer (median / trimmed mean).
-  std::vector<float> column;
-  /// Row clip buffer (norm-bound).
-  std::vector<float> clipped;
+  /// Radix ping-pong buffer and per-pass histogram for BuildRowIndex.
+  std::vector<RowContribution> row_index_scratch;
+  std::vector<std::uint32_t> radix_counts;
+  /// Group partition of `row_index`: group_offsets[g] is the index of the
+  /// g-th distinct row's first contributor; the trailing sentinel is
+  /// row_index.size(). Groups are what the parallel path shards over.
+  std::vector<std::size_t> group_offsets;
+  /// Distinct row ids, ascending (parallel to group_offsets minus the
+  /// sentinel); bulk-assigned into the output delta.
+  std::vector<std::size_t> group_rows;
+  /// Per-shard gather/clip buffers. shards[0] doubles as the serial path's
+  /// scratch; the vector grows to the shard count in use and each entry's
+  /// capacity is retained across rounds.
+  struct ShardScratch {
+    /// Per-coordinate contributor gather buffer (median / trimmed mean).
+    std::vector<float> column;
+    /// Row clip buffer (norm-bound).
+    std::vector<float> clipped;
+  };
+  std::vector<ShardScratch> shards;
 };
 
 /// Rebuilds `workspace.row_index` from the round's uploads. Exposed so the
@@ -54,14 +70,25 @@ struct AggregationWorkspace {
 void BuildRowIndex(const std::vector<ClientUpdate>& updates,
                    AggregationWorkspace& workspace);
 
+class ThreadPool;
+
 /// Aggregates one round of uploads into the touched-row delta `out`
 /// (out.rows() is the ascending union of all uploaded row ids; for kKrum only
 /// the selected client's rows). All five AggregatorKind rules are routed
 /// through this overload; the result is bit-identical to materializing the
 /// historical dense gradient.
+///
+/// When `pool` is non-null the per-row work is sharded across the pool by
+/// contiguous ranges of the row->contributors groups (`num_shards` ranges;
+/// 0 derives the count from the pool size). Every row is produced by exactly
+/// one shard with the same contributor order as the serial sweep, so the
+/// result is bit-identical for any shard count; kKrum is a whole-round
+/// selection and ignores the pool. Shard scratch lives in `workspace` and is
+/// reused round over round.
 void AggregateUpdates(const std::vector<ClientUpdate>& updates, std::size_t dim,
                       const AggregatorOptions& options,
-                      AggregationWorkspace& workspace, SparseRoundDelta& out);
+                      AggregationWorkspace& workspace, SparseRoundDelta& out,
+                      ThreadPool* pool = nullptr, std::size_t num_shards = 0);
 
 /// Dense convenience overload: aggregates sparsely, then scatters into a
 /// num_items x dim matrix. Tests and offline tooling only — the round loop

@@ -16,47 +16,53 @@ Client::Client(std::uint32_t user_id, std::vector<std::uint32_t> positives,
 void Client::ResampleNegatives(std::size_t num_items,
                                std::size_t negatives_per_positive) {
   const std::size_t want = positives_.size() * std::max<std::size_t>(1, negatives_per_positive);
-  negatives_ = SampleNegatives(positives_, num_items, want, rng_);
+  // Refill the persistent buffer: per-epoch resampling allocates nothing
+  // once the client is warm.
+  SampleNegativesInto(positives_, num_items, want, rng_, negatives_);
   // Pair order randomization: shuffle positives' pairing each resample.
   rng_.Shuffle(negatives_);
 }
 
-ClientUpdate Client::TrainRound(const Matrix& item_factors,
-                                const FedConfig& config) {
+void Client::TrainRoundInto(const Matrix& item_factors, const FedConfig& config,
+                            ClientUpdate& update) {
   if (negatives_.empty()) {
     ResampleNegatives(item_factors.rows(), config.negatives_per_positive);
   }
   // Pair positives with (possibly repeated blocks of) negatives. With the
-  // default 1:1 ratio this is exactly the paper's V_i pair set of Eq. (4).
-  std::vector<std::uint32_t> paired_positives = positives_;
+  // default 1:1 ratio this is exactly the paper's V_i pair set of Eq. (4)
+  // and positives_ is used as-is; only larger ratios fill the scratch.
+  std::span<const std::uint32_t> paired_positives(positives_);
   if (config.negatives_per_positive > 1) {
-    paired_positives.reserve(positives_.size() * config.negatives_per_positive);
-    for (std::size_t r = 1; r < config.negatives_per_positive; ++r) {
-      paired_positives.insert(paired_positives.end(), positives_.begin(),
-                              positives_.end());
+    paired_scratch_.clear();
+    for (std::size_t r = 0; r < config.negatives_per_positive; ++r) {
+      paired_scratch_.insert(paired_scratch_.end(), positives_.begin(),
+                             positives_.end());
     }
+    paired_positives = paired_scratch_;
   }
-  LocalBprGradients grads = ComputeLocalBprGradients(
-      user_vector_, item_factors, paired_positives, negatives_,
-      config.model.l2_reg);
+  update.user = user_id_;
+  update.loss = ComputeLocalBprGradientsInto(
+      user_vector_, item_factors, paired_positives,
+      std::span<const std::uint32_t>(negatives_), config.model.l2_reg,
+      update.item_gradients, user_gradient_scratch_, update.pair_count);
 
   // Eq. (5): clip rows to C, then add Gaussian noise of scale mu * C.
-  grads.item_gradients.ClipRows(config.clip_norm);
+  update.item_gradients.ClipRows(config.clip_norm);
   if (config.noise_scale > 0.0f) {
-    grads.item_gradients.AddGaussianNoise(rng_,
-                                          config.noise_scale * config.clip_norm);
+    update.item_gradients.AddGaussianNoise(
+        rng_, config.noise_scale * config.clip_norm);
   }
 
   // Eq. (6): local private update of u_i.
   for (std::size_t d = 0; d < user_vector_.size(); ++d) {
-    user_vector_[d] -= config.model.learning_rate * grads.user_gradient[d];
+    user_vector_[d] -= config.model.learning_rate * user_gradient_scratch_[d];
   }
+}
 
+ClientUpdate Client::TrainRound(const Matrix& item_factors,
+                                const FedConfig& config) {
   ClientUpdate update;
-  update.user = user_id_;
-  update.item_gradients = std::move(grads.item_gradients);
-  update.loss = grads.loss;
-  update.pair_count = grads.pair_count;
+  TrainRoundInto(item_factors, config, update);
   return update;
 }
 

@@ -42,10 +42,24 @@ class Client {
   /// epoch, mirroring the paper's per-client negative subsampling.
   void ResampleNegatives(std::size_t num_items, std::size_t negatives_per_positive);
 
+  /// Current negative set V-_i' (see ResampleNegatives). Exposed so the round
+  /// engine's pipelining conflict check can predict which item rows this
+  /// client's next TrainRoundInto will touch.
+  const std::vector<std::uint32_t>& negatives() const { return negatives_; }
+
   /// Executes one local training step against the shared item matrix:
   /// computes nabla V_i and nabla u_i, clips rows of nabla V_i to C, adds
-  /// N(0, (mu C)^2) noise, applies u_i <- u_i - eta * nabla u_i, and returns
-  /// the upload. The caller (server/simulation) applies Eq. (7).
+  /// N(0, (mu C)^2) noise, applies u_i <- u_i - eta * nabla u_i, and writes
+  /// the upload into `update`, recycling its SparseRowMatrix buffers and the
+  /// client's internal pair/gradient scratch: in steady state (same-shaped
+  /// rounds into the same slot) the call performs zero heap allocations.
+  /// The caller (server/simulation) applies Eq. (7).
+  void TrainRoundInto(const Matrix& item_factors, const FedConfig& config,
+                      ClientUpdate& update);
+
+  /// Convenience wrapper over TrainRoundInto returning a fresh upload.
+  /// Bit-identical to TrainRoundInto under the same RNG stream; kept for
+  /// tests and stand-alone use (the round engine recycles slots instead).
   ClientUpdate TrainRound(const Matrix& item_factors, const FedConfig& config);
 
  private:
@@ -54,6 +68,9 @@ class Client {
   std::vector<std::uint32_t> negatives_;
   std::vector<float> user_vector_;
   Rng rng_;
+  // Round-to-round scratch (capacity retained; never read across rounds).
+  std::vector<std::uint32_t> paired_scratch_;  ///< repeated-positives pairing
+  std::vector<float> user_gradient_scratch_;   ///< nabla u_i
 };
 
 }  // namespace fedrec

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/kernels.h"
+
 namespace fedrec {
 
 const char* ParticipationModeToString(ParticipationMode mode) {
@@ -40,12 +42,26 @@ RoundEngine::RoundEngine(const FedConfig* config, MfModel* model,
 void RoundEngine::BeginEpoch(std::size_t epoch) {
   epoch_ = epoch;
   round_in_epoch_ = 0;
+  // Pipelining never crosses an epoch boundary (negatives resample below);
+  // clear any stale pre-drawn state defensively.
+  have_next_selection_ = false;
+  have_next_updates_ = false;
 
   // Per-epoch negative resampling (the paper samples V-_i' per client; fresh
   // negatives each epoch are the standard BPR variant and converge better).
   const std::size_t num_items = model_->num_items();
   std::vector<Client>& clients = *benign_clients_;
   ParallelFor(pool_, clients.size(), [&](std::size_t i) {
+    // The client structs are contiguous but their positive arrays are
+    // scattered heap blocks; hint the next client's positives while this one
+    // resamples so the sweep isn't one dependent miss per client. Only the
+    // immutable positives may be touched ahead — another pool task may be
+    // resampling client i+4's negatives at this very moment.
+    if (i + 4 < clients.size()) {
+      const Client& ahead = clients[i + 4];
+      kernels::PrefetchRead(ahead.positives().data(),
+                            ahead.positives().size() * sizeof(std::uint32_t));
+    }
     clients[i].ResampleNegatives(num_items, config_->negatives_per_positive);
   });
 
@@ -79,8 +95,11 @@ void RoundEngine::BeginEpoch(std::size_t epoch) {
 }
 
 void RoundEngine::Select() {
-  std::vector<std::uint32_t>& selected_benign = workspace_.selected_benign;
-  std::vector<std::uint32_t>& selected_malicious = workspace_.selected_malicious;
+  SelectInto(workspace_.selected_benign, workspace_.selected_malicious);
+}
+
+void RoundEngine::SelectInto(std::vector<std::uint32_t>& selected_benign,
+                             std::vector<std::uint32_t>& selected_malicious) {
   selected_benign.clear();
   selected_malicious.clear();
 
@@ -124,12 +143,30 @@ double RoundEngine::LocalTrain() {
   const std::vector<std::uint32_t>& selected = workspace_.selected_benign;
   std::vector<ClientUpdate>& updates = workspace_.updates;
   std::vector<Client>& clients = *benign_clients_;
-  // Move-assign into persistent slots: the vector itself is reused; each
-  // slot's previous-round buffers are released by the incoming update.
+  // Persistent slots: each slot's SparseRowMatrix keeps its heap buffers and
+  // TrainRoundInto refills them in place — steady-state rounds (constant
+  // selection size, warmed capacities) allocate nothing.
   updates.resize(selected.size());
+  // One prefetch sweep over every row the round will read: the selection's
+  // item rows are a random scatter over a matrix far larger than cache, and
+  // issuing the whole round's loads up front overlaps miss latency across
+  // client boundaries (the per-client pass in the gradient kernel only
+  // covers its own pairs).
+  const Matrix& item_factors = model_->item_factors();
+  const std::size_t row_bytes = item_factors.cols() * sizeof(float);
+  for (std::uint32_t id : selected) {
+    kernels::PrefetchRead(clients[id].user_vector().data(),
+                          clients[id].user_vector().size() * sizeof(float));
+    for (std::uint32_t item : clients[id].positives()) {
+      kernels::PrefetchRead(item_factors.Row(item).data(), row_bytes);
+    }
+    for (std::uint32_t item : clients[id].negatives()) {
+      kernels::PrefetchRead(item_factors.Row(item).data(), row_bytes);
+    }
+  }
   ParallelFor(pool_, selected.size(), [&](std::size_t i) {
-    updates[i] = clients[selected[i]].TrainRound(model_->item_factors(),
-                                                 *config_);
+    clients[selected[i]].TrainRoundInto(model_->item_factors(), *config_,
+                                        updates[i]);
   });
   workspace_.is_malicious.assign(updates.size(), false);
   double loss = 0.0;
@@ -153,23 +190,138 @@ void RoundEngine::Observe(const RoundObserver& observer) const {
   if (observer) observer(workspace_.updates, workspace_.is_malicious);
 }
 
-void RoundEngine::Aggregate() {
+void RoundEngine::Aggregate() { AggregateWith(pool_); }
+
+void RoundEngine::AggregateWith(ThreadPool* pool) {
   AggregateUpdates(workspace_.updates, model_->dim(), config_->aggregator,
-                   workspace_.aggregation, workspace_.delta);
+                   workspace_.aggregation, workspace_.delta, pool);
 }
 
 void RoundEngine::Apply() {
   model_->ApplySparseGradient(workspace_.delta, config_->model.learning_rate);
 }
 
+bool RoundEngine::CanPipelineNextRound() const {
+  return config_->participation == ParticipationMode::kUniformPerRound &&
+         config_->pipeline_rounds && pool_ != nullptr &&
+         pool_->thread_count() > 1 &&
+         round_in_epoch_ + 1 < rounds_this_epoch_;
+}
+
+bool RoundEngine::TouchedRowsConflict() {
+  // Rows round t writes: delta.rows() is a subset of the uploads' row union,
+  // so the union (realized uploads, malicious included) is a safe superset.
+  std::vector<std::size_t>& current = workspace_.touched_current;
+  current.clear();
+  for (const ClientUpdate& update : workspace_.updates) {
+    const auto& rows = update.item_gradients.row_ids();
+    current.insert(current.end(), rows.begin(), rows.end());
+  }
+  std::sort(current.begin(), current.end());
+
+  // Rows round t+1's LocalTrain reads/touches: each selected client pairs
+  // its positives with its current negatives, so pos ∪ neg is a superset.
+  std::vector<std::size_t>& next = workspace_.touched_next;
+  next.clear();
+  const std::vector<Client>& clients = *benign_clients_;
+  for (std::uint32_t id : workspace_.next_selected_benign) {
+    for (std::uint32_t item : clients[id].positives()) next.push_back(item);
+    for (std::uint32_t item : clients[id].negatives()) next.push_back(item);
+  }
+  std::sort(next.begin(), next.end());
+
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < current.size() && j < next.size()) {
+    if (current[i] < next[j]) {
+      ++i;
+    } else if (current[i] > next[j]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RoundEngine::LaunchNextLocalTrain() {
+  const std::vector<std::uint32_t>& selected = workspace_.next_selected_benign;
+  std::vector<ClientUpdate>& updates = workspace_.next_updates;
+  updates.resize(selected.size());
+  const std::size_t n = selected.size();
+  if (n == 0) return;
+  const std::size_t shards = std::min(pool_->thread_count(), n);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t begin = n * s / shards;
+    const std::size_t end = n * (s + 1) / shards;
+    tasks.emplace_back([this, begin, end] {
+      const std::vector<std::uint32_t>& sel = workspace_.next_selected_benign;
+      std::vector<ClientUpdate>& slots = workspace_.next_updates;
+      for (std::size_t i = begin; i < end; ++i) {
+        (*benign_clients_)[sel[i]].TrainRoundInto(model_->item_factors(),
+                                                  *config_, slots[i]);
+      }
+    });
+  }
+  pool_->SubmitBatch(std::move(tasks));
+}
+
 double RoundEngine::RunRound(const RoundObserver& observer) {
   FEDREC_CHECK(HasNextRound()) << "epoch " << epoch_ << " has no rounds left";
-  Select();
-  const double loss = LocalTrain();
+  double loss = 0.0;
+  if (have_next_selection_) {
+    std::swap(workspace_.selected_benign, workspace_.next_selected_benign);
+    std::swap(workspace_.selected_malicious,
+              workspace_.next_selected_malicious);
+    have_next_selection_ = false;
+    if (have_next_updates_) {
+      // This round's LocalTrain already ran, overlapped with the previous
+      // round's Aggregate/Apply; adopt its uploads and pre-reduced loss.
+      std::swap(workspace_.updates, workspace_.next_updates);
+      workspace_.is_malicious.assign(workspace_.updates.size(), false);
+      loss = next_loss_;
+      have_next_updates_ = false;
+    } else {
+      loss = LocalTrain();
+    }
+  } else {
+    Select();
+    loss = LocalTrain();
+  }
   Attack();
   Observe(observer);
-  Aggregate();
-  Apply();
+
+  bool overlapped = false;
+  if (CanPipelineNextRound()) {
+    SelectInto(workspace_.next_selected_benign,
+               workspace_.next_selected_malicious);
+    have_next_selection_ = true;
+    // Malicious uploads for t+1 are produced only at its Attack stage, so a
+    // next-round malicious draw forces the serial schedule; benign overlap
+    // additionally needs disjoint touched-row sets.
+    if (workspace_.next_selected_malicious.empty() && !TouchedRowsConflict()) {
+      // The pool trains round t+1 while this thread aggregates and applies
+      // round t: Apply only writes rows of the current uploads, which the
+      // conflict check proved invisible to the concurrent reads.
+      LaunchNextLocalTrain();
+      AggregateWith(nullptr);
+      Apply();
+      pool_->Wait();
+      next_loss_ = 0.0;
+      for (const ClientUpdate& update : workspace_.next_updates) {
+        next_loss_ += update.loss;
+      }
+      have_next_updates_ = true;
+      ++pipelined_rounds_;
+      overlapped = true;
+    }
+  }
+  if (!overlapped) {
+    Aggregate();
+    Apply();
+  }
   ++round_in_epoch_;
   ++global_round_;
   return loss;

@@ -20,12 +20,23 @@
 ///   Select -> LocalTrain -> Attack -> Observe -> Aggregate -> Apply
 ///
 /// Every stage operates over one reusable RoundWorkspace: the selection
-/// vectors, the update slots, the flat row->contributors aggregation index
-/// and the touched-row SparseRoundDelta all keep their capacity across
-/// rounds, so the steady-state loop performs no server-side allocations.
-/// A round only moves the item rows its clients uploaded (Eq. 7), so the
-/// engine aggregates and applies O(touched_rows * dim) work per round
-/// instead of materializing a dense num_items x dim gradient.
+/// vectors, the update slots (recycled through Client::TrainRoundInto), the
+/// flat row->contributors aggregation index and the touched-row
+/// SparseRoundDelta all keep their capacity across rounds, so the
+/// steady-state loop — client uploads included — performs no heap
+/// allocations. A round only moves the item rows its clients uploaded
+/// (Eq. 7), so the engine aggregates and applies O(touched_rows * dim) work
+/// per round instead of materializing a dense num_items x dim gradient, and
+/// the aggregation itself shards across the pool by contiguous row ranges.
+///
+/// Under ParticipationMode::kUniformPerRound with a pool, RunRound pipelines
+/// adjacent rounds: round t+1's selection is pre-drawn (the server rng is
+/// only ever consumed by selection, so the draw order matches the serial
+/// schedule), and when the touched-row sets of round t's uploads and round
+/// t+1's positives+negatives are disjoint, round t+1's LocalTrain runs on
+/// the pool while this thread aggregates and applies round t. On conflict
+/// (or whenever malicious clients are in the next draw) the engine falls
+/// back to the serial schedule, so results are bit-identical either way.
 ///
 /// Simulation (fed/simulation.h) drives the engine epoch by epoch; tests and
 /// custom drivers may also invoke the stages individually.
@@ -33,6 +44,11 @@
 namespace fedrec {
 
 /// Per-round server state, reused across rounds (capacity is never released).
+/// The `next_*` members double-buffer the pipelined schedule: while round t
+/// aggregates and applies, round t+1's selection and uploads build up in
+/// them, and the buffers swap when the round advances — every ClientUpdate
+/// slot (and its SparseRowMatrix heap buffers) is recycled via
+/// Client::TrainRoundInto, so steady-state rounds allocate nothing.
 struct RoundWorkspace {
   /// Participation permutation. Shuffled-epoch mode shuffles the whole vector
   /// once per epoch; uniform-per-round mode draws each round's sample via a
@@ -49,6 +65,18 @@ struct RoundWorkspace {
   AggregationWorkspace aggregation;
   /// The round's touched-row aggregate.
   SparseRoundDelta delta;
+
+  // -- Pipelining double buffers (kUniformPerRound + pool only) -------------
+  /// Round t+1's selection, pre-drawn during round t (same server-rng draw
+  /// order as the serial schedule: nothing else consumes that stream).
+  std::vector<std::uint32_t> next_selected_benign;
+  std::vector<std::uint32_t> next_selected_malicious;
+  /// Round t+1's benign uploads when its LocalTrain overlapped round t.
+  std::vector<ClientUpdate> next_updates;
+  /// Conflict-check scratch: sorted touched-row sets of the current round's
+  /// uploads and of the next selection's positives+negatives.
+  std::vector<std::size_t> touched_current;
+  std::vector<std::size_t> touched_next;
 };
 
 /// Read-only view of the server state an attacker legitimately observes when
@@ -136,12 +164,33 @@ class RoundEngine {
   std::size_t global_round() const { return global_round_; }
   std::size_t num_malicious() const { return num_malicious_; }
   const RoundWorkspace& workspace() const { return workspace_; }
+  /// Rounds whose LocalTrain overlapped the previous round's Aggregate/Apply
+  /// (kUniformPerRound pipelining; 0 under the serial schedule).
+  std::size_t pipelined_rounds() const { return pipelined_rounds_; }
 
  private:
   std::size_t TotalClients() const {
     return benign_clients_->size() + num_malicious_;
   }
   RoundContext MakeContext() const;
+
+  /// Draws one round's participants into the given vectors (shared by
+  /// Select() and the pipelined pre-sampling of round t+1).
+  void SelectInto(std::vector<std::uint32_t>& selected_benign,
+                  std::vector<std::uint32_t>& selected_malicious);
+  /// True when the *next* round may be pre-sampled and considered for
+  /// pipelining: uniform participation, pool present, pipelining enabled,
+  /// and another round left in this epoch.
+  bool CanPipelineNextRound() const;
+  /// True when the current round's uploads and the next selection's
+  /// positive+negative sets share an item row (sorted-union intersection).
+  bool TouchedRowsConflict();
+  /// Enqueues next_selected_benign's TrainRoundInto calls on the pool
+  /// without waiting (static chunks, one task per pool thread).
+  void LaunchNextLocalTrain();
+  /// Aggregate stage with an explicit pool (null = inline on this thread,
+  /// used while the pool is busy with the overlapped LocalTrain).
+  void AggregateWith(ThreadPool* pool);
 
   const FedConfig* config_;
   MfModel* model_;
@@ -155,6 +204,12 @@ class RoundEngine {
   std::size_t round_in_epoch_ = 0;
   std::size_t rounds_this_epoch_ = 0;
   std::size_t global_round_ = 0;
+  // Pipeline state: whether workspace_.next_* holds round t+1's selection
+  // (and, when its LocalTrain already overlapped round t, its uploads).
+  bool have_next_selection_ = false;
+  bool have_next_updates_ = false;
+  double next_loss_ = 0.0;
+  std::size_t pipelined_rounds_ = 0;
 };
 
 }  // namespace fedrec

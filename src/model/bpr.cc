@@ -6,16 +6,16 @@
 
 namespace fedrec {
 
-std::vector<std::uint32_t> SampleNegatives(
-    const std::vector<std::uint32_t>& positives, std::size_t num_items,
-    std::size_t count, Rng& rng) {
+void SampleNegativesInto(const std::vector<std::uint32_t>& positives,
+                         std::size_t num_items, std::size_t count, Rng& rng,
+                         std::vector<std::uint32_t>& out) {
   FEDREC_CHECK_GT(num_items, 0u);
   const std::size_t complement =
       num_items > positives.size() ? num_items - positives.size() : 0;
   const std::size_t want = std::min(count, complement);
-  std::vector<std::uint32_t> negatives;
-  negatives.reserve(want);
-  if (want == 0) return negatives;
+  out.clear();
+  out.reserve(want);
+  if (want == 0) return;
 
   if (want * 4 >= complement) {
     // Dense regime: enumerate the complement and sample exactly.
@@ -27,19 +27,40 @@ std::vector<std::uint32_t> SampleNegatives(
       }
     }
     for (std::size_t idx : rng.SampleWithoutReplacement(pool.size(), want)) {
-      negatives.push_back(pool[idx]);
+      out.push_back(pool[idx]);
+    }
+  } else if (want <= 1024) {
+    // Sparse regime, typical federated sizes: rejection sampling with the
+    // duplicate check scanning the accepted set instead of marking an
+    // O(num_items) bitmap — the accept/reject decision per candidate (and
+    // therefore the rng stream) is unchanged, but nothing here scales with
+    // the catalogue and the warm caller allocates nothing.
+    while (out.size() < want) {
+      const auto item = static_cast<std::uint32_t>(rng.NextBounded(num_items));
+      if (std::find(out.begin(), out.end(), item) != out.end()) continue;
+      if (std::binary_search(positives.begin(), positives.end(), item)) continue;
+      out.push_back(item);
     }
   } else {
-    // Sparse regime: rejection sampling.
+    // Sparse regime, very heavy user: the linear duplicate scan would go
+    // quadratic, so fall back to the taken-bitmap probe. Identical per-
+    // candidate decisions, so the rng stream matches the branch above.
     std::vector<bool> taken(num_items, false);
-    while (negatives.size() < want) {
+    while (out.size() < want) {
       const auto item = static_cast<std::uint32_t>(rng.NextBounded(num_items));
       if (taken[item]) continue;
       if (std::binary_search(positives.begin(), positives.end(), item)) continue;
       taken[item] = true;
-      negatives.push_back(item);
+      out.push_back(item);
     }
   }
+}
+
+std::vector<std::uint32_t> SampleNegatives(
+    const std::vector<std::uint32_t>& positives, std::size_t num_items,
+    std::size_t count, Rng& rng) {
+  std::vector<std::uint32_t> negatives;
+  SampleNegativesInto(positives, num_items, count, rng, negatives);
   return negatives;
 }
 
@@ -50,14 +71,25 @@ BprPairResult BprPairLossAndCoefficient(double score_difference) {
   return result;
 }
 
-LocalBprGradients ComputeLocalBprGradients(
+double ComputeLocalBprGradientsInto(
     std::span<const float> user_vector, const Matrix& item_factors,
-    const std::vector<std::uint32_t>& positives,
-    const std::vector<std::uint32_t>& negatives, float l2_reg) {
-  LocalBprGradients out;
-  out.item_gradients = SparseRowMatrix(item_factors.cols());
-  out.user_gradient.assign(user_vector.size(), 0.0f);
+    std::span<const std::uint32_t> positives,
+    std::span<const std::uint32_t> negatives, float l2_reg,
+    SparseRowMatrix& item_gradients, std::vector<float>& user_gradient,
+    std::size_t& pair_count) {
+  item_gradients.Reset(item_factors.cols());
+  user_gradient.assign(user_vector.size(), 0.0f);
+  pair_count = 0;
+  double loss = 0.0;
   const std::size_t pairs = std::min(positives.size(), negatives.size());
+  // The pair rows are a random scatter over a matrix much larger than cache;
+  // issuing all their loads up front overlaps the miss latency instead of
+  // serializing it through the dot products below.
+  const std::size_t row_bytes = item_factors.cols() * sizeof(float);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    kernels::PrefetchRead(item_factors.Row(positives[p]).data(), row_bytes);
+    kernels::PrefetchRead(item_factors.Row(negatives[p]).data(), row_bytes);
+  }
   for (std::size_t p = 0; p < pairs; ++p) {
     const std::uint32_t pos = positives[p];
     const std::uint32_t neg = negatives[p];
@@ -66,22 +98,34 @@ LocalBprGradients ComputeLocalBprGradients(
     const double x = static_cast<double>(Dot(user_vector, v_pos)) -
                      static_cast<double>(Dot(user_vector, v_neg));
     const BprPairResult pair = BprPairLossAndCoefficient(x);
-    out.loss += pair.loss;
+    loss += pair.loss;
     const float c = static_cast<float>(pair.coefficient);
     // dL/du = c * (v_pos - v_neg); dL/dv_pos = c * u; dL/dv_neg = -c * u.
-    std::span<float> grad_u(out.user_gradient);
+    std::span<float> grad_u(user_gradient);
     Axpy(c, v_pos, grad_u);
     Axpy(-c, v_neg, grad_u);
-    Axpy(c, user_vector, out.item_gradients.RowMutable(pos));
-    Axpy(-c, user_vector, out.item_gradients.RowMutable(neg));
-    ++out.pair_count;
+    Axpy(c, user_vector, item_gradients.RowMutable(pos));
+    Axpy(-c, user_vector, item_gradients.RowMutable(neg));
+    ++pair_count;
   }
   if (l2_reg > 0.0f) {
-    Axpy(l2_reg, user_vector, std::span<float>(out.user_gradient));
-    for (std::uint32_t item : out.item_gradients.row_ids()) {
-      Axpy(l2_reg, item_factors.Row(item), out.item_gradients.RowMutable(item));
+    Axpy(l2_reg, user_vector, std::span<float>(user_gradient));
+    for (std::uint32_t item : item_gradients.row_ids()) {
+      Axpy(l2_reg, item_factors.Row(item), item_gradients.RowMutable(item));
     }
   }
+  return loss;
+}
+
+LocalBprGradients ComputeLocalBprGradients(
+    std::span<const float> user_vector, const Matrix& item_factors,
+    const std::vector<std::uint32_t>& positives,
+    const std::vector<std::uint32_t>& negatives, float l2_reg) {
+  LocalBprGradients out;
+  out.loss = ComputeLocalBprGradientsInto(
+      user_vector, item_factors, std::span<const std::uint32_t>(positives),
+      std::span<const std::uint32_t>(negatives), l2_reg, out.item_gradients,
+      out.user_gradient, out.pair_count);
   return out;
 }
 

@@ -24,6 +24,15 @@ std::vector<std::uint32_t> SampleNegatives(
     const std::vector<std::uint32_t>& positives, std::size_t num_items,
     std::size_t count, Rng& rng);
 
+/// Buffer-recycling form of SampleNegatives: clears and refills `out`
+/// (capacity retained). Identical draws from `rng` and identical results; in
+/// the sparse regime (count << catalogue) the rejection sampler checks
+/// duplicates against the accepted set directly, so nothing scales with
+/// num_items and a warm caller allocates nothing per resample.
+void SampleNegativesInto(const std::vector<std::uint32_t>& positives,
+                         std::size_t num_items, std::size_t count, Rng& rng,
+                         std::vector<std::uint32_t>& out);
+
 /// Result of one pairwise BPR term.
 struct BprPairResult {
   double loss = 0.0;        ///< -ln sigmoid(x_uij)
@@ -50,6 +59,19 @@ LocalBprGradients ComputeLocalBprGradients(
     std::span<const float> user_vector, const Matrix& item_factors,
     const std::vector<std::uint32_t>& positives,
     const std::vector<std::uint32_t>& negatives, float l2_reg);
+
+/// Allocation-recycling form of ComputeLocalBprGradients: writes the item
+/// gradients into `item_gradients` (Reset to the item dimension, retained
+/// capacity reused) and the user gradient into `user_gradient`; returns the
+/// pair loss and stores the pair count in `pair_count`. Bit-identical to the
+/// returning overload; a caller recycling same-shaped buffers round over
+/// round performs zero steady-state heap allocations.
+double ComputeLocalBprGradientsInto(
+    std::span<const float> user_vector, const Matrix& item_factors,
+    std::span<const std::uint32_t> positives,
+    std::span<const std::uint32_t> negatives, float l2_reg,
+    SparseRowMatrix& item_gradients, std::vector<float>& user_gradient,
+    std::size_t& pair_count);
 
 /// Options of the centralized trainer.
 struct BprTrainOptions {

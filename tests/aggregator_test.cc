@@ -4,10 +4,12 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/threadpool.h"
 
 namespace fedrec {
 namespace {
@@ -117,6 +119,113 @@ TEST(AggregatorTest, NormBoundRescalesLargeRows) {
   updates.push_back(MakeUpdate(1, 1, {{0, 0.5f}}));   // within bound
   const Matrix total = AggregateUpdates(updates, 1, 1, options);
   EXPECT_NEAR(total.At(0, 0), 1.5f, 1e-5f);
+}
+
+std::vector<ClientUpdate> RandomRoundUpdates(std::size_t clients,
+                                             std::size_t num_items,
+                                             std::size_t dim, std::size_t rows,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ClientUpdate> updates;
+  updates.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    ClientUpdate update;
+    update.user = static_cast<std::uint32_t>(c);
+    update.item_gradients = SparseRowMatrix(dim);
+    for (std::size_t r = 0; r < rows; ++r) {
+      auto row = update.item_gradients.RowMutable(rng.NextBounded(num_items));
+      for (auto& v : row) v = static_cast<float>(rng.NextGaussian(0.0, 0.1));
+    }
+    updates.push_back(std::move(update));
+  }
+  return updates;
+}
+
+void ExpectDeltasBitIdentical(const SparseRoundDelta& expected,
+                              const SparseRoundDelta& actual,
+                              const std::string& label) {
+  ASSERT_EQ(expected.row_count(), actual.row_count()) << label;
+  ASSERT_EQ(expected.cols(), actual.cols()) << label;
+  for (std::size_t slot = 0; slot < expected.row_count(); ++slot) {
+    ASSERT_EQ(expected.rows()[slot], actual.rows()[slot]) << label;
+    const auto want = expected.RowAtSlot(slot);
+    const auto got = actual.RowAtSlot(slot);
+    for (std::size_t d = 0; d < want.size(); ++d) {
+      ASSERT_EQ(want[d], got[d])
+          << label << " row " << expected.rows()[slot] << " dim " << d;
+    }
+  }
+}
+
+TEST(ShardedAggregationTest, BitIdenticalToSerialForAllRulesAndShardCounts) {
+  ThreadPool pool(4);
+  const std::size_t dim = 7;
+  for (const AggregatorKind kind :
+       {AggregatorKind::kSum, AggregatorKind::kTrimmedMean,
+        AggregatorKind::kMedian, AggregatorKind::kNormBound,
+        AggregatorKind::kKrum}) {
+    for (std::uint64_t seed : {1u, 2u}) {
+      const auto updates = RandomRoundUpdates(23, 60, dim, 9, seed);
+      AggregatorOptions options;
+      options.kind = kind;
+      options.krum_honest = 15;
+
+      AggregationWorkspace serial_workspace;
+      SparseRoundDelta serial;
+      AggregateUpdates(updates, dim, options, serial_workspace, serial);
+
+      for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
+                                       pool.thread_count()}) {
+        AggregationWorkspace workspace;
+        SparseRoundDelta delta;
+        AggregateUpdates(updates, dim, options, workspace, delta, &pool,
+                         shards);
+        ExpectDeltasBitIdentical(
+            serial, delta,
+            std::string(AggregatorKindToString(kind)) + " shards=" +
+                std::to_string(shards) + " seed=" + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(ShardedAggregationTest, ShardPartitionWithoutPoolRunsInline) {
+  // num_shards > 1 with a null pool must partition identically and execute
+  // the shards on the calling thread.
+  const std::size_t dim = 5;
+  const auto updates = RandomRoundUpdates(11, 40, dim, 6, 4);
+  AggregatorOptions options;
+  AggregationWorkspace serial_workspace;
+  SparseRoundDelta serial;
+  AggregateUpdates(updates, dim, options, serial_workspace, serial);
+
+  AggregationWorkspace workspace;
+  SparseRoundDelta delta;
+  AggregateUpdates(updates, dim, options, workspace, delta, nullptr,
+                   /*num_shards=*/3);
+  ExpectDeltasBitIdentical(serial, delta, "inline shards");
+}
+
+TEST(ShardedAggregationTest, ReusedWorkspaceIsAllocationFreeAcrossRounds) {
+  ThreadPool pool(3);
+  const std::size_t dim = 6;
+  AggregatorOptions options;
+  options.kind = AggregatorKind::kMedian;
+  AggregationWorkspace workspace;
+  SparseRoundDelta delta;
+  std::vector<std::vector<ClientUpdate>> rounds;
+  for (std::uint64_t seed = 8; seed < 12; ++seed) {
+    rounds.push_back(RandomRoundUpdates(16, 50, dim, 8, seed));
+  }
+  // Warm pass: grows every buffer to the rounds' watermark.
+  for (const auto& updates : rounds) {
+    AggregateUpdates(updates, dim, options, workspace, delta, &pool);
+  }
+  ResetSparseAllocationCount();
+  for (const auto& updates : rounds) {
+    AggregateUpdates(updates, dim, options, workspace, delta, &pool);
+  }
+  EXPECT_EQ(SparseAllocationCount(), 0u);
 }
 
 TEST(KrumTest, SelectsClusterMemberNotOutlier) {

@@ -125,6 +125,71 @@ TEST(ClientTest, LazyNegativeSamplingOnFirstRound) {
   EXPECT_EQ(update.pair_count, 2u);
 }
 
+void ExpectUpdatesBitIdentical(const ClientUpdate& a, const ClientUpdate& b) {
+  EXPECT_EQ(a.user, b.user);
+  EXPECT_EQ(a.pair_count, b.pair_count);
+  EXPECT_EQ(a.loss, b.loss);
+  ASSERT_EQ(a.item_gradients.row_ids(), b.item_gradients.row_ids());
+  for (std::size_t slot = 0; slot < a.item_gradients.row_count(); ++slot) {
+    const auto ra = a.item_gradients.RowAtSlot(slot);
+    const auto rb = b.item_gradients.RowAtSlot(slot);
+    for (std::size_t d = 0; d < ra.size(); ++d) {
+      ASSERT_EQ(ra[d], rb[d]) << "slot " << slot << " dim " << d;
+    }
+  }
+}
+
+TEST(ClientTest, TrainRoundIntoMatchesTrainRoundBitwise) {
+  // Same client data, same private RNG stream: the recycling API must draw
+  // and compute exactly what the returning wrapper does, round after round.
+  FedConfig config = MakeConfig();
+  config.noise_scale = 0.5f;  // exercises the rng stream equivalence too
+  const Matrix items = MakeItems(40, 8, 16);
+  Client fresh_client(3, {1, 4, 9, 12}, config.model, Rng(17));
+  Client reuse_client(3, {1, 4, 9, 12}, config.model, Rng(17));
+  fresh_client.ResampleNegatives(40, 1);
+  reuse_client.ResampleNegatives(40, 1);
+  ClientUpdate reused;
+  for (int round = 0; round < 5; ++round) {
+    const ClientUpdate fresh = fresh_client.TrainRound(items, config);
+    reuse_client.TrainRoundInto(items, config, reused);
+    ExpectUpdatesBitIdentical(fresh, reused);
+    EXPECT_EQ(fresh_client.user_vector(), reuse_client.user_vector());
+  }
+}
+
+TEST(ClientTest, TrainRoundIntoMatchesWithRepeatedPositivePairing) {
+  // negatives_per_positive > 1 routes through the client's pairing scratch.
+  FedConfig config = MakeConfig();
+  config.negatives_per_positive = 3;
+  const Matrix items = MakeItems(50, 8, 20);
+  Client fresh_client(1, {2, 7}, config.model, Rng(21));
+  Client reuse_client(1, {2, 7}, config.model, Rng(21));
+  fresh_client.ResampleNegatives(50, 3);
+  reuse_client.ResampleNegatives(50, 3);
+  ClientUpdate reused;
+  for (int round = 0; round < 3; ++round) {
+    const ClientUpdate fresh = fresh_client.TrainRound(items, config);
+    reuse_client.TrainRoundInto(items, config, reused);
+    EXPECT_EQ(fresh.pair_count, 6u);
+    ExpectUpdatesBitIdentical(fresh, reused);
+  }
+}
+
+TEST(ClientTest, TrainRoundIntoSteadyStateIsAllocationFree) {
+  const FedConfig config = MakeConfig();
+  const Matrix items = MakeItems(50, 8, 18);
+  Client client(0, {2, 5, 11, 17, 23}, config.model, Rng(19));
+  client.ResampleNegatives(50, 1);
+  ClientUpdate slot;
+  client.TrainRoundInto(items, config, slot);  // warm the slot's buffers
+  ResetSparseAllocationCount();
+  for (int round = 0; round < 20; ++round) {
+    client.TrainRoundInto(items, config, slot);
+  }
+  EXPECT_EQ(SparseAllocationCount(), 0u);
+}
+
 TEST(ClientTest, NegativesPerPositiveMultiplier) {
   FedConfig config = MakeConfig();
   config.negatives_per_positive = 3;

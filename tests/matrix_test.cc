@@ -183,5 +183,44 @@ TEST(SparseRowMatrixTest, AddToOutOfRangeRowAborts) {
   EXPECT_DEATH(s.AddTo(small), "");
 }
 
+TEST(SparseRowMatrixTest, ResetKeepsCapacityAndChangesCols) {
+  SparseRowMatrix s(3);
+  s.RowMutable(4)[0] = 1.0f;
+  s.RowMutable(9)[1] = 2.0f;
+  s.Reset(5);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.cols(), 5u);
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.RowMutable(4).size(), 5u);
+}
+
+TEST(SparseAllocationCounterTest, RowMatrixGrowthCountedReuseFree) {
+  SparseRowMatrix s(4);
+  ResetSparseAllocationCount();
+  s.RowMutable(7)[0] = 1.0f;
+  s.RowMutable(2)[0] = 2.0f;
+  EXPECT_GT(SparseAllocationCount(), 0u);
+  // Same-shaped refill after Reset: served entirely from retained capacity.
+  s.Reset(4);
+  ResetSparseAllocationCount();
+  s.RowMutable(7)[0] = 3.0f;
+  s.RowMutable(2)[0] = 4.0f;
+  EXPECT_EQ(SparseAllocationCount(), 0u);
+}
+
+TEST(SparseAllocationCounterTest, DeltaGrowthCountedReuseFree) {
+  SparseRoundDelta delta;
+  delta.Reset(3);
+  ResetSparseAllocationCount();
+  delta.AppendRow(1);
+  delta.AppendRow(5);
+  EXPECT_GT(SparseAllocationCount(), 0u);
+  delta.Reset(3);
+  ResetSparseAllocationCount();
+  delta.AppendRow(0);
+  delta.AppendRow(9);
+  EXPECT_EQ(SparseAllocationCount(), 0u);
+}
+
 }  // namespace
 }  // namespace fedrec

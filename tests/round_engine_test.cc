@@ -348,6 +348,115 @@ TEST(ParticipationTest, UniformDefaultRoundCountMatchesShuffledEpochs) {
   EXPECT_EQ(sim.global_round(), (data.num_users() + 15) / 16);
 }
 
+// --- Round pipelining ------------------------------------------------------
+
+FedConfig UniformConfig(std::size_t clients_per_round, std::size_t rounds) {
+  FedConfig config = SmallConfig();
+  config.participation = ParticipationMode::kUniformPerRound;
+  config.clients_per_round = clients_per_round;
+  config.rounds_per_epoch = rounds;
+  return config;
+}
+
+Dataset SparseRegimeData() {
+  // Large catalogue, few interactions per user, near-uniform item popularity
+  // (no Zipf head shared by everyone): consecutive tiny selections rarely
+  // share item rows, so most rounds are eligible for overlap.
+  SyntheticConfig config;
+  config.num_users = 50;
+  config.num_items = 4000;
+  config.mean_interactions_per_user = 5.0;
+  config.popularity_exponent = 0.05;
+  config.popularity_mix = 0.0;
+  config.seed = 3;
+  return GenerateSynthetic(config);
+}
+
+TEST(PipelineTest, NoConflictScheduleOverlapsAndStaysBitIdentical) {
+  const Dataset data = SparseRegimeData();
+  const FedConfig config = UniformConfig(3, 20);
+  ThreadPool pool(4);
+  Simulation serial(data, config, 0, nullptr, nullptr);
+  Simulation pipelined(data, config, 0, nullptr, &pool);
+  for (int e = 0; e < 3; ++e) {
+    EXPECT_DOUBLE_EQ(serial.RunEpoch(), pipelined.RunEpoch());
+  }
+  EXPECT_TRUE(serial.model().item_factors() ==
+              pipelined.model().item_factors());
+  // The serial engine never overlaps; the pooled one must actually have.
+  EXPECT_EQ(serial.engine().pipelined_rounds(), 0u);
+  EXPECT_GT(pipelined.engine().pipelined_rounds(), 0u);
+}
+
+TEST(PipelineTest, ConflictScheduleFallsBackToSerialAndStaysBitIdentical) {
+  // Tiny catalogue: every consecutive selection pair shares rows, so the
+  // engine must take the serial fallback on every round.
+  const Dataset data = SmallData();
+  const FedConfig config = UniformConfig(8, 12);
+  ThreadPool pool(4);
+  Simulation serial(data, config, 0, nullptr, nullptr);
+  Simulation pipelined(data, config, 0, nullptr, &pool);
+  for (int e = 0; e < 2; ++e) {
+    EXPECT_DOUBLE_EQ(serial.RunEpoch(), pipelined.RunEpoch());
+  }
+  EXPECT_TRUE(serial.model().item_factors() ==
+              pipelined.model().item_factors());
+  EXPECT_EQ(pipelined.engine().pipelined_rounds(), 0u);
+}
+
+TEST(PipelineTest, DisableFlagForcesSerialSchedule) {
+  const Dataset data = SparseRegimeData();
+  FedConfig config = UniformConfig(3, 20);
+  config.pipeline_rounds = false;
+  ThreadPool pool(4);
+  Simulation serial(data, config, 0, nullptr, nullptr);
+  Simulation parallel(data, config, 0, nullptr, &pool);
+  for (int e = 0; e < 2; ++e) {
+    EXPECT_DOUBLE_EQ(serial.RunEpoch(), parallel.RunEpoch());
+  }
+  EXPECT_TRUE(serial.model().item_factors() == parallel.model().item_factors());
+  EXPECT_EQ(parallel.engine().pipelined_rounds(), 0u);
+}
+
+TEST(PipelineTest, MaliciousRoundsStayBitIdenticalUnderPipelining) {
+  // With malicious clients in the draw the engine only overlaps rounds whose
+  // *next* selection is purely benign; either way the trajectory must match
+  // the serial schedule exactly.
+  const Dataset data = SparseRegimeData();
+  const FedConfig config = UniformConfig(3, 20);
+  ThreadPool pool(4);
+  WorkspaceProbeCoordinator serial_coordinator;
+  WorkspaceProbeCoordinator pipelined_coordinator;
+  Simulation serial(data, config, 6, &serial_coordinator, nullptr);
+  Simulation pipelined(data, config, 6, &pipelined_coordinator, &pool);
+  for (int e = 0; e < 3; ++e) {
+    EXPECT_DOUBLE_EQ(serial.RunEpoch(), pipelined.RunEpoch());
+  }
+  EXPECT_TRUE(serial.model().item_factors() ==
+              pipelined.model().item_factors());
+}
+
+TEST(RoundEngineTest, SteadyStateRoundsAreSparseAllocationFree) {
+  // Near-constant per-client interaction counts: every update slot's
+  // capacity watermark is reached within the warm-up epochs, after which
+  // whole epochs of rounds touch the heap zero times.
+  SyntheticConfig data_config;
+  data_config.num_users = 60;
+  data_config.num_items = 90;
+  data_config.mean_interactions_per_user = 12.0;
+  data_config.activity_sigma = 0.05;
+  data_config.seed = 1;
+  const Dataset data = GenerateSynthetic(data_config);
+  FedConfig config = SmallConfig();
+  config.participation = ParticipationMode::kUniformPerRound;
+  config.rounds_per_epoch = 8;
+  Simulation sim(data, config, 0, nullptr, nullptr);
+  for (int e = 0; e < 5; ++e) sim.RunEpoch();  // warm every slot's capacity
+  ResetSparseAllocationCount();
+  for (int e = 0; e < 3; ++e) sim.RunEpoch();
+  EXPECT_EQ(SparseAllocationCount(), 0u);
+}
+
 TEST(ParticipationTest, ModeNamesRoundTrip) {
   EXPECT_STREQ(ParticipationModeToString(ParticipationMode::kShuffledEpochs),
                "shuffled-epochs");

@@ -93,5 +93,52 @@ TEST(DefaultThreadCountTest, AtLeastOne) {
   EXPECT_GE(DefaultThreadCount(), 1u);
 }
 
+// --- ThreadPool::ParallelFor (member, static chunking) ---------------------
+
+TEST(MemberParallelForTest, CoversRangeExactlyOnceWithExplicitGrain) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(10, 90, /*grain=*/7,
+                   [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 10 && i < 90) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(MemberParallelForTest, GrainLargerThanRangeStillCoversAll) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 10, /*grain=*/1000,
+                   [&count](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(MemberParallelForTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, 1, [&called](std::size_t) { called = true; });
+  pool.ParallelFor(7, 3, 1, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(MemberParallelForTest, AutoGrainMatchesSerialSum) {
+  ThreadPool pool(8);
+  const std::size_t n = 50000;
+  std::atomic<long long> sum{0};
+  pool.ParallelFor(0, n, /*grain=*/0, [&sum](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(),
+            static_cast<long long>(n) * static_cast<long long>(n - 1) / 2);
+}
+
+TEST(MemberParallelForTest, SingleWorkerPoolRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;  // safe unsynchronized: inline on this thread
+  pool.ParallelFor(2, 7, 2,
+                   [&order](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 4, 5, 6}));
+}
+
 }  // namespace
 }  // namespace fedrec
