@@ -48,7 +48,7 @@ out_file="$out_dir/BENCH_${bench_name}_${stamp}.json"
 
 CSV_FILE="$csv_file" BENCH_NAME="$bench_name" BENCH_PRESET="$bench_args" \
 WALL_SECONDS="$wall_seconds" \
-GIT_REV="$git_rev" STAMP="$stamp" OUT_FILE="$out_file" python3 - <<'PY'
+GIT_REV="$git_rev" STAMP="$stamp" OUT_FILE="$out_file.tmp" python3 - <<'PY'
 import csv, json, os
 
 with open(os.environ["CSV_FILE"], newline="") as f:
@@ -80,5 +80,13 @@ with open(os.environ["OUT_FILE"], "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 PY
+
+# Prune superseded reports for the same bench only once the new one exists
+# (a failed run must not wipe the previous data point): each bench keeps
+# exactly one BENCH json instead of accumulating a stale duplicate per run.
+for stale in "$out_dir/BENCH_${bench_name}_"[0-9]*.json; do
+  [[ -e "$stale" ]] && rm -f "$stale"
+done
+mv "$out_file.tmp" "$out_file"
 
 echo "wrote $out_file (${wall_seconds}s)"

@@ -215,10 +215,12 @@ class SparseRoundDelta {
   /// Touched row ids in strictly ascending order.
   const std::vector<std::size_t>& rows() const { return rows_; }
 
-  /// Appends a zeroed row for `row` and returns its mutable view. Ids must
-  /// arrive in strictly ascending order (the aggregator walks its sorted
-  /// row->contributors index).
-  std::span<float> AppendRow(std::size_t row) {
+  /// Appends a row for `row` and returns its view WITHOUT zeroing it — for
+  /// callers that overwrite every element before reading it back (the wire
+  /// decoder and the shard merge copy whole rows in). The returned storage
+  /// holds whatever the previous round left in the high-water buffer. Ids
+  /// must arrive in strictly ascending order.
+  std::span<float> AppendRowForOverwrite(std::size_t row) {
     FEDREC_DCHECK(rows_.empty() || rows_.back() < row);
     internal::NoteSparseGrowth(rows_.size() + 1, rows_.capacity());
     rows_.push_back(row);
@@ -227,7 +229,14 @@ class SparseRoundDelta {
       internal::NoteSparseGrowth(needed, values_.capacity());
       values_.resize(needed);
     }
-    std::span<float> slot(values_.data() + (rows_.size() - 1) * cols_, cols_);
+    return std::span<float>(values_.data() + (rows_.size() - 1) * cols_, cols_);
+  }
+
+  /// Appends a zeroed row for `row` and returns its mutable view. Ids must
+  /// arrive in strictly ascending order (the aggregator walks its sorted
+  /// row->contributors index).
+  std::span<float> AppendRow(std::size_t row) {
+    std::span<float> slot = AppendRowForOverwrite(row);
     std::fill(slot.begin(), slot.end(), 0.0f);  // reused storage may be stale
     return slot;
   }

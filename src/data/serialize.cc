@@ -33,8 +33,19 @@ void BinaryWriter::WriteString(const std::string& text) {
   WriteBytes(text.data(), text.size());
 }
 
+void BinaryWriter::WriteF32Array(std::span<const float> values) {
+  WriteBytes(values.data(), values.size() * sizeof(float));
+}
+
 Status BinaryWriter::Flush(const std::string& path) const {
   return WriteStringToFile(path, buffer_);
+}
+
+BinaryReader BinaryReader::View(std::string_view buffer) {
+  BinaryReader reader;
+  reader.external_ = buffer;
+  reader.external_mode_ = true;
+  return reader;
 }
 
 Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
@@ -44,10 +55,10 @@ Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
 }
 
 Status BinaryReader::Need(std::size_t bytes) const {
-  if (position_ + bytes > buffer_.size()) {
+  if (bytes > data().size() - position_) {
     return Status::Corruption("binary stream truncated: need " +
                               std::to_string(bytes) + " bytes, have " +
-                              std::to_string(buffer_.size() - position_));
+                              std::to_string(data().size() - position_));
   }
   return Status::OK();
 }
@@ -55,7 +66,7 @@ Status BinaryReader::Need(std::size_t bytes) const {
 Result<std::uint32_t> BinaryReader::ReadU32() {
   FEDREC_RETURN_NOT_OK(Need(sizeof(std::uint32_t)));
   std::uint32_t value;
-  std::memcpy(&value, buffer_.data() + position_, sizeof(value));
+  std::memcpy(&value, data().data() + position_, sizeof(value));
   position_ += sizeof(value);
   return value;
 }
@@ -63,7 +74,7 @@ Result<std::uint32_t> BinaryReader::ReadU32() {
 Result<std::uint64_t> BinaryReader::ReadU64() {
   FEDREC_RETURN_NOT_OK(Need(sizeof(std::uint64_t)));
   std::uint64_t value;
-  std::memcpy(&value, buffer_.data() + position_, sizeof(value));
+  std::memcpy(&value, data().data() + position_, sizeof(value));
   position_ += sizeof(value);
   return value;
 }
@@ -71,7 +82,7 @@ Result<std::uint64_t> BinaryReader::ReadU64() {
 Result<float> BinaryReader::ReadF32() {
   FEDREC_RETURN_NOT_OK(Need(sizeof(float)));
   float value;
-  std::memcpy(&value, buffer_.data() + position_, sizeof(value));
+  std::memcpy(&value, data().data() + position_, sizeof(value));
   position_ += sizeof(value);
   return value;
 }
@@ -80,10 +91,23 @@ Result<std::string> BinaryReader::ReadString() {
   Result<std::uint64_t> size = ReadU64();
   if (!size.ok()) return size.status();
   FEDREC_RETURN_NOT_OK(Need(size.value()));
-  std::string text(buffer_.data() + position_,
+  std::string text(data().data() + position_,
                    static_cast<std::size_t>(size.value()));
   position_ += static_cast<std::size_t>(size.value());
   return text;
+}
+
+Status BinaryReader::ReadF32Array(std::span<float> out) {
+  const std::size_t bytes = out.size() * sizeof(float);
+  FEDREC_RETURN_NOT_OK(Need(bytes));
+  std::memcpy(out.data(), data().data() + position_, bytes);
+  position_ += bytes;
+  return Status::OK();
+}
+
+Result<std::string_view> BinaryReader::PeekBytes(std::size_t bytes) {
+  FEDREC_RETURN_NOT_OK(Need(bytes));
+  return data().substr(position_, bytes);
 }
 
 Status SaveMatrix(const Matrix& matrix, const std::string& path) {
@@ -92,8 +116,7 @@ Status SaveMatrix(const Matrix& matrix, const std::string& path) {
   writer.WriteU32(kFormatVersion);
   writer.WriteU64(matrix.rows());
   writer.WriteU64(matrix.cols());
-  const auto data = matrix.Data();
-  writer.WriteBytes(data.data(), data.size() * sizeof(float));
+  writer.WriteF32Array(matrix.Data());
   return writer.Flush(path);
 }
 
@@ -124,11 +147,7 @@ Result<Matrix> LoadMatrix(const std::string& path) {
   }
   Matrix matrix(static_cast<std::size_t>(rows.value()),
                 static_cast<std::size_t>(cols.value()));
-  for (float& v : matrix.Data()) {
-    Result<float> value = in.ReadF32();
-    if (!value.ok()) return value.status();
-    v = value.value();
-  }
+  FEDREC_RETURN_NOT_OK(in.ReadF32Array(matrix.Data()));
   return matrix;
 }
 

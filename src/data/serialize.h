@@ -2,7 +2,9 @@
 #define FEDREC_DATA_SERIALIZE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/matrix.h"
@@ -11,8 +13,9 @@
 
 /// \file
 /// Little-endian binary serialization for the library's value types: feature
-/// matrices (model checkpoints) and datasets (preprocessed caches). Formats
-/// carry a magic tag and version so stale or foreign files fail loudly.
+/// matrices (model checkpoints), datasets (preprocessed caches), and the
+/// shard-layer wire messages (src/shard/wire.h). Formats carry a magic tag
+/// and version so stale or foreign files fail loudly.
 
 namespace fedrec {
 
@@ -24,6 +27,15 @@ class BinaryWriter {
   void WriteF32(float value);
   void WriteBytes(const void* data, std::size_t size);
   void WriteString(const std::string& text);
+
+  /// Appends `values` with a single bulk copy — the float payloads of
+  /// checkpoints and wire messages never loop per element.
+  void WriteF32Array(std::span<const float> values);
+
+  /// Drops the accumulated bytes but keeps the buffer's capacity, so a
+  /// writer reused message over message (the shard wire path) stops
+  /// allocating once its high-water size is reached.
+  void Clear() { buffer_.clear(); }
 
   const std::string& buffer() const { return buffer_; }
 
@@ -40,7 +52,13 @@ class BinaryReader {
   /// Empty reader (required by Result<BinaryReader>); every read fails.
   BinaryReader() = default;
 
-  explicit BinaryReader(std::string buffer) : buffer_(std::move(buffer)) {}
+  /// Owning reader over a copy of `buffer`.
+  explicit BinaryReader(std::string buffer)
+      : owned_(std::move(buffer)), external_mode_(false) {}
+
+  /// Non-owning reader over `buffer`, which must outlive the reader. The
+  /// wire hot path decodes shard inboxes in place with zero copies.
+  static BinaryReader View(std::string_view buffer);
 
   /// Loads a whole file into a reader.
   static Result<BinaryReader> FromFile(const std::string& path);
@@ -50,13 +68,30 @@ class BinaryReader {
   Result<float> ReadF32();
   Result<std::string> ReadString();
 
-  std::size_t remaining() const { return buffer_.size() - position_; }
-  bool exhausted() const { return position_ >= buffer_.size(); }
+  /// Fills `out` with a single bulk copy (the counterpart of WriteF32Array).
+  Status ReadF32Array(std::span<float> out);
+
+  /// View of the next `bytes` bytes without consuming them — checksum
+  /// validation reads the payload once before parsing it.
+  Result<std::string_view> PeekBytes(std::size_t bytes);
+
+  std::size_t position() const { return position_; }
+  std::size_t remaining() const { return data().size() - position_; }
+  bool exhausted() const { return position_ >= data().size(); }
 
  private:
   Status Need(std::size_t bytes) const;
 
-  std::string buffer_;
+  /// The byte source: the owned copy or the external view. Recomputed on
+  /// every access so a moved-from/into reader never dangles into a
+  /// small-string buffer that relocated with the move.
+  std::string_view data() const {
+    return external_mode_ ? external_ : std::string_view(owned_);
+  }
+
+  std::string owned_;
+  std::string_view external_;
+  bool external_mode_ = false;
   std::size_t position_ = 0;
 };
 

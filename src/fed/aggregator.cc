@@ -26,7 +26,7 @@ const char* AggregatorKindToString(AggregatorKind kind) {
   return "?";
 }
 
-void BuildRowIndex(const std::vector<ClientUpdate>& updates,
+void BuildRowIndex(std::span<const ClientUpdate> updates,
                    AggregationWorkspace& workspace) {
   std::size_t total_rows = 0;
   for (const ClientUpdate& update : updates) {
@@ -225,13 +225,21 @@ void AggregateCoordinateWiseGroups(
   }
 }
 
-void AggregateKrumSparse(const std::vector<ClientUpdate>& updates,
+void AggregateKrumSparse(std::span<const ClientUpdate> updates,
                          std::size_t dim, std::size_t krum_honest,
                          AggregationWorkspace& workspace, SparseRoundDelta& out) {
   const std::size_t pick = KrumSelect(updates, 0, dim, krum_honest);
-  const SparseRowMatrix& upload = updates[pick].item_gradients;
+  EmitKrumSelected(updates[pick].item_gradients,
+                   static_cast<float>(updates.size()), workspace, out);
+}
+
+}  // namespace
+
+void EmitKrumSelected(const SparseRowMatrix& upload, float scale,
+                      AggregationWorkspace& workspace, SparseRoundDelta& out) {
   // Only the selected client's rows are touched; reuse the row index to emit
   // them in ascending order.
+  const std::size_t dim = upload.cols();
   std::vector<RowContribution>& entries = workspace.row_index;
   entries.clear();
   entries.reserve(upload.row_count());
@@ -243,17 +251,12 @@ void AggregateKrumSparse(const std::vector<ClientUpdate>& updates,
             [](const RowContribution& a, const RowContribution& b) {
               return a.row < b.row;
             });
-  // The selected client's update stands in for the whole round, scaled to
-  // the round size to keep the learning-rate semantics of Eq. (7).
-  const float scale = static_cast<float>(updates.size());
   for (const RowContribution& entry : entries) {
     kernels::Axpy(scale, entry.data, out.AppendRow(entry.row).data(), dim);
   }
 }
 
-}  // namespace
-
-std::size_t KrumSelect(const std::vector<ClientUpdate>& updates,
+std::size_t KrumSelect(std::span<const ClientUpdate> updates,
                        std::size_t num_items, std::size_t dim,
                        std::size_t honest) {
   (void)num_items;
@@ -351,7 +354,7 @@ std::size_t KrumSelect(const std::vector<ClientUpdate>& updates,
   return best;
 }
 
-void AggregateUpdates(const std::vector<ClientUpdate>& updates, std::size_t dim,
+void AggregateUpdates(std::span<const ClientUpdate> updates, std::size_t dim,
                       const AggregatorOptions& options,
                       AggregationWorkspace& workspace, SparseRoundDelta& out,
                       ThreadPool* pool, std::size_t num_shards) {
@@ -409,7 +412,7 @@ void AggregateUpdates(const std::vector<ClientUpdate>& updates, std::size_t dim,
   }
 }
 
-Matrix AggregateUpdates(const std::vector<ClientUpdate>& updates,
+Matrix AggregateUpdates(std::span<const ClientUpdate> updates,
                         std::size_t num_items, std::size_t dim,
                         const AggregatorOptions& options) {
   AggregationWorkspace workspace;

@@ -1,6 +1,7 @@
 #ifndef FEDREC_FED_AGGREGATOR_H_
 #define FEDREC_FED_AGGREGATOR_H_
 
+#include <span>
 #include <vector>
 
 #include "common/matrix.h"
@@ -66,8 +67,10 @@ struct AggregationWorkspace {
 };
 
 /// Rebuilds `workspace.row_index` from the round's uploads. Exposed so the
-/// round engine can share the index with other per-round consumers.
-void BuildRowIndex(const std::vector<ClientUpdate>& updates,
+/// round engine can share the index with other per-round consumers. Updates
+/// are taken as a span so callers with persistent slot vectors (the shard
+/// servers' routed-upload pools) can pass an active prefix without resizing.
+void BuildRowIndex(std::span<const ClientUpdate> updates,
                    AggregationWorkspace& workspace);
 
 class ThreadPool;
@@ -85,7 +88,7 @@ class ThreadPool;
 /// result is bit-identical for any shard count; kKrum is a whole-round
 /// selection and ignores the pool. Shard scratch lives in `workspace` and is
 /// reused round over round.
-void AggregateUpdates(const std::vector<ClientUpdate>& updates, std::size_t dim,
+void AggregateUpdates(std::span<const ClientUpdate> updates, std::size_t dim,
                       const AggregatorOptions& options,
                       AggregationWorkspace& workspace, SparseRoundDelta& out,
                       ThreadPool* pool = nullptr, std::size_t num_shards = 0);
@@ -93,14 +96,26 @@ void AggregateUpdates(const std::vector<ClientUpdate>& updates, std::size_t dim,
 /// Dense convenience overload: aggregates sparsely, then scatters into a
 /// num_items x dim matrix. Tests and offline tooling only — the round loop
 /// applies the sparse delta directly.
-Matrix AggregateUpdates(const std::vector<ClientUpdate>& updates,
+Matrix AggregateUpdates(std::span<const ClientUpdate> updates,
                         std::size_t num_items, std::size_t dim,
                         const AggregatorOptions& options);
 
+/// Emits `upload`'s rows into `out` in ascending row order, scaled by
+/// `scale` — the Krum emit step (the selected client's update stands in for
+/// the whole round, rescaled to the round size to keep the learning-rate
+/// semantics of Eq. 7). Shared by the single-server kKrum rule and the shard
+/// servers, whose winner is selected globally; extracting it keeps the two
+/// paths bit-identical by construction. Uses `workspace.row_index` as
+/// sorting scratch.
+void EmitKrumSelected(const SparseRowMatrix& upload, float scale,
+                      AggregationWorkspace& workspace, SparseRoundDelta& out);
+
 /// Krum selection: index into `updates` of the client whose upload minimizes
 /// the summed squared distance to its closest (honest - 2) neighbours,
-/// treating absent rows as zeros. Exposed for tests and the detector bench.
-std::size_t KrumSelect(const std::vector<ClientUpdate>& updates,
+/// treating absent rows as zeros. Exposed for tests, the detector bench and
+/// the sharded coordinator (Krum is a whole-round decision, so a sharded
+/// server selects once globally and broadcasts the winner to its shards).
+std::size_t KrumSelect(std::span<const ClientUpdate> updates,
                        std::size_t num_items, std::size_t dim,
                        std::size_t honest);
 

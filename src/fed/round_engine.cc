@@ -322,8 +322,7 @@ double RoundEngine::RunRound(const RoundObserver& observer) {
     Aggregate();
     Apply();
   }
-  ++round_in_epoch_;
-  ++global_round_;
+  AdvanceRound();
   return loss;
 }
 

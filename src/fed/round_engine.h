@@ -158,6 +158,15 @@ class RoundEngine {
   /// Applies the delta to the shared item matrix (Eq. 7).
   void Apply();
 
+  /// Advances the round counters without running any stage — for external
+  /// drivers (the sharded federation layer in src/shard) that execute
+  /// Select/LocalTrain/Attack/Observe here but replace Aggregate/Apply with
+  /// their own server path. RunRound calls this itself; never combine both.
+  void AdvanceRound() {
+    ++round_in_epoch_;
+    ++global_round_;
+  }
+
   std::size_t epoch() const { return epoch_; }
   std::size_t round_in_epoch() const { return round_in_epoch_; }
   std::size_t rounds_this_epoch() const { return rounds_this_epoch_; }

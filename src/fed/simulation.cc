@@ -51,8 +51,8 @@ std::vector<EpochRecord> Simulation::Run(
             ? static_cast<double>(record.rounds) / record.train_seconds
             : 0.0;
     const bool last = e + 1 == config_.epochs;
-    if (evaluator != nullptr && eval_every > 0 &&
-        ((e + 1) % eval_every == 0 || last)) {
+    if (evaluator != nullptr &&
+        (last || (eval_every > 0 && (e + 1) % eval_every == 0))) {
       record.metrics = evaluator->Evaluate(BenignUserFactors(),
                                            model_.item_factors(), target_items,
                                            pool_);

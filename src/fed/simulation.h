@@ -67,8 +67,10 @@ class Simulation {
   /// Runs one epoch; returns the summed benign BPR loss of the epoch.
   double RunEpoch();
 
-  /// Runs config.epochs epochs, evaluating every `eval_every` epochs (and at
-  /// the final epoch) when `evaluator` is non-null.
+  /// Runs config.epochs epochs, evaluating every `eval_every` epochs and at
+  /// the final epoch when `evaluator` is non-null (eval_every = 0 evaluates
+  /// the final epoch only — callers that derive a cadence by integer
+  /// division, like `epochs / 10`, must still get final metrics).
   std::vector<EpochRecord> Run(const Evaluator* evaluator,
                                const std::vector<std::uint32_t>& target_items,
                                std::size_t eval_every);

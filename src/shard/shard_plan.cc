@@ -1,0 +1,15 @@
+#include "shard/shard_plan.h"
+
+namespace fedrec {
+
+const char* ShardPolicyToString(ShardPolicy policy) {
+  switch (policy) {
+    case ShardPolicy::kContiguousRange:
+      return "contiguous-range";
+    case ShardPolicy::kHashed:
+      return "hashed";
+  }
+  return "?";
+}
+
+}  // namespace fedrec

@@ -1,0 +1,82 @@
+#ifndef FEDREC_SHARD_SHARD_PLAN_H_
+#define FEDREC_SHARD_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.h"
+
+/// \file
+/// Static partition of the item-row space across S shard servers. Every row
+/// is owned by exactly one shard, so per-row aggregation work never crosses
+/// a shard boundary and per-shard deltas have disjoint row sets by
+/// construction.
+
+namespace fedrec {
+
+/// How item rows map to shards.
+enum class ShardPolicy {
+  /// Shard s owns the contiguous range [num_items*s/S, num_items*(s+1)/S).
+  /// Best locality: a shard's rows are one slab of V, and the merged delta
+  /// is the plain concatenation of the shard deltas.
+  kContiguousRange,
+  /// Shard of row r is MixRowId(r) % S. Spreads hot items (the Zipf head a
+  /// recommender catalogue always has) evenly, at the cost of interleaved
+  /// merge order.
+  kHashed,
+};
+
+const char* ShardPolicyToString(ShardPolicy policy);
+
+/// SplitMix64-style finalizer — the stateless row-id mixer behind
+/// ShardPolicy::kHashed (distinct from rng.h's stateful SplitMix64 step).
+inline std::uint64_t MixRowId(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Immutable row -> shard mapping.
+class ShardPlan {
+ public:
+  ShardPlan(std::size_t num_items, std::size_t num_shards, ShardPolicy policy)
+      : num_items_(num_items), num_shards_(num_shards), policy_(policy) {
+    FEDREC_CHECK_GT(num_shards, 0u);
+    FEDREC_CHECK_GT(num_items, 0u);
+  }
+
+  std::size_t num_items() const { return num_items_; }
+  std::size_t num_shards() const { return num_shards_; }
+  ShardPolicy policy() const { return policy_; }
+
+  /// Owning shard of `row` (row must be < num_items()).
+  std::size_t ShardOf(std::size_t row) const {
+    FEDREC_DCHECK(row < num_items_);
+    switch (policy_) {
+      case ShardPolicy::kContiguousRange:
+        // Largest s with RangeBegin(s) <= row, closed-form.
+        return (num_shards_ * (row + 1) - 1) / num_items_;
+      case ShardPolicy::kHashed:
+        return static_cast<std::size_t>(MixRowId(row) % num_shards_);
+    }
+    return 0;
+  }
+
+  /// First row of shard `s` under kContiguousRange.
+  std::size_t RangeBegin(std::size_t s) const {
+    FEDREC_DCHECK(s <= num_shards_);
+    return num_items_ * s / num_shards_;
+  }
+  /// One past the last row of shard `s` under kContiguousRange.
+  std::size_t RangeEnd(std::size_t s) const { return RangeBegin(s + 1); }
+
+ private:
+  std::size_t num_items_;
+  std::size_t num_shards_;
+  ShardPolicy policy_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_SHARD_SHARD_PLAN_H_

@@ -1,0 +1,189 @@
+#include "shard/shard_server.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "shard/wire.h"
+
+namespace fedrec {
+
+ShardServer::ShardServer(const ShardPlan& plan, std::size_t dim)
+    : plan_(plan), dim_(dim), shards_(plan.num_shards()),
+      received_(plan.num_shards()), cursor_(plan.num_shards(), 0) {
+  FEDREC_CHECK_GT(dim, 0u);
+}
+
+void ShardServer::RouteRound(std::span<const ClientUpdate> updates,
+                             ThreadPool* pool) {
+  // A row outside the plan would silently match no shard under the
+  // contiguous policy; the single-server engine aborts on such a row at
+  // Apply, so the router aborts too instead of quietly dropping it.
+  for (const ClientUpdate& update : updates) {
+    for (std::size_t row : update.item_gradients.row_ids()) {
+      FEDREC_CHECK_LT(row, plan_.num_items())
+          << "uploaded row outside the shard plan";
+    }
+  }
+  // Each shard scans the whole round and keeps only its rows: S scans of the
+  // row-id lists (cheap integer work) buy fully independent per-shard encode
+  // loops — no shared output buffer, no ordering hand-off, and update order
+  // is preserved per shard, which is what keeps every row's contributor
+  // sequence identical to the single-server sweep.
+  ParallelFor(pool, shards_.size(), [&](std::size_t s) {
+    ShardState& shard = shards_[s];
+    Stopwatch timer;
+    shard.inbox.Clear();
+    shard.message_count = 0;
+    for (std::size_t sequence = 0; sequence < updates.size(); ++sequence) {
+      const ClientUpdate& update = updates[sequence];
+      shard.route_slots.clear();
+      const auto& rows = update.item_gradients.row_ids();
+      for (std::size_t slot = 0; slot < rows.size(); ++slot) {
+        if (plan_.ShardOf(rows[slot]) == s) {
+          shard.route_slots.push_back(static_cast<std::uint32_t>(slot));
+        }
+      }
+      if (!shard.route_slots.empty()) {
+        // The wire source id is the round-unique upload sequence number, not
+        // the client id: ClientUpdate.user is attacker-controlled (a sybil
+        // can impersonate a benign id), and Krum's winner broadcast must
+        // match exactly one upload.
+        EncodeUpload(update.item_gradients, sequence, shard.route_slots,
+                     shard.inbox);
+        ++shard.message_count;
+      }
+    }
+    shard.route_seconds = timer.ElapsedSeconds();
+  });
+  ++stats_.rounds;
+  for (const ShardState& shard : shards_) {
+    stats_.upload_messages += shard.message_count;
+    stats_.upload_bytes += shard.inbox.buffer().size();
+  }
+}
+
+Status ShardServer::DecodeInbox(ShardState& shard, std::size_t s) {
+  shard.routed_count = 0;
+  BinaryReader reader = BinaryReader::View(shard.inbox.buffer());
+  while (!reader.exhausted()) {
+    if (shard.routed_count == shard.routed.size()) {
+      shard.routed.emplace_back();
+      shard.routed_source.emplace_back();
+    }
+    ClientUpdate& slot = shard.routed[shard.routed_count];
+    Result<std::uint64_t> source = DecodeUpload(reader, slot.item_gradients);
+    if (!source.ok()) return source.status();
+    if (slot.item_gradients.cols() != dim_) {
+      return Status::Corruption(
+          "shard " + std::to_string(s) + ": upload dimension " +
+          std::to_string(slot.item_gradients.cols()) + " != " +
+          std::to_string(dim_));
+    }
+    for (std::size_t row : slot.item_gradients.row_ids()) {
+      if (row >= plan_.num_items() || plan_.ShardOf(row) != s) {
+        return Status::Corruption("row " + std::to_string(row) +
+                                  " routed to wrong shard " +
+                                  std::to_string(s));
+      }
+    }
+    shard.routed_source[shard.routed_count] = source.value();
+    ++shard.routed_count;
+  }
+  return Status::OK();
+}
+
+void ShardServer::AggregateShard(ShardState& shard,
+                                 const AggregatorOptions& options,
+                                 std::size_t round_size,
+                                 std::uint64_t krum_source) {
+  const std::span<const ClientUpdate> routed(shard.routed.data(),
+                                             shard.routed_count);
+  if (options.kind != AggregatorKind::kKrum) {
+    AggregateUpdates(routed, dim_, options, shard.aggregation, shard.delta);
+    return;
+  }
+  // Krum: the coordinator already selected the round's winner globally; this
+  // shard contributes the winner's routed rows through the same emit helper
+  // as the single-server rule, scaled by the round size. Sequence ids are
+  // round-unique, so at most one routed upload can match.
+  shard.delta.Reset(dim_);
+  for (std::size_t i = 0; i < shard.routed_count; ++i) {
+    if (shard.routed_source[i] == krum_source) {
+      EmitKrumSelected(shard.routed[i].item_gradients,
+                       static_cast<float>(round_size), shard.aggregation,
+                       shard.delta);
+      return;
+    }
+  }
+  // The winner touched no row of this shard: empty shard delta.
+}
+
+Status ShardServer::AggregateRound(const AggregatorOptions& options,
+                                   std::size_t round_size,
+                                   std::uint64_t krum_source,
+                                   ThreadPool* pool) {
+  ParallelFor(pool, shards_.size(), [&](std::size_t s) {
+    ShardState& shard = shards_[s];
+    Stopwatch timer;
+    shard.status = DecodeInbox(shard, s);
+    if (shard.status.ok()) {
+      AggregateShard(shard, options, round_size, krum_source);
+      shard.delta_wire.Clear();
+      EncodeDelta(shard.delta, shard.delta_wire);
+    }
+    shard.aggregate_seconds = timer.ElapsedSeconds();
+  });
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s].status.ok()) return shards_[s].status;
+    stats_.delta_bytes += shards_[s].delta_wire.buffer().size();
+  }
+  return Status::OK();
+}
+
+Status ShardServer::MergeRoundDelta(SparseRoundDelta& out) {
+  Stopwatch timer;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    BinaryReader reader = BinaryReader::View(shards_[s].delta_wire.buffer());
+    FEDREC_RETURN_NOT_OK(DecodeDelta(reader, received_[s]));
+    if (!reader.exhausted()) {
+      return Status::Corruption("shard " + std::to_string(s) +
+                                ": trailing bytes after FRWD delta");
+    }
+    if (received_[s].cols() != dim_) {
+      return Status::Corruption("shard " + std::to_string(s) +
+                                ": delta dimension mismatch");
+    }
+    cursor_[s] = 0;
+  }
+  // Sorted-row union: shard row sets are disjoint, so the merge is a k-way
+  // pick-the-smallest-head walk copying whole rows. Under kContiguousRange
+  // the walk degenerates to concatenation in shard order.
+  out.Reset(dim_);
+  constexpr std::size_t kDone = std::numeric_limits<std::size_t>::max();
+  while (true) {
+    std::size_t min_row = kDone;
+    std::size_t min_shard = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (cursor_[s] >= received_[s].row_count()) continue;
+      const std::size_t row = received_[s].rows()[cursor_[s]];
+      if (row < min_row) {
+        min_row = row;
+        min_shard = s;
+      } else if (row == min_row) {
+        return Status::Corruption("row " + std::to_string(row) +
+                                  " produced by two shards");
+      }
+    }
+    if (min_row == kDone) break;
+    const auto src = received_[min_shard].RowAtSlot(cursor_[min_shard]);
+    std::copy(src.begin(), src.end(),
+              out.AppendRowForOverwrite(min_row).begin());
+    ++cursor_[min_shard];
+  }
+  merge_seconds_ = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace fedrec

@@ -1,0 +1,152 @@
+#ifndef FEDREC_SHARD_SHARD_SERVER_H_
+#define FEDREC_SHARD_SHARD_SERVER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "data/serialize.h"
+#include "fed/aggregator.h"
+#include "fed/client.h"
+#include "shard/shard_plan.h"
+
+/// \file
+/// Multi-shard aggregation service: the server side of a round, split across
+/// S shard servers that each own a disjoint slice of the item rows (see
+/// ShardPlan). A round flows through three wire-delimited steps:
+///
+///   RouteRound      — every upload's rows are split by owning shard and
+///                     encoded as FRWU messages into per-shard inboxes
+///   AggregateRound  — each shard decodes its inbox and aggregates ONLY its
+///                     routed rows (concurrently across shards), then
+///                     encodes its partial delta as an FRWD message
+///   MergeRoundDelta — the coordinator decodes the per-shard deltas and
+///                     merges them by sorted-row union
+///
+/// Because every row is owned by exactly one shard and routing preserves
+/// update order, each row's contributor sequence on its shard is exactly the
+/// single-server sweep's — the merged delta is bit-identical to
+/// AggregateUpdates over the whole round, for every aggregation rule and any
+/// shard count. Krum is the one whole-round rule: the coordinator runs
+/// KrumSelect globally and broadcasts the winner's source id; shards emit
+/// only the winner's routed rows (scaled to the round size, as the
+/// single-server rule does).
+///
+/// All per-shard state (inboxes, routed-upload slots, aggregation workspace,
+/// delta and its wire form) is persistent and high-water sized: a
+/// steady-state round routes, aggregates and merges without heap growth
+/// (measured by the sparse-allocation hook, which the wire writers also
+/// feed). In-process the "wire" is a byte buffer handoff; a real deployment
+/// replaces the handoff with sockets and keeps every encode/decode path.
+
+namespace fedrec {
+
+/// Cumulative wire-traffic counters (divide by rounds for per-round cost).
+struct ShardServerStats {
+  std::uint64_t rounds = 0;            ///< rounds routed
+  std::uint64_t upload_messages = 0;   ///< FRWU messages delivered
+  std::uint64_t upload_bytes = 0;      ///< total FRWU bytes
+  std::uint64_t delta_bytes = 0;       ///< total FRWD bytes
+};
+
+/// The sharded server of one federation. Owns S shard states plus the
+/// coordinator-side merge scratch.
+class ShardServer {
+ public:
+  /// `plan.num_items()` must cover every row id a round can upload; `dim` is
+  /// the feature dimension every message must carry.
+  ShardServer(const ShardPlan& plan, std::size_t dim);
+
+  const ShardPlan& plan() const { return plan_; }
+  std::size_t dim() const { return dim_; }
+
+  /// Clears last round's inboxes and encodes every upload's routed rows into
+  /// them: one FRWU message per (update, owning shard) pair with at least
+  /// one routed row, in update order, carrying the upload's round-unique
+  /// sequence number as the wire source id (client ids are
+  /// attacker-controlled and may collide). Sharded across `pool` (each shard
+  /// scans the round and keeps only its rows); `pool` may be null. Aborts on
+  /// a row outside the plan — the single-server engine aborts on such a row
+  /// at Apply, and silent dropping would diverge from it.
+  void RouteRound(std::span<const ClientUpdate> updates, ThreadPool* pool);
+
+  /// Decodes every shard's inbox and aggregates its routed rows,
+  /// concurrently across shards; each shard's partial delta is re-encoded as
+  /// an FRWD message for the merge step. `round_size` is the number of
+  /// uploads in the round (the output scale of Krum); `krum_source` is the
+  /// sequence number of the globally Krum-selected upload — its index into
+  /// the routed round (ignored for the per-row rules). Fails loudly, via
+  /// Status::Corruption, on any corrupt or misrouted message.
+  Status AggregateRound(const AggregatorOptions& options,
+                        std::size_t round_size, std::uint64_t krum_source,
+                        ThreadPool* pool);
+
+  /// Decodes the per-shard FRWD messages and merges them into `out` by
+  /// sorted-row union (shard row sets are disjoint by construction; overlap
+  /// is reported as corruption).
+  Status MergeRoundDelta(SparseRoundDelta& out);
+
+  /// Wire access for tests and custom transports: the inbox a coordinator
+  /// fills for shard `s`, and the FRWD bytes shard `s` produced last round.
+  BinaryWriter& inbox(std::size_t s) { return shards_[s].inbox; }
+  const std::string& delta_wire(std::size_t s) const {
+    return shards_[s].delta_wire.buffer();
+  }
+
+  /// Shard `s`'s own decoded delta from the last AggregateRound (pre-wire).
+  const SparseRoundDelta& shard_delta(std::size_t s) const {
+    return shards_[s].delta;
+  }
+
+  const ShardServerStats& stats() const { return stats_; }
+
+  /// Wall seconds shard `s` spent in its own routing / decode+aggregate work
+  /// last round, excluding scheduling. Measured per shard regardless of the
+  /// pool, so a single-core host can still report the per-shard critical
+  /// path an S-worker deployment would pay.
+  double route_seconds(std::size_t s) const { return shards_[s].route_seconds; }
+  double aggregate_seconds(std::size_t s) const {
+    return shards_[s].aggregate_seconds;
+  }
+  /// Wall seconds of the last MergeRoundDelta (coordinator-serial work).
+  double merge_seconds() const { return merge_seconds_; }
+
+ private:
+  struct ShardState {
+    BinaryWriter inbox;                       ///< FRWU wire in
+    BinaryWriter delta_wire;                  ///< FRWD wire out
+    std::vector<std::uint32_t> route_slots;   ///< per-update routing scratch
+    std::vector<ClientUpdate> routed;         ///< decoded uploads (reused)
+    std::vector<std::uint64_t> routed_source; ///< wire source ids, parallel
+    std::size_t routed_count = 0;             ///< active prefix of `routed`
+    std::size_t message_count = 0;            ///< FRWU messages this round
+    AggregationWorkspace aggregation;
+    SparseRoundDelta delta;
+    Status status;                            ///< last round's outcome
+    double route_seconds = 0.0;
+    double aggregate_seconds = 0.0;
+  };
+
+  /// Decodes shard `s`'s inbox into its routed slots; validates dimensions
+  /// and ownership.
+  Status DecodeInbox(ShardState& shard, std::size_t s);
+  /// Aggregates shard `s`'s routed uploads into its delta.
+  void AggregateShard(ShardState& shard, const AggregatorOptions& options,
+                      std::size_t round_size, std::uint64_t krum_source);
+
+  ShardPlan plan_;
+  std::size_t dim_;
+  std::vector<ShardState> shards_;
+  // Coordinator-side merge state (reused round over round).
+  std::vector<SparseRoundDelta> received_;
+  std::vector<std::size_t> cursor_;
+  ShardServerStats stats_;
+  double merge_seconds_ = 0.0;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_SHARD_SHARD_SERVER_H_

@@ -1,0 +1,50 @@
+#include "shard/sharded_round_engine.h"
+
+namespace fedrec {
+
+ShardedRoundEngine::ShardedRoundEngine(RoundEngine* engine, MfModel* model,
+                                       const FedConfig* config,
+                                       const ShardPlan& plan, ThreadPool* pool)
+    : engine_(engine),
+      model_(model),
+      config_(config),
+      pool_(pool),
+      server_(plan, model->dim()) {
+  FEDREC_CHECK(engine_ != nullptr);
+  FEDREC_CHECK(model_ != nullptr);
+  FEDREC_CHECK(config_ != nullptr);
+  FEDREC_CHECK_EQ(plan.num_items(), model->num_items());
+}
+
+double ShardedRoundEngine::RunRound(const RoundObserver& observer) {
+  FEDREC_CHECK(HasNextRound()) << "epoch " << engine_->epoch()
+                               << " has no rounds left";
+  engine_->Select();
+  const double loss = engine_->LocalTrain();
+  engine_->Attack();
+  engine_->Observe(observer);
+
+  const std::vector<ClientUpdate>& updates = engine_->workspace().updates;
+  server_.RouteRound(updates, pool_);
+
+  // Krum is a whole-round selection: decide on the coordinator (which holds
+  // the full uploads before routing anyway) and broadcast the winner's
+  // round sequence number to the shards.
+  std::uint64_t krum_source = 0;
+  if (config_->aggregator.kind == AggregatorKind::kKrum && !updates.empty()) {
+    krum_source = KrumSelect(updates, /*num_items=*/0, model_->dim(),
+                             config_->aggregator.krum_honest);
+  }
+  // In-process wire corruption is a programming error, not an environmental
+  // failure: fail fast instead of threading Status through the round loop.
+  server_
+      .AggregateRound(config_->aggregator, updates.size(), krum_source, pool_)
+      .CheckOK();
+  server_.MergeRoundDelta(merged_).CheckOK();
+
+  model_->ApplySparseGradient(merged_, config_->model.learning_rate);
+  engine_->AdvanceRound();
+  return loss;
+}
+
+}  // namespace fedrec

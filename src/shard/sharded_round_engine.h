@@ -1,0 +1,68 @@
+#ifndef FEDREC_SHARD_SHARDED_ROUND_ENGINE_H_
+#define FEDREC_SHARD_SHARDED_ROUND_ENGINE_H_
+
+#include <cstdint>
+
+#include "common/threadpool.h"
+#include "fed/config.h"
+#include "fed/round_engine.h"
+#include "model/mf_model.h"
+#include "shard/shard_server.h"
+
+/// \file
+/// Sharded federation round loop: the client-facing stages
+/// (Select/LocalTrain/Attack/Observe) run unchanged on the wrapped
+/// RoundEngine, and the server side — the stage a single box cannot scale to
+/// a catalogue-sized item matrix under heavy traffic — is replaced by the
+/// multi-shard path of ShardServer:
+///
+///   Select -> LocalTrain -> Attack -> Observe
+///     -> Route (FRWU wire) -> per-shard Aggregate -> FRWD wire -> Merge
+///     -> Apply
+///
+/// Every upload of the round — the malicious ones produced by the Attack
+/// stage included — flows through the same routed wire path, so poisoned
+/// rows split across shards exactly like benign ones; a shard cannot tell
+/// them apart any better than the single server could. The merged delta is
+/// bit-identical to the single-server RoundEngine for every aggregation rule
+/// and any shard count, so sharding is a pure deployment choice: attack
+/// efficacy numbers carry over unchanged.
+
+namespace fedrec {
+
+/// Drives RoundEngine's client stages and ShardServer's server stages.
+class ShardedRoundEngine {
+ public:
+  /// All pointers are borrowed and must outlive this engine. `engine` is the
+  /// single-federation round engine whose client stages are reused (its
+  /// Aggregate/Apply are never called); `pool` fans both LocalTrain (via the
+  /// engine) and the per-shard server work, and may be null.
+  ShardedRoundEngine(RoundEngine* engine, MfModel* model,
+                     const FedConfig* config, const ShardPlan& plan,
+                     ThreadPool* pool);
+
+  void BeginEpoch(std::size_t epoch) { engine_->BeginEpoch(epoch); }
+  bool HasNextRound() const { return engine_->HasNextRound(); }
+
+  /// Runs one full round through the sharded server path; returns the summed
+  /// benign BPR loss (same contract as RoundEngine::RunRound). `observer`
+  /// may be null.
+  double RunRound(const RoundObserver& observer = {});
+
+  const ShardServer& server() const { return server_; }
+  ShardServer& server() { return server_; }
+  const SparseRoundDelta& merged_delta() const { return merged_; }
+  const RoundEngine& engine() const { return *engine_; }
+
+ private:
+  RoundEngine* engine_;
+  MfModel* model_;
+  const FedConfig* config_;
+  ThreadPool* pool_;
+  ShardServer server_;
+  SparseRoundDelta merged_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_SHARD_SHARDED_ROUND_ENGINE_H_

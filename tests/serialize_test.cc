@@ -58,6 +58,64 @@ TEST_F(SerializeTest, EmptyReaderFailsEveryRead) {
   EXPECT_TRUE(reader.exhausted());
 }
 
+TEST_F(SerializeTest, F32ArrayBulkRoundTrip) {
+  const std::vector<float> values = {1.5f, -2.25f, 0.0f, 1e-7f, 3e8f};
+  BinaryWriter writer;
+  writer.WriteF32Array(values);
+  // Bulk write produces the exact bytes of the per-element loop.
+  BinaryWriter reference;
+  for (float v : values) reference.WriteF32(v);
+  EXPECT_EQ(writer.buffer(), reference.buffer());
+
+  std::vector<float> out(values.size(), -1.0f);
+  BinaryReader reader(writer.buffer());
+  reader.ReadF32Array(out).CheckOK();
+  EXPECT_EQ(out, values);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST_F(SerializeTest, F32ArrayTruncatedReadFails) {
+  BinaryWriter writer;
+  writer.WriteF32(1.0f);
+  std::vector<float> out(2);
+  BinaryReader reader(writer.buffer());
+  const Status status = reader.ReadF32Array(out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST_F(SerializeTest, ViewReaderParsesWithoutOwning) {
+  BinaryWriter writer;
+  writer.WriteU32(42);
+  writer.WriteU64(7);
+  BinaryReader reader = BinaryReader::View(writer.buffer());
+  EXPECT_EQ(reader.ReadU32().value(), 42u);
+  EXPECT_EQ(reader.ReadU64().value(), 7u);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST_F(SerializeTest, PeekBytesDoesNotConsume) {
+  BinaryWriter writer;
+  writer.WriteU32(0xAABBCCDD);
+  BinaryReader reader = BinaryReader::View(writer.buffer());
+  Result<std::string_view> peeked = reader.PeekBytes(4);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(peeked.value().size(), 4u);
+  EXPECT_EQ(reader.position(), 0u);
+  EXPECT_EQ(reader.ReadU32().value(), 0xAABBCCDDu);
+  EXPECT_FALSE(reader.PeekBytes(1).ok());
+}
+
+TEST_F(SerializeTest, WriterClearRetainsBytesSemantics) {
+  BinaryWriter writer;
+  writer.WriteU64(123);
+  const std::string first = writer.buffer();
+  writer.Clear();
+  EXPECT_TRUE(writer.buffer().empty());
+  writer.WriteU64(123);
+  EXPECT_EQ(writer.buffer(), first);
+}
+
 TEST_F(SerializeTest, MatrixRoundTrip) {
   Rng rng(1);
   Matrix original(7, 5);

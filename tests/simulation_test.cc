@@ -162,6 +162,27 @@ TEST(SimulationTest, RunCollectsMetricsAtRequestedCadence) {
   }
 }
 
+TEST(SimulationTest, ZeroCadenceStillEvaluatesTheFinalEpoch) {
+  // eval_every = 0 is what a caller deriving a cadence by integer division
+  // (epochs / 10 with few epochs) passes; the final epoch's metrics must
+  // still materialize or downstream `history.back().metrics` reads crash.
+  const Dataset data = SmallData();
+  Rng rng(5);
+  const LeaveOneOutSplit split = SplitLeaveOneOut(data, rng);
+  FedConfig config = SmallConfig();
+  config.epochs = 3;
+  MetricsConfig metrics_config;
+  metrics_config.hr_negatives = 20;
+  Evaluator evaluator(split.train, split.test_items, metrics_config, 3);
+  Simulation sim(split.train, config, 0, nullptr, nullptr);
+  const auto records = sim.Run(&evaluator, {0}, /*eval_every=*/0);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_FALSE(records[0].has_metrics);
+  EXPECT_FALSE(records[1].has_metrics);
+  ASSERT_TRUE(records[2].has_metrics);
+  EXPECT_FALSE(records[2].metrics.er_at.empty());
+}
+
 TEST(SimulationTest, DeterministicAcrossRunsWithSameSeed) {
   const Dataset data = SmallData();
   const FedConfig config = SmallConfig();
