@@ -119,7 +119,7 @@ int Main(int argc, const char* const* argv) {
   table.SetHeader({"Attack", "Aggregator", "ER@5", "ER@10", "HR@10",
                    "Detector recall", "Detector FPR"});
 
-  for (const std::string attack : {"fedrecattack", "eb"}) {
+  for (const char* attack : {"fedrecattack", "eb"}) {
     for (const auto& [name, kind] : aggregators) {
       ExperimentSpec spec;
       spec.dataset = "ml-100k";

@@ -60,7 +60,7 @@ struct AttackInputs {
 std::vector<std::string> SupportedAttackKinds();
 
 /// Builds the coordinator for `options.kind`; returns nullptr for "none".
-Result<std::unique_ptr<MaliciousCoordinator>> CreateAttack(
+[[nodiscard]] Result<std::unique_ptr<MaliciousCoordinator>> CreateAttack(
     const AttackOptions& options, const AttackInputs& inputs);
 
 }  // namespace fedrec

@@ -18,9 +18,8 @@ using CsvRow = std::vector<std::string>;
 
 /// Reads `path` and splits each line on `delimiter`. Skips empty lines.
 /// When `skip_header` is true the first non-empty line is dropped.
-Result<std::vector<CsvRow>> ReadDelimitedFile(const std::string& path,
-                                              char delimiter,
-                                              bool skip_header = false);
+[[nodiscard]] Result<std::vector<CsvRow>> ReadDelimitedFile(
+    const std::string& path, char delimiter, bool skip_header = false);
 
 /// Splits the in-memory `content` the same way ReadDelimitedFile would.
 std::vector<CsvRow> ParseDelimited(const std::string& content, char delimiter,
@@ -31,14 +30,15 @@ std::vector<std::string> SplitOnSeparator(const std::string& line,
                                           const std::string& separator);
 
 /// Writes rows joined by `delimiter`, one line per row.
-Status WriteDelimitedFile(const std::string& path, char delimiter,
+[[nodiscard]] Status WriteDelimitedFile(const std::string& path, char delimiter,
                           const std::vector<CsvRow>& rows);
 
 /// Reads an entire file into a string.
-Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
 /// Writes (overwrites) `content` to `path`.
-Status WriteStringToFile(const std::string& path, const std::string& content);
+[[nodiscard]] Status WriteStringToFile(const std::string& path,
+                                       const std::string& content);
 
 }  // namespace fedrec
 

@@ -20,7 +20,7 @@ class FlagParser {
 
   /// Parses argv. Returns InvalidArgument on malformed input (e.g., a value
   /// flag at the end of the line with no value).
-  Status Parse(int argc, const char* const* argv);
+  [[nodiscard]] Status Parse(int argc, const char* const* argv);
 
   /// True when --name was present (with or without value).
   bool Has(const std::string& name) const;

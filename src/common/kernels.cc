@@ -23,11 +23,14 @@ bool HasVectorPath() { return FEDREC_KERNELS_VECTOR != 0; }
 // clone per feature, not one clone with all features — arch= is the correct
 // way to get a combined micro-architecture level.
 // Sanitized builds skip multi-versioning: ASan/TSan runtime setup and ifunc
-// resolution order do not compose reliably (TSan crashes before main), and
-// perf is irrelevant there.
+// resolution order do not compose reliably (TSan crashes before main), GCC
+// miscompiles cloned functions over 256-bit vector types under
+// -fsanitize=undefined at -O0 (arguments reach the selected clone corrupted
+// — FEDREC_UBSAN_BUILD comes from CMake since GCC defines no UBSan macro),
+// and perf is irrelevant there.
 #if FEDREC_KERNELS_VECTOR && defined(__x86_64__) && defined(__gnu_linux__) && \
     !defined(__clang__) && !defined(__SANITIZE_ADDRESS__) && \
-    !defined(__SANITIZE_THREAD__)
+    !defined(__SANITIZE_THREAD__) && !defined(FEDREC_UBSAN_BUILD)
 #define FEDREC_KERNEL_CLONES \
   __attribute__((target_clones("arch=x86-64-v3", "default")))
 #else

@@ -30,7 +30,12 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// Value type describing the outcome of a fallible operation.
-class Status {
+///
+/// Class-level [[nodiscard]]: any call site that drops a returned Status on
+/// the floor is a compile error under -Werror (the discard is exactly the
+/// bug that turns a failed write into silent corruption). Genuinely
+/// intentional discards must cast to (void) with a comment saying why.
+class [[nodiscard]] Status {
  public:
   /// Default-constructed status is OK.
   Status() : code_(StatusCode::kOk) {}
@@ -60,12 +65,12 @@ class Status {
     return Status(StatusCode::kInternal, std::move(message));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<Code>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   /// Aborts the process if the status is not OK. For call sites where failure
   /// is a programming error (e.g., loading a file the test just wrote).
@@ -84,8 +89,10 @@ class Status {
 };
 
 /// Result<T> couples a Status with a value produced on success.
+/// [[nodiscard]] for the same reason as Status: discarding one hides the
+/// failure *and* throws away the value, so it is never what the caller meant.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: success.
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
@@ -94,25 +101,26 @@ class Result {
     FEDREC_CHECK(!status_.ok()) << "Result constructed from OK status without value";
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
-  /// Returns the contained value; aborts when not ok.
-  const T& value() const& {
+  /// Returns the contained value; aborts when not ok. (To assert success for
+  /// effect alone, call `status().CheckOK()` instead of discarding value().)
+  [[nodiscard]] const T& value() const& {
     status_.CheckOK();
     return value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     status_.CheckOK();
     return value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     status_.CheckOK();
     return std::move(value_);
   }
 
   /// Returns the value on success, `fallback` otherwise.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     return ok() ? value_ : std::move(fallback);
   }
 

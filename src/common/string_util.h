@@ -23,10 +23,10 @@ std::string_view StripWhitespace(std::string_view input);
 bool StartsWith(std::string_view text, std::string_view prefix);
 
 /// Parses a signed integer; rejects trailing garbage.
-Result<long long> ParseInt(std::string_view text);
+[[nodiscard]] Result<long long> ParseInt(std::string_view text);
 
 /// Parses a double; rejects trailing garbage.
-Result<double> ParseDouble(std::string_view text);
+[[nodiscard]] Result<double> ParseDouble(std::string_view text);
 
 /// Lower-cases ASCII letters.
 std::string ToLower(std::string_view text);

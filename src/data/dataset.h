@@ -36,9 +36,9 @@ class Dataset {
   /// Builds a dataset from raw tuples. Duplicate tuples are dropped (the
   /// paper's preprocessing) and item lists are sorted. Interactions indexing
   /// users/items outside the given counts are rejected.
-  static Result<Dataset> FromInteractions(std::string name, std::size_t num_users,
-                                          std::size_t num_items,
-                                          std::vector<Interaction> interactions);
+  [[nodiscard]] static Result<Dataset> FromInteractions(
+      std::string name, std::size_t num_users, std::size_t num_items,
+      std::vector<Interaction> interactions);
 
   const std::string& name() const { return name_; }
   std::size_t num_users() const { return user_items_.size(); }

@@ -17,22 +17,21 @@
 namespace fedrec {
 
 /// MovieLens-100K `u.data`: tab-separated `user \t item \t rating \t ts`.
-Result<Dataset> LoadMovieLens100K(const std::string& path);
+[[nodiscard]] Result<Dataset> LoadMovieLens100K(const std::string& path);
 
 /// MovieLens-1M `ratings.dat`: `user::item::rating::ts`.
-Result<Dataset> LoadMovieLens1M(const std::string& path);
+[[nodiscard]] Result<Dataset> LoadMovieLens1M(const std::string& path);
 
 /// Steam-200K `steam-200k.csv`: `user,"game name",behavior,value,0` where
 /// behavior is "purchase" or "play". Both behaviors count as interactions.
-Result<Dataset> LoadSteam200K(const std::string& path);
+[[nodiscard]] Result<Dataset> LoadSteam200K(const std::string& path);
 
 /// Generic loader: `delimiter`-separated file with user ids in column
 /// `user_column` and item keys in column `item_column` (keys may be text).
-Result<Dataset> LoadImplicitFeedback(const std::string& path, char delimiter,
-                                     std::size_t user_column,
-                                     std::size_t item_column,
-                                     bool skip_header,
-                                     const std::string& dataset_name);
+[[nodiscard]] Result<Dataset> LoadImplicitFeedback(
+    const std::string& path, char delimiter, std::size_t user_column,
+    std::size_t item_column, bool skip_header,
+    const std::string& dataset_name);
 
 }  // namespace fedrec
 

@@ -25,6 +25,8 @@ void BinaryWriter::WriteU64(std::uint64_t value) {
 void BinaryWriter::WriteF32(float value) { WriteBytes(&value, sizeof(value)); }
 
 void BinaryWriter::WriteBytes(const void* data, std::size_t size) {
+  // An empty span's data() may be null, and append(nullptr, 0) is UB.
+  if (size == 0) return;
   buffer_.append(static_cast<const char*>(data), size);
 }
 
@@ -100,6 +102,9 @@ Result<std::string> BinaryReader::ReadString() {
 Status BinaryReader::ReadF32Array(std::span<float> out) {
   const std::size_t bytes = out.size() * sizeof(float);
   FEDREC_RETURN_NOT_OK(Need(bytes));
+  // An empty destination span's data() may be null, and memcpy must not be
+  // called with a null pointer even when the count is zero.
+  if (bytes == 0) return Status::OK();
   std::memcpy(out.data(), data().data() + position_, bytes);
   position_ += bytes;
   return Status::OK();

@@ -40,7 +40,7 @@ class BinaryWriter {
   const std::string& buffer() const { return buffer_; }
 
   /// Writes the accumulated buffer to `path`.
-  Status Flush(const std::string& path) const;
+  [[nodiscard]] Status Flush(const std::string& path) const;
 
  private:
   std::string buffer_;
@@ -61,26 +61,26 @@ class BinaryReader {
   static BinaryReader View(std::string_view buffer);
 
   /// Loads a whole file into a reader.
-  static Result<BinaryReader> FromFile(const std::string& path);
+  [[nodiscard]] static Result<BinaryReader> FromFile(const std::string& path);
 
-  Result<std::uint32_t> ReadU32();
-  Result<std::uint64_t> ReadU64();
-  Result<float> ReadF32();
-  Result<std::string> ReadString();
+  [[nodiscard]] Result<std::uint32_t> ReadU32();
+  [[nodiscard]] Result<std::uint64_t> ReadU64();
+  [[nodiscard]] Result<float> ReadF32();
+  [[nodiscard]] Result<std::string> ReadString();
 
   /// Fills `out` with a single bulk copy (the counterpart of WriteF32Array).
-  Status ReadF32Array(std::span<float> out);
+  [[nodiscard]] Status ReadF32Array(std::span<float> out);
 
   /// View of the next `bytes` bytes without consuming them — checksum
   /// validation reads the payload once before parsing it.
-  Result<std::string_view> PeekBytes(std::size_t bytes);
+  [[nodiscard]] Result<std::string_view> PeekBytes(std::size_t bytes);
 
   std::size_t position() const { return position_; }
   std::size_t remaining() const { return data().size() - position_; }
   bool exhausted() const { return position_ >= data().size(); }
 
  private:
-  Status Need(std::size_t bytes) const;
+  [[nodiscard]] Status Need(std::size_t bytes) const;
 
   /// The byte source: the owned copy or the external view. Recomputed on
   /// every access so a moved-from/into reader never dangles into a
@@ -96,16 +96,17 @@ class BinaryReader {
 };
 
 /// Saves a dense matrix ("FRMX" format, version 1).
-Status SaveMatrix(const Matrix& matrix, const std::string& path);
+[[nodiscard]] Status SaveMatrix(const Matrix& matrix, const std::string& path);
 
 /// Loads a matrix saved by SaveMatrix; rejects foreign/corrupt files.
-Result<Matrix> LoadMatrix(const std::string& path);
+[[nodiscard]] Result<Matrix> LoadMatrix(const std::string& path);
 
 /// Saves a dataset ("FRDS" format, version 1): name, shape, interactions.
-Status SaveDataset(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Status SaveDataset(const Dataset& dataset,
+                                 const std::string& path);
 
 /// Loads a dataset saved by SaveDataset.
-Result<Dataset> LoadDataset(const std::string& path);
+[[nodiscard]] Result<Dataset> LoadDataset(const std::string& path);
 
 }  // namespace fedrec
 

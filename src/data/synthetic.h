@@ -55,8 +55,9 @@ SyntheticConfig Steam200KConfig(std::uint64_t seed = 42);
 /// Convenience: generate by preset name "ml-100k" | "ml-1m" | "steam-200k",
 /// optionally scaled down (scale in (0,1] multiplies users/items/volume) for
 /// quick benchmark runs.
-Result<Dataset> GenerateByName(const std::string& preset, std::uint64_t seed,
-                               double scale = 1.0);
+[[nodiscard]] Result<Dataset> GenerateByName(const std::string& preset,
+                                             std::uint64_t seed,
+                                             double scale = 1.0);
 
 }  // namespace fedrec
 

@@ -354,6 +354,8 @@ std::size_t KrumSelect(std::span<const ClientUpdate> updates,
   return best;
 }
 
+// fedrec:hot — the server's per-round reduction; all scratch lives in the
+// caller-owned workspace, so the body itself may not allocate.
 void AggregateUpdates(std::span<const ClientUpdate> updates, std::size_t dim,
                       const AggregatorOptions& options,
                       AggregationWorkspace& workspace, SparseRoundDelta& out,

@@ -23,6 +23,8 @@ void Client::ResampleNegatives(std::size_t num_items,
   rng_.Shuffle(negatives_);
 }
 
+// fedrec:hot — steady-state rounds must not touch the heap; fedrec_lint
+// rejects allocating calls in this body unless a line is tagged alloc-ok.
 void Client::TrainRoundInto(const Matrix& item_factors, const FedConfig& config,
                             ClientUpdate& update) {
   if (negatives_.empty()) {
@@ -35,8 +37,8 @@ void Client::TrainRoundInto(const Matrix& item_factors, const FedConfig& config,
   if (config.negatives_per_positive > 1) {
     paired_scratch_.clear();
     for (std::size_t r = 0; r < config.negatives_per_positive; ++r) {
-      paired_scratch_.insert(paired_scratch_.end(), positives_.begin(),
-                             positives_.end());
+      paired_scratch_.insert(  // fedrec:alloc-ok — refills retained capacity
+          paired_scratch_.end(), positives_.begin(), positives_.end());
     }
     paired_positives = paired_scratch_;
   }

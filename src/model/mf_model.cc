@@ -26,6 +26,8 @@ void MfModel::ApplyGradient(const Matrix& gradient, float learning_rate) {
   item_factors_.Add(gradient, -learning_rate);
 }
 
+// fedrec:hot — the round loop's model write-back (kernel scatter over
+// touched rows only).
 void MfModel::ApplySparseGradient(const SparseRoundDelta& delta,
                                   float learning_rate) {
   delta.AddTo(item_factors_, -learning_rate);

@@ -80,14 +80,14 @@ class ShardServer {
   /// sequence number of the globally Krum-selected upload — its index into
   /// the routed round (ignored for the per-row rules). Fails loudly, via
   /// Status::Corruption, on any corrupt or misrouted message.
-  Status AggregateRound(const AggregatorOptions& options,
+  [[nodiscard]] Status AggregateRound(const AggregatorOptions& options,
                         std::size_t round_size, std::uint64_t krum_source,
                         ThreadPool* pool);
 
   /// Decodes the per-shard FRWD messages and merges them into `out` by
   /// sorted-row union (shard row sets are disjoint by construction; overlap
   /// is reported as corruption).
-  Status MergeRoundDelta(SparseRoundDelta& out);
+  [[nodiscard]] Status MergeRoundDelta(SparseRoundDelta& out);
 
   /// Wire access for tests and custom transports: the inbox a coordinator
   /// fills for shard `s`, and the FRWD bytes shard `s` produced last round.
@@ -132,7 +132,7 @@ class ShardServer {
 
   /// Decodes shard `s`'s inbox into its routed slots; validates dimensions
   /// and ownership.
-  Status DecodeInbox(ShardState& shard, std::size_t s);
+  [[nodiscard]] Status DecodeInbox(ShardState& shard, std::size_t s);
   /// Aggregates shard `s`'s routed uploads into its delta.
   void AggregateShard(ShardState& shard, const AggregatorOptions& options,
                       std::size_t round_size, std::uint64_t krum_source);

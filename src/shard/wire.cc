@@ -154,6 +154,8 @@ void FinishMessage(std::size_t payload_begin, BinaryWriter& writer) {
 
 }  // namespace
 
+// fedrec:hot — per-round wire encode; writes into the caller's retained
+// buffer (WriterGrowthScope tracks the one-time high-water growth).
 void EncodeUpload(const SparseRowMatrix& upload, std::uint64_t source,
                   std::span<const std::uint32_t> slots, BinaryWriter& writer) {
   WriterGrowthScope growth(writer);
@@ -168,6 +170,7 @@ void EncodeUpload(const SparseRowMatrix& upload, std::uint64_t source,
   FinishMessage(payload_begin, writer);
 }
 
+// fedrec:hot
 void EncodeUpload(const SparseRowMatrix& upload, std::uint64_t source,
                   BinaryWriter& writer) {
   WriterGrowthScope growth(writer);
@@ -181,6 +184,8 @@ void EncodeUpload(const SparseRowMatrix& upload, std::uint64_t source,
   FinishMessage(payload_begin, writer);
 }
 
+// fedrec:hot — decode scatters into `out`'s retained slots; corruption
+// paths may build messages (std::to_string) since they abort the round.
 Result<std::uint64_t> DecodeUpload(BinaryReader& reader, SparseRowMatrix& out) {
   Result<std::uint32_t> magic = reader.ReadU32();
   if (!magic.ok()) return magic.status();
@@ -214,6 +219,7 @@ Result<std::uint64_t> DecodeUpload(BinaryReader& reader, SparseRowMatrix& out) {
   return source.value();
 }
 
+// fedrec:hot
 void EncodeDelta(const SparseRoundDelta& delta, BinaryWriter& writer) {
   WriterGrowthScope growth(writer);
   writer.WriteU32(kDeltaMagic);
@@ -229,6 +235,7 @@ void EncodeDelta(const SparseRoundDelta& delta, BinaryWriter& writer) {
   FinishMessage(payload_begin, writer);
 }
 
+// fedrec:hot
 Status DecodeDelta(BinaryReader& reader, SparseRoundDelta& out) {
   Result<std::uint32_t> magic = reader.ReadU32();
   if (!magic.ok()) return magic.status();

@@ -50,14 +50,15 @@ void EncodeUpload(const SparseRowMatrix& upload, std::uint64_t source,
 /// Status::Corruption on a foreign magic, unknown version, truncated buffer,
 /// duplicate row id, or checksum mismatch — never crashes, never silently
 /// accepts.
-Result<std::uint64_t> DecodeUpload(BinaryReader& reader, SparseRowMatrix& out);
+[[nodiscard]] Result<std::uint64_t> DecodeUpload(BinaryReader& reader,
+                                                 SparseRowMatrix& out);
 
 /// Appends one FRWD message carrying `delta` (rows already ascending).
 void EncodeDelta(const SparseRoundDelta& delta, BinaryWriter& writer);
 
 /// Decodes one FRWD message into `out` (reset to the wire's column count).
 /// Additionally rejects row ids that are not strictly ascending.
-Status DecodeDelta(BinaryReader& reader, SparseRoundDelta& out);
+[[nodiscard]] Status DecodeDelta(BinaryReader& reader, SparseRoundDelta& out);
 
 }  // namespace fedrec
 

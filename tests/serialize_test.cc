@@ -74,6 +74,27 @@ TEST_F(SerializeTest, F32ArrayBulkRoundTrip) {
   EXPECT_TRUE(reader.exhausted());
 }
 
+// Empty spans have a null data() pointer; passing that straight to memcpy /
+// string::append is undefined behavior even with a zero count (the ubsan
+// preset catches the regression). Zero-length array IO must be a no-op.
+TEST_F(SerializeTest, F32ArrayEmptyRoundTripIsNoOp) {
+  BinaryWriter writer;
+  writer.WriteF32Array(std::span<const float>());
+  EXPECT_TRUE(writer.buffer().empty());
+  writer.WriteU32(9);
+
+  BinaryReader reader(writer.buffer());
+  reader.ReadF32Array(std::span<float>()).CheckOK();
+  EXPECT_EQ(reader.ReadU32().value(), 9u);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST_F(SerializeTest, EmptyReaderEmptyArrayReadSucceeds) {
+  BinaryReader reader;
+  reader.ReadF32Array(std::span<float>()).CheckOK();
+  EXPECT_TRUE(reader.exhausted());
+}
+
 TEST_F(SerializeTest, F32ArrayTruncatedReadFails) {
   BinaryWriter writer;
   writer.WriteF32(1.0f);

@@ -1,0 +1,77 @@
+#ifndef FEDREC_TOOLS_LINT_LINT_CORE_H_
+#define FEDREC_TOOLS_LINT_LINT_CORE_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// fedrec_lint: a token/line-level checker enforcing the repo's house
+/// invariants statically. No libclang — the rules are deliberately simple
+/// enough to run on raw source text (comments and string literals stripped),
+/// which keeps the tool dependency-free and fast enough for a pre-commit hook.
+///
+/// Enforced rule families (see README "Correctness tooling"):
+///   layering         includes must respect common < data < model < fed <
+///                    {attack, shard}; no upward or cross edges
+///   determinism      std::rand / time( / std::random_device / chrono ::now(
+///                    banned in src/ (allowlist: stopwatch.h); range-for over
+///                    std::unordered_* banned in src/fed/ and src/shard/
+///   hot-alloc        a function tagged `// fedrec:hot` may not allocate:
+///                    new / malloc / resize( / push_back( / emplace_back( /
+///                    std::string construction, unless the line carries
+///                    `// fedrec:alloc-ok` (for deliberate high-water growth)
+///   error-discipline reinterpret_cast outside wire.cc/serialize.cc, naked
+///                    `catch (...)`, and statement-level calls that discard a
+///                    Status/Result return
+///
+/// A line can opt out of one rule family with `// fedrec:lint-ok(<rule>)`.
+
+namespace fedrec::lint {
+
+/// One finding. `file` is the path the content was linted under (repo
+/// relative by convention), `line` is 1-based.
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;     ///< "layering", "determinism", "hot-alloc", "error-discipline"
+  std::string message;
+
+  /// "file:line: [rule] message" — the single diagnostic format, so CI logs
+  /// and editors can jump straight to the offending line.
+  std::string ToString() const;
+};
+
+/// Cross-file knowledge gathered in a first pass over the tree: the names of
+/// functions whose return value must not be discarded.
+struct LintContext {
+  /// Unqualified names of functions declared to return Status or Result<T>.
+  std::set<std::string> fallible_functions;
+};
+
+/// Scans header `content` for declarations returning Status / Result<T> and
+/// records their unqualified names in `context`. Call over every *.h before
+/// the LintFile pass.
+void CollectFallible(std::string_view content, LintContext& context);
+
+/// Lints one file. `path` must use forward slashes and be relative to the
+/// repo root (e.g. "src/fed/client.cc") — rule applicability keys off it.
+/// Appends findings to `out`; returns the number appended.
+std::size_t LintFile(std::string_view path, std::string_view content,
+                     const LintContext& context, std::vector<Diagnostic>& out);
+
+/// Splits `content` into lines (no trailing '\n'), tracking block comments:
+/// for each source line produces the code portion (comments removed, string
+/// and char literal bodies blanked with spaces) and the comment portion
+/// (text of any // or /* comment on that line). Exposed for tests.
+struct ScannedLine {
+  std::string code;
+  std::string comment;
+};
+std::vector<ScannedLine> ScanLines(std::string_view content);
+
+}  // namespace fedrec::lint
+
+#endif  // FEDREC_TOOLS_LINT_LINT_CORE_H_

@@ -1,0 +1,32 @@
+// Fixture: violation-free file exercising the allowlists — downward include,
+// hot region whose deliberate growth is tagged alloc-ok, reinterpret_cast
+// mentioned only in a comment and a string, and a captured Status.
+// Linted under the path key "src/fed/clean.cc".
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace fedrec {
+
+// reinterpret_cast in a comment must not trip the scanner.
+const char* kBanner = "no reinterpret_cast here either";
+
+// fedrec:hot
+void ScatterRow(std::vector<float>& sink, std::size_t row, float value) {
+  if (sink.size() <= row) {
+    sink.resize(row + 1);  // fedrec:alloc-ok — high-water growth, cold only
+  }
+  sink[row] = value;
+}
+
+Status Validate();
+
+Status CallerThatChecks() {
+  Status status = Validate();
+  if (!status.ok()) return status;
+  return Status::OK();
+}
+
+}  // namespace fedrec

@@ -1,0 +1,8 @@
+// Fixture: a src/attack/ file reaching ACROSS to its sibling leaf shard/.
+// Linted under the path key "src/attack/cross_include.cc".
+#include "fed/aggregator.h"
+#include "shard/wire.h"
+
+namespace fedrec {
+int AttackLayerFunction() { return 1; }
+}  // namespace fedrec

@@ -1,0 +1,9 @@
+// Fixture: a fallible call whose Status result is dropped on the floor.
+// Linted under the path key "src/data/discarded_status.cc". The companion
+// header fixture declares `Status SaveCheckpoint(...)`.
+
+namespace fedrec {
+void Checkpoint() {
+  SaveCheckpoint("model.bin");
+}
+}  // namespace fedrec

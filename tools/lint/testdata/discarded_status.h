@@ -1,0 +1,7 @@
+// Companion header for discarded_status.cc: declares the fallible surface
+// the linter's first pass collects.
+#include "common/status.h"
+
+namespace fedrec {
+Status SaveCheckpoint(const char* path);
+}  // namespace fedrec

@@ -1,0 +1,14 @@
+// Fixture: reinterpret_cast outside the wire.cc/serialize.cc trusted zone
+// plus a naked catch-all.
+// Linted under the path key "src/common/error_discipline.cc".
+#include <cstdint>
+
+namespace fedrec {
+float PunOnePastTheLaw(const std::uint32_t* bits) {
+  try {
+    return *reinterpret_cast<const float*>(bits);
+  } catch (...) {
+    return 0.0f;
+  }
+}
+}  // namespace fedrec

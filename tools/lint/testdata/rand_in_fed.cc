@@ -1,0 +1,11 @@
+// Fixture: nondeterministic calls inside src/fed/.
+// Linted under the path key "src/fed/rand_in_fed.cc".
+#include <cstdlib>
+#include <random>
+
+namespace fedrec {
+int NondeterministicSelection(int num_clients) {
+  std::random_device entropy;
+  return (std::rand() + static_cast<int>(entropy())) % num_clients;
+}
+}  // namespace fedrec

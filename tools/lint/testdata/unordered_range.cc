@@ -1,0 +1,15 @@
+// Fixture: range-for over a std::unordered_map inside src/shard/ — iteration
+// order is hash order, which would make the aggregate nondeterministic.
+// Linted under the path key "src/shard/unordered_range.cc".
+#include <cstdint>
+#include <unordered_map>
+
+namespace fedrec {
+double SumContributors(const std::unordered_map<std::uint64_t, double>& rows) {
+  double total = 0.0;
+  for (const auto& entry : rows) {
+    total += entry.second;
+  }
+  return total;
+}
+}  // namespace fedrec

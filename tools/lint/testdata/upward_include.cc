@@ -1,0 +1,8 @@
+// Fixture: a src/data/ file reaching UP the layer DAG into model/.
+// Linted under the path key "src/data/upward_include.cc".
+#include "common/matrix.h"
+#include "model/mf_model.h"
+
+namespace fedrec {
+int DataLayerFunction() { return 1; }
+}  // namespace fedrec
