@@ -40,6 +40,8 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec, ThreadPool* pool) {
   config.noise_scale = spec.noise_scale;
   config.aggregator.kind = spec.aggregator;
   config.seed = spec.seed + 3;
+  config.faults = spec.faults;
+  config.min_round_quorum = spec.min_round_quorum;
 
   AttackOptions attack_options;
   attack_options.kind = spec.attack;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "attack/attack_factory.h"
+#include "common/fault.h"
 #include "common/flags.h"
 #include "common/table.h"
 #include "common/threadpool.h"
@@ -55,6 +56,12 @@ struct ExperimentSpec {
 
   /// Evaluate every N epochs (0 = final epoch only). Fig. 3 uses a cadence.
   std::size_t eval_every = 0;
+
+  // Fault injection (bench_fault_rounds): deterministic dropout/straggler/
+  // corruption schedule plus the degraded-aggregation quorum. Inert by
+  // default, so the paper-table benches are untouched.
+  FaultSpec faults;
+  std::size_t min_round_quorum = 1;
 };
 
 /// Outcome of one experiment.

@@ -1,0 +1,148 @@
+#include "common/fault.h"
+
+#include "common/check.h"
+
+namespace fedrec {
+
+namespace {
+
+// Salts separating the plan's independent sub-streams (arbitrary odd
+// constants; only inequality matters).
+constexpr std::uint64_t kTransitSalt = 0x7472616E73697401ULL;
+constexpr std::uint64_t kOutageSalt = 0x6F757461676521ULL;
+constexpr std::uint64_t kUploadWireSalt = 0x66727775626164ULL;
+constexpr std::uint64_t kDeltaWireSalt = 0x66727764626164ULL;
+
+}  // namespace
+
+const char* WireFaultKindToString(WireFaultKind kind) {
+  switch (kind) {
+    case WireFaultKind::kNone:
+      return "none";
+    case WireFaultKind::kBitFlip:
+      return "bit-flip";
+    case WireFaultKind::kTruncate:
+      return "truncate";
+    case WireFaultKind::kDuplicate:
+      return "duplicate";
+  }
+  return "?";
+}
+
+bool ApplyWireFault(const WireFault& fault, std::string& buffer) {
+  if (fault.kind == WireFaultKind::kNone || buffer.empty()) return false;
+  const std::size_t offset =
+      static_cast<std::size_t>(fault.offset_draw % buffer.size());
+  switch (fault.kind) {
+    case WireFaultKind::kBitFlip:
+      buffer[offset] = static_cast<char>(
+          static_cast<unsigned char>(buffer[offset]) ^ (1u << (fault.bit & 7u)));
+      return true;
+    case WireFaultKind::kTruncate:
+      // Cut to a strictly shorter length (offset < size by construction).
+      buffer.resize(offset);
+      return true;
+    case WireFaultKind::kDuplicate: {
+      // Deliver the buffer's messages twice. Decoders must reject the replay
+      // (duplicate upload sources / trailing delta bytes), not double-count.
+      // Copy first: appending a string's own data may reallocate under it.
+      const std::string copy(buffer);
+      buffer.append(copy);
+      return true;
+    }
+    case WireFaultKind::kNone:
+      break;
+  }
+  return false;
+}
+
+FaultPlan::FaultPlan(const FaultSpec& spec, std::uint64_t run_seed)
+    : spec_(spec), enabled_(spec.enabled()) {
+  FEDREC_CHECK_GT(spec.straggler_max_ticks, 0u);
+  // Two SplitMix64 steps fold (run seed, fault seed) into one stream seed;
+  // the fault stream is independent of every training stream, so enabling a
+  // zero-rate plan perturbs nothing.
+  std::uint64_t sm = run_seed ^ 0x6661756C74706C61ULL;  // "faultpla"
+  seed_ = SplitMix64(sm) ^ spec.fault_seed;
+  seed_ = SplitMix64(seed_);
+}
+
+Rng FaultPlan::KeyedStream(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                           std::uint64_t salt) const {
+  // SplitMix64 chain over (seed, key words): a stateless fork. Each key gets
+  // an independent stream regardless of the order draws are requested in —
+  // the property that keeps retries and checkpoint restores bit-identical.
+  std::uint64_t sm = seed_ ^ salt;
+  sm = SplitMix64(sm) ^ a;
+  sm = SplitMix64(sm) ^ b;
+  sm = SplitMix64(sm) ^ c;
+  return Rng(SplitMix64(sm));
+}
+
+// fedrec:hot — per-round transit draw; refills the caller's retained buffer.
+void FaultPlan::DrawRound(std::uint64_t round, std::size_t num_uploads,
+                          RoundFaultDraw& out) const {
+  out.uploads.resize(num_uploads);  // fedrec:alloc-ok — high-water buffer
+  out.dropped = 0;
+  out.stragglers = 0;
+  if (!enabled_) {
+    for (UploadFault& upload : out.uploads) upload = UploadFault{};
+    return;
+  }
+  Rng stream = KeyedStream(round, 0, 0, kTransitSalt);
+  for (UploadFault& upload : out.uploads) {
+    upload.dropped = stream.NextBernoulli(spec_.dropout_rate);
+    upload.delay_ticks =
+        stream.NextBernoulli(spec_.straggler_rate)
+            ? 1 + static_cast<std::uint32_t>(
+                      stream.NextBounded(spec_.straggler_max_ticks))
+            : 0;
+    if (upload.dropped) {
+      ++out.dropped;
+    } else if (upload.delay_ticks > spec_.round_deadline_ticks) {
+      ++out.stragglers;
+    }
+  }
+}
+
+bool FaultPlan::ShardOutage(std::uint64_t round, std::uint64_t shard,
+                            std::uint64_t attempt) const {
+  if (!enabled_ || spec_.shard_outage_rate <= 0.0) return false;
+  Rng stream = KeyedStream(round, shard, attempt, kOutageSalt);
+  return stream.NextBernoulli(spec_.shard_outage_rate);
+}
+
+WireFault FaultPlan::DrawWireFault(Rng& stream, double rate) const {
+  WireFault fault;
+  if (!stream.NextBernoulli(rate)) return fault;
+  switch (stream.NextBounded(3)) {
+    case 0:
+      fault.kind = WireFaultKind::kBitFlip;
+      break;
+    case 1:
+      fault.kind = WireFaultKind::kTruncate;
+      break;
+    default:
+      fault.kind = WireFaultKind::kDuplicate;
+      break;
+  }
+  fault.offset_draw = stream.Next();
+  fault.bit = static_cast<std::uint32_t>(stream.NextBounded(8));
+  return fault;
+}
+
+WireFault FaultPlan::UploadWireFault(std::uint64_t round, std::uint64_t shard,
+                                     std::uint64_t attempt) const {
+  if (!enabled_ || spec_.upload_corrupt_rate <= 0.0) return WireFault{};
+  Rng stream = KeyedStream(round, shard, attempt, kUploadWireSalt);
+  return DrawWireFault(stream, spec_.upload_corrupt_rate);
+}
+
+WireFault FaultPlan::DeltaWireFault(std::uint64_t round, std::uint64_t shard,
+                                    std::uint64_t attempt) const {
+  if (!enabled_ || spec_.delta_corrupt_rate <= 0.0) return WireFault{};
+  Rng stream = KeyedStream(round, shard, attempt, kDeltaWireSalt);
+  return DrawWireFault(stream, spec_.delta_corrupt_rate);
+}
+
+}  // namespace fedrec

@@ -1,0 +1,173 @@
+#ifndef FEDREC_COMMON_FAULT_H_
+#define FEDREC_COMMON_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+/// \file
+/// Deterministic fault injection for the federation layer.
+///
+/// Real cross-device deployments are defined by churn: clients drop out
+/// mid-round, stragglers miss the collection deadline, messages arrive
+/// corrupted or duplicated, whole shards go dark. The round loop must survive
+/// all of that — and in this repo it must survive it *reproducibly*, because
+/// every invariant test is a bit-identity test. FaultPlan therefore schedules
+/// failures from its own seeded rng stream: every draw is a pure function of
+/// (fault seed, round[, shard, attempt]), never of wall time or call order,
+/// so the same seeds replay the same failures — across runs, across thread
+/// counts, and across a checkpoint kill/restore.
+///
+/// Time is virtual. The determinism lint bans wall clocks in src/, and a
+/// straggler's "delay" only needs an ordering against the round's collection
+/// deadline, so delays are measured in abstract ticks on a VirtualClock the
+/// engine advances as rounds and retry backoffs elapse.
+///
+/// A default-constructed (or all-zero-rate) FaultPlan is inert: engines check
+/// `enabled()` and take their exact historical path, so a zero-fault run is
+/// bit-identical to a run with no plan at all.
+
+namespace fedrec {
+
+/// Failure rates and shapes of one deterministic fault schedule. All rates
+/// are per-event Bernoulli probabilities in [0, 1]; 0 disables the class.
+struct FaultSpec {
+  /// Per-upload probability the client drops out (upload never arrives).
+  double dropout_rate = 0.0;
+  /// Per-upload probability the upload straggles by a uniform delay in
+  /// [1, straggler_max_ticks]; it is dropped iff the delay exceeds
+  /// round_deadline_ticks (the collection window).
+  double straggler_rate = 0.0;
+  std::uint32_t straggler_max_ticks = 8;
+  /// Virtual ticks the server keeps a round's collection window open.
+  std::uint32_t round_deadline_ticks = 4;
+  /// Per-shard, per-attempt probability the FRWU inbox arrives corrupted
+  /// (bit-flip / truncation / duplicate delivery, drawn uniformly).
+  double upload_corrupt_rate = 0.0;
+  /// Per-shard, per-attempt probability the shard's FRWD reply is corrupted.
+  double delta_corrupt_rate = 0.0;
+  /// Per-shard, per-attempt probability the shard does not answer at all.
+  double shard_outage_rate = 0.0;
+  /// Seed of the fault stream; independent of the run seed so the same
+  /// training trajectory can be replayed under different failure schedules.
+  std::uint64_t fault_seed = 0;
+
+  bool enabled() const {
+    return dropout_rate > 0.0 || straggler_rate > 0.0 ||
+           upload_corrupt_rate > 0.0 || delta_corrupt_rate > 0.0 ||
+           shard_outage_rate > 0.0;
+  }
+};
+
+/// How a wire buffer is damaged in transit.
+enum class WireFaultKind : std::uint8_t {
+  kNone = 0,
+  kBitFlip,    ///< one bit of one byte flipped
+  kTruncate,   ///< buffer cut short
+  kDuplicate,  ///< the buffer's messages delivered twice
+};
+
+const char* WireFaultKindToString(WireFaultKind kind);
+
+/// One drawn wire fault; offsets/bits are raw draws applied modulo the
+/// target buffer's size so the same draw is meaningful for any message.
+struct WireFault {
+  WireFaultKind kind = WireFaultKind::kNone;
+  std::uint64_t offset_draw = 0;
+  std::uint32_t bit = 0;
+};
+
+/// Applies `fault` to `buffer` in place. Returns true when the buffer was
+/// mutated (kNone and empty buffers are no-ops).
+bool ApplyWireFault(const WireFault& fault, std::string& buffer);
+
+/// Per-upload transit outcome of one round.
+struct UploadFault {
+  bool dropped = false;           ///< client dropout
+  std::uint32_t delay_ticks = 0;  ///< straggler delay (0 = on time)
+};
+
+/// One round's transit-fault draw (reused buffer; high-water sized).
+struct RoundFaultDraw {
+  std::vector<UploadFault> uploads;
+  std::size_t dropped = 0;    ///< dropouts among `uploads`
+  std::size_t stragglers = 0; ///< uploads later than the round deadline
+};
+
+/// Cumulative failure counters. The engines expose these so tests can assert
+/// that the same (seed, fault seed) pair reproduces the same failure history
+/// bit for bit, and EpochRecord surfaces the per-epoch deltas.
+struct FaultStats {
+  std::uint64_t dropped_uploads = 0;    ///< client dropouts
+  std::uint64_t straggler_uploads = 0;  ///< deadline-missed stragglers
+  std::uint64_t corrupt_messages = 0;   ///< wire messages failing validation
+  std::uint64_t shard_outages = 0;      ///< unanswered shard attempts
+  std::uint64_t shard_retries = 0;      ///< re-aggregation attempts scheduled
+  std::uint64_t fallback_shards = 0;    ///< coordinator-local fallbacks
+  std::uint64_t skipped_rounds = 0;     ///< rounds below the benign quorum
+  std::uint64_t virtual_ticks = 0;      ///< VirtualClock position
+};
+
+/// Deterministic tick counter — the only clock fault handling may consult
+/// (wall clocks are banned in src/ by the determinism lint). Rounds advance
+/// it by the collection deadline; retries advance it by their backoff.
+class VirtualClock {
+ public:
+  std::uint64_t ticks() const { return ticks_; }
+  void Advance(std::uint64_t n) { ticks_ += n; }
+
+ private:
+  std::uint64_t ticks_ = 0;
+};
+
+/// Seeded, stateless fault schedule. Copyable value type; engines borrow a
+/// const pointer and draw per round.
+class FaultPlan {
+ public:
+  /// Inert plan (enabled() == false; every draw is a no-fault draw).
+  FaultPlan() = default;
+
+  /// Derives the plan's stream from the run seed and the spec's fault seed,
+  /// the same way every other component forks its stream off the run seed.
+  FaultPlan(const FaultSpec& spec, std::uint64_t run_seed);
+
+  bool enabled() const { return enabled_; }
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Draws round `round`'s transit faults for `num_uploads` uploads into the
+  /// reused `out` buffer. A pure function of (plan seed, round): retries and
+  /// checkpoint restores replay it identically.
+  void DrawRound(std::uint64_t round, std::size_t num_uploads,
+                 RoundFaultDraw& out) const;
+
+  /// True when shard `shard` does not answer attempt `attempt` of round
+  /// `round`. Keyed by attempt so a retry is an independent draw: transient
+  /// outages clear, persistently unlucky shards exhaust their retries.
+  bool ShardOutage(std::uint64_t round, std::uint64_t shard,
+                   std::uint64_t attempt) const;
+
+  /// The FRWU-inbox corruption (if any) hitting shard `shard` on attempt
+  /// `attempt` of round `round`.
+  WireFault UploadWireFault(std::uint64_t round, std::uint64_t shard,
+                            std::uint64_t attempt) const;
+
+  /// The FRWD-reply corruption (if any) for the same key.
+  WireFault DeltaWireFault(std::uint64_t round, std::uint64_t shard,
+                           std::uint64_t attempt) const;
+
+ private:
+  /// Independent child stream for a (round, shard, attempt, salt) key.
+  Rng KeyedStream(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                  std::uint64_t salt) const;
+  WireFault DrawWireFault(Rng& stream, double rate) const;
+
+  FaultSpec spec_;
+  std::uint64_t seed_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_COMMON_FAULT_H_

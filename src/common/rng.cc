@@ -33,6 +33,20 @@ std::uint64_t Rng::Next() {
   return result;
 }
 
+RngSnapshot Rng::Snapshot() const {
+  RngSnapshot snapshot;
+  for (std::size_t i = 0; i < 4; ++i) snapshot.state[i] = state_[i];
+  snapshot.cached_gaussian = cached_gaussian_;
+  snapshot.has_cached_gaussian = has_cached_gaussian_;
+  return snapshot;
+}
+
+void Rng::Restore(const RngSnapshot& snapshot) {
+  for (std::size_t i = 0; i < 4; ++i) state_[i] = snapshot.state[i];
+  cached_gaussian_ = snapshot.cached_gaussian;
+  has_cached_gaussian_ = snapshot.has_cached_gaussian;
+}
+
 Rng Rng::Fork(std::uint64_t index) {
   // Mix the child index into a fresh seed drawn from this stream so children
   // with different indices (or from different parents) are independent.

@@ -27,6 +27,15 @@ inline std::uint64_t SplitMix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Serializable Rng state (see Rng::Snapshot / Rng::Restore): the xoshiro
+/// words plus the Marsaglia-polar spare, which is itself stream state — a
+/// restore that dropped it would desynchronize the next Gaussian draw.
+struct RngSnapshot {
+  std::uint64_t state[4] = {0, 0, 0, 0};
+  double cached_gaussian = 0.0;
+  bool has_cached_gaussian = false;
+};
+
 /// Deterministic pseudo-random generator (xoshiro256**).
 class Rng {
  public:
@@ -48,6 +57,12 @@ class Rng {
   /// Derives an independent child generator; stream `index` of this seed.
   /// Used to give each client / worker its own reproducible stream.
   Rng Fork(std::uint64_t index);
+
+  /// Full generator state ("rng cursor") for checkpointing. Restore()
+  /// continues the stream exactly where Snapshot() left it, so a restored
+  /// run replays the uninterrupted one bit for bit.
+  RngSnapshot Snapshot() const;
+  void Restore(const RngSnapshot& snapshot);
 
   /// Uniform double in [0, 1).
   double NextDouble();

@@ -38,6 +38,9 @@ class BinaryWriter {
   void Clear() { buffer_.clear(); }
 
   const std::string& buffer() const { return buffer_; }
+  /// In-place access for transport simulation (fault injection mutates the
+  /// bytes "on the wire"); never used by the writers themselves.
+  std::string& mutable_buffer() { return buffer_; }
 
   /// Writes the accumulated buffer to `path`.
   [[nodiscard]] Status Flush(const std::string& path) const;

@@ -62,6 +62,17 @@ class Client {
   /// tests and stand-alone use (the round engine recycles slots instead).
   ClientUpdate TrainRound(const Matrix& item_factors, const FedConfig& config);
 
+  // -- Checkpoint support (shard/checkpoint.h) ------------------------------
+  /// The client's private rng cursor; restoring it (with the negatives and
+  /// user vector) replays the uninterrupted stream bit for bit.
+  RngSnapshot rng_state() const { return rng_.Snapshot(); }
+  void RestoreRng(const RngSnapshot& snapshot) { rng_.Restore(snapshot); }
+  /// Restores a checkpointed negative set verbatim, bypassing resampling
+  /// (which would consume rng draws the checkpointed cursor already spent).
+  void RestoreNegatives(std::vector<std::uint32_t> negatives) {
+    negatives_ = std::move(negatives);
+  }
+
  private:
   std::uint32_t user_id_;
   std::vector<std::uint32_t> positives_;

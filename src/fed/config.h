@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/fault.h"
 #include "model/mf_model.h"
 
 /// \file
@@ -81,6 +82,23 @@ struct FedConfig {
   std::size_t negatives_per_positive = 1;
 
   AggregatorOptions aggregator;
+
+  // -- Fault tolerance (see common/fault.h) ---------------------------------
+  /// Minimum surviving *benign* uploads a round must deliver to aggregate;
+  /// below it the round is skipped with a log line instead of failing the
+  /// epoch. Only reachable under fault injection — without faults every
+  /// selected client reports. 0 aggregates even an empty round.
+  std::size_t min_round_quorum = 1;
+  /// Sharded path: re-aggregations of one shard's routed rows after a
+  /// corrupt or unanswered reply, before the coordinator falls back to
+  /// aggregating that shard's row range locally.
+  std::size_t max_shard_retries = 2;
+  /// Deterministic backoff: retry k of a shard waits
+  /// shard_retry_backoff_ticks << (k - 1) virtual ticks.
+  std::uint64_t shard_retry_backoff_ticks = 2;
+  /// Deterministic fault schedule (all rates default to 0 = no faults; a
+  /// zero-rate plan leaves every code path bit-identical to no plan).
+  FaultSpec faults;
 
   std::uint64_t seed = 1;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/kernels.h"
+#include "common/logging.h"
 
 namespace fedrec {
 
@@ -169,6 +170,8 @@ double RoundEngine::LocalTrain() {
                                         updates[i]);
   });
   workspace_.is_malicious.assign(updates.size(), false);
+  live_uploads_ = updates.size();
+  live_benign_ = updates.size();
   double loss = 0.0;
   for (const ClientUpdate& update : updates) loss += update.loss;
   return loss;
@@ -184,17 +187,69 @@ void RoundEngine::Attack() {
     workspace_.updates.push_back(std::move(update));
     workspace_.is_malicious.push_back(true);
   }
+  live_uploads_ = workspace_.updates.size();
 }
 
 void RoundEngine::Observe(const RoundObserver& observer) const {
   if (observer) observer(workspace_.updates, workspace_.is_malicious);
 }
 
+std::size_t RoundEngine::ApplyTransitFaults() {
+  if (!faults_active()) return live_uploads_;
+  std::vector<ClientUpdate>& updates = workspace_.updates;
+  std::vector<bool>& is_malicious = workspace_.is_malicious;
+  fault_plan_->DrawRound(global_round_, updates.size(), fault_draw_);
+  // The collection window stays open to the deadline no matter who reports.
+  AdvanceClock(fault_plan_->spec().round_deadline_ticks);
+  if (fault_draw_.dropped + fault_draw_.stragglers == 0) return live_uploads_;
+
+  // Compact survivors to the front by swapping slots (heap buffers of the
+  // lost uploads are recycled, not freed), preserving survivor order so the
+  // aggregation sees the serial contributor sequence minus the losses.
+  const std::uint32_t deadline = fault_plan_->spec().round_deadline_ticks;
+  std::size_t keep = 0;
+  std::size_t benign_kept = 0;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const UploadFault& fault = fault_draw_.uploads[i];
+    if (fault.dropped) {
+      ++fault_stats_.dropped_uploads;
+      continue;
+    }
+    if (fault.delay_ticks > deadline) {
+      ++fault_stats_.straggler_uploads;
+      continue;
+    }
+    if (keep != i) {
+      std::swap(updates[keep], updates[i]);
+      is_malicious[keep] = is_malicious[i];
+    }
+    if (!is_malicious[keep]) ++benign_kept;
+    ++keep;
+  }
+  live_uploads_ = keep;
+  live_benign_ = benign_kept;
+  return live_uploads_;
+}
+
+void RoundEngine::NoteSkippedRound() {
+  ++fault_stats_.skipped_rounds;
+  FEDREC_LOG(Info) << "round " << global_round_ << " skipped: "
+                   << live_benign_ << " surviving benign uploads below quorum "
+                   << config_->min_round_quorum;
+}
+
+void RoundEngine::AdvanceClock(std::uint64_t ticks) {
+  clock_.Advance(ticks);
+  fault_stats_.virtual_ticks = clock_.ticks();
+}
+
 void RoundEngine::Aggregate() { AggregateWith(pool_); }
 
 void RoundEngine::AggregateWith(ThreadPool* pool) {
-  AggregateUpdates(workspace_.updates, model_->dim(), config_->aggregator,
-                   workspace_.aggregation, workspace_.delta, pool);
+  AggregateUpdates(
+      std::span<const ClientUpdate>(workspace_.updates.data(), live_uploads_),
+      model_->dim(), config_->aggregator, workspace_.aggregation,
+      workspace_.delta, pool);
 }
 
 void RoundEngine::Apply() {
@@ -202,10 +257,13 @@ void RoundEngine::Apply() {
 }
 
 bool RoundEngine::CanPipelineNextRound() const {
+  // Active faults force the serial schedule: results are bit-identical either
+  // way (test-enforced), so only throughput is given up, and the transit /
+  // quorum stages stay trivially ordered against the overlapped LocalTrain.
   return config_->participation == ParticipationMode::kUniformPerRound &&
          config_->pipeline_rounds && pool_ != nullptr &&
          pool_->thread_count() > 1 &&
-         round_in_epoch_ + 1 < rounds_this_epoch_;
+         round_in_epoch_ + 1 < rounds_this_epoch_ && !faults_active();
 }
 
 bool RoundEngine::TouchedRowsConflict() {
@@ -281,6 +339,8 @@ double RoundEngine::RunRound(const RoundObserver& observer) {
       // round's Aggregate/Apply; adopt its uploads and pre-reduced loss.
       std::swap(workspace_.updates, workspace_.next_updates);
       workspace_.is_malicious.assign(workspace_.updates.size(), false);
+      live_uploads_ = workspace_.updates.size();
+      live_benign_ = workspace_.updates.size();
       loss = next_loss_;
       have_next_updates_ = false;
     } else {
@@ -292,6 +352,14 @@ double RoundEngine::RunRound(const RoundObserver& observer) {
   }
   Attack();
   Observe(observer);
+  ApplyTransitFaults();
+  if (faults_active() && BelowQuorum()) {
+    // Too few surviving benign uploads to trust the round: skip aggregation
+    // entirely (the model stays put) and move on.
+    NoteSkippedRound();
+    AdvanceRound();
+    return loss;
+  }
 
   bool overlapped = false;
   if (CanPipelineNextRound()) {
@@ -324,6 +392,47 @@ double RoundEngine::RunRound(const RoundObserver& observer) {
   }
   AdvanceRound();
   return loss;
+}
+
+RoundEngineSnapshot RoundEngine::Snapshot() const {
+  RoundEngineSnapshot snapshot;
+  snapshot.epoch = epoch_;
+  snapshot.round_in_epoch = round_in_epoch_;
+  snapshot.rounds_this_epoch = rounds_this_epoch_;
+  snapshot.global_round = global_round_;
+  snapshot.pipelined_rounds = pipelined_rounds_;
+  snapshot.order = workspace_.order;
+  snapshot.have_next_selection = have_next_selection_;
+  if (have_next_selection_) {
+    snapshot.next_selected_benign = workspace_.next_selected_benign;
+    snapshot.next_selected_malicious = workspace_.next_selected_malicious;
+  }
+  snapshot.have_next_updates = have_next_updates_;
+  if (have_next_updates_) snapshot.next_updates = workspace_.next_updates;
+  snapshot.next_loss = next_loss_;
+  snapshot.fault_stats = fault_stats_;
+  snapshot.clock_ticks = clock_.ticks();
+  return snapshot;
+}
+
+void RoundEngine::Restore(const RoundEngineSnapshot& snapshot) {
+  epoch_ = snapshot.epoch;
+  round_in_epoch_ = snapshot.round_in_epoch;
+  rounds_this_epoch_ = snapshot.rounds_this_epoch;
+  global_round_ = snapshot.global_round;
+  pipelined_rounds_ = snapshot.pipelined_rounds;
+  workspace_.order = snapshot.order;
+  have_next_selection_ = snapshot.have_next_selection;
+  workspace_.next_selected_benign = snapshot.next_selected_benign;
+  workspace_.next_selected_malicious = snapshot.next_selected_malicious;
+  have_next_updates_ = snapshot.have_next_updates;
+  if (have_next_updates_) workspace_.next_updates = snapshot.next_updates;
+  next_loss_ = snapshot.next_loss;
+  fault_stats_ = snapshot.fault_stats;
+  clock_ = VirtualClock();
+  clock_.Advance(snapshot.clock_ticks);
+  live_uploads_ = 0;
+  live_benign_ = 0;
 }
 
 RoundContext RoundEngine::MakeContext() const {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/threadpool.h"
 #include "fed/aggregator.h"
@@ -116,8 +117,32 @@ class MaliciousCoordinator {
 
 /// Observer invoked after each round with all uploads of the round and the
 /// flags marking which came from malicious clients (detector experiments).
+/// The observer is an omniscient-simulator hook: it sees every produced
+/// upload, including ones transit faults later drop before aggregation.
 using RoundObserver =
     std::function<void(const std::vector<ClientUpdate>&, const std::vector<bool>&)>;
+
+/// Serializable engine-progress state for shard/checkpoint.h: the round
+/// counters, the participation order (mutated by every selection draw, so it
+/// is stream state), the failure counters, and the pipelining double buffer
+/// (round t+1's pre-drawn selection and possibly its already-trained uploads
+/// — both consumed rng, so a checkpoint must carry them).
+struct RoundEngineSnapshot {
+  std::size_t epoch = 0;
+  std::size_t round_in_epoch = 0;
+  std::size_t rounds_this_epoch = 0;
+  std::size_t global_round = 0;
+  std::size_t pipelined_rounds = 0;
+  std::vector<std::uint32_t> order;
+  bool have_next_selection = false;
+  std::vector<std::uint32_t> next_selected_benign;
+  std::vector<std::uint32_t> next_selected_malicious;
+  bool have_next_updates = false;
+  std::vector<ClientUpdate> next_updates;
+  double next_loss = 0.0;
+  FaultStats fault_stats;
+  std::uint64_t clock_ticks = 0;
+};
 
 /// Stage-decomposed federated round loop over a persistent workspace.
 class RoundEngine {
@@ -153,7 +178,14 @@ class RoundEngine {
   void Attack();
   /// Hands the round's uploads and malicious flags to `observer` (if any).
   void Observe(const RoundObserver& observer) const;
-  /// Aggregates the round's uploads into the touched-row delta.
+  /// Applies the round's transit faults (client dropouts and deadline-missed
+  /// stragglers, drawn from the fault plan): surviving uploads are compacted
+  /// to the front of the workspace in update order (so aggregation sees the
+  /// same contributor sequence minus the losses), the live counters and
+  /// fault stats update, and the clock advances by the collection deadline.
+  /// A no-op without an enabled plan. Returns the surviving upload count.
+  std::size_t ApplyTransitFaults();
+  /// Aggregates the round's surviving uploads into the touched-row delta.
   void Aggregate();
   /// Applies the delta to the shared item matrix (Eq. 7).
   void Apply();
@@ -176,6 +208,40 @@ class RoundEngine {
   /// Rounds whose LocalTrain overlapped the previous round's Aggregate/Apply
   /// (kUniformPerRound pipelining; 0 under the serial schedule).
   std::size_t pipelined_rounds() const { return pipelined_rounds_; }
+
+  // -- Fault tolerance ------------------------------------------------------
+
+  /// Installs a borrowed fault plan (null to clear). A disabled plan leaves
+  /// every path bit-identical to no plan; an enabled one activates the
+  /// transit-fault and quorum stages (and disables round pipelining — the
+  /// serial schedule is bit-identical anyway, so only throughput changes).
+  void SetFaultPlan(const FaultPlan* plan) { fault_plan_ = plan; }
+  const FaultPlan* fault_plan() const { return fault_plan_; }
+  bool faults_active() const {
+    return fault_plan_ != nullptr && fault_plan_->enabled();
+  }
+  /// Uploads that survived this round's transit faults (= all uploads when
+  /// faults are inactive). The front `live_uploads()` entries of
+  /// workspace().updates are the survivors, in update order.
+  std::size_t live_uploads() const { return live_uploads_; }
+  /// Surviving benign uploads — the quorum-counted subset.
+  std::size_t live_benign_uploads() const { return live_benign_; }
+  /// True when the surviving benign uploads miss config.min_round_quorum.
+  bool BelowQuorum() const {
+    return live_benign_ < config_->min_round_quorum;
+  }
+  /// Records a below-quorum round that was skipped (log + counter); the
+  /// caller still advances the round.
+  void NoteSkippedRound();
+  /// Advances the virtual clock (retry backoffs of external server paths).
+  void AdvanceClock(std::uint64_t ticks);
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// Engine-progress snapshot for the checkpoint codec (shard/checkpoint.h);
+  /// Restore continues a restored run bit-identically to the uninterrupted
+  /// one. The model, clients and server rng are captured separately.
+  RoundEngineSnapshot Snapshot() const;
+  void Restore(const RoundEngineSnapshot& snapshot);
 
  private:
   std::size_t TotalClients() const {
@@ -219,6 +285,15 @@ class RoundEngine {
   bool have_next_updates_ = false;
   double next_loss_ = 0.0;
   std::size_t pipelined_rounds_ = 0;
+  // Fault state: borrowed plan (null = fault-free), the current round's
+  // transit draw (retained buffer), cumulative stats, the virtual clock, and
+  // the surviving-upload counters ApplyTransitFaults maintains.
+  const FaultPlan* fault_plan_ = nullptr;
+  RoundFaultDraw fault_draw_;
+  FaultStats fault_stats_;
+  VirtualClock clock_;
+  std::size_t live_uploads_ = 0;
+  std::size_t live_benign_ = 0;
 };
 
 }  // namespace fedrec

@@ -12,6 +12,7 @@ Simulation::Simulation(const Dataset& train, const FedConfig& config,
     : config_(config),
       pool_(pool),
       rng_(config.seed),
+      fault_plan_(config.faults, config.seed),
       engine_(&config_, &model_, &benign_clients_, num_malicious, coordinator,
               pool, &rng_) {
   model_ = MfModel(train.num_items(), config_.model, rng_);
@@ -20,16 +21,41 @@ Simulation::Simulation(const Dataset& train, const FedConfig& config,
     benign_clients_.emplace_back(u, train.UserItems(u), config_.model,
                                  rng_.Fork(u));
   }
+  // A zero-rate plan is inert (the engine checks enabled()), so installing it
+  // unconditionally keeps the fault-free path bit-identical to no plan.
+  engine_.SetFaultPlan(&fault_plan_);
 }
 
 double Simulation::RunEpoch() {
-  engine_.BeginEpoch(epoch_);
-  double epoch_loss = 0.0;
-  while (engine_.HasNextRound()) {
-    epoch_loss += engine_.RunRound(observer_);
+  if (!epoch_open_) {
+    engine_.BeginEpoch(epoch_);
+    epoch_loss_ = 0.0;
+    epoch_open_ = true;
   }
+  while (engine_.HasNextRound()) {
+    epoch_loss_ += engine_.RunRound(observer_);
+  }
+  epoch_open_ = false;
   ++epoch_;
-  return epoch_loss;
+  return epoch_loss_;
+}
+
+std::size_t Simulation::RunRounds(std::size_t max_rounds) {
+  std::size_t run = 0;
+  while (run < max_rounds && epoch_ < config_.epochs) {
+    if (!epoch_open_) {
+      engine_.BeginEpoch(epoch_);
+      epoch_loss_ = 0.0;
+      epoch_open_ = true;
+    }
+    epoch_loss_ += engine_.RunRound(observer_);
+    ++run;
+    if (!engine_.HasNextRound()) {
+      epoch_open_ = false;
+      ++epoch_;
+    }
+  }
+  return run;
 }
 
 std::vector<EpochRecord> Simulation::Run(
@@ -42,10 +68,18 @@ std::vector<EpochRecord> Simulation::Run(
     EpochRecord record;
     record.epoch = e;
     const std::size_t rounds_before = engine_.global_round();
+    const FaultStats faults_before = engine_.fault_stats();
     epoch_timer.Reset();
     record.train_loss = RunEpoch();
     record.train_seconds = epoch_timer.ElapsedSeconds();
     record.rounds = engine_.global_round() - rounds_before;
+    const FaultStats& faults = engine_.fault_stats();
+    record.dropped_uploads = faults.dropped_uploads - faults_before.dropped_uploads;
+    record.straggler_uploads =
+        faults.straggler_uploads - faults_before.straggler_uploads;
+    record.corrupt_messages =
+        faults.corrupt_messages - faults_before.corrupt_messages;
+    record.skipped_rounds = faults.skipped_rounds - faults_before.skipped_rounds;
     record.rounds_per_sec =
         record.train_seconds > 0.0
             ? static_cast<double>(record.rounds) / record.train_seconds

@@ -32,6 +32,12 @@ struct EpochRecord {
   /// Wall time of the epoch's training rounds (excludes evaluation).
   double train_seconds = 0.0;
   double rounds_per_sec = 0.0;
+  // -- Fault-injection counters, per-epoch deltas of the engine's FaultStats
+  //    (all zero without an enabled fault plan) ------------------------------
+  std::uint64_t dropped_uploads = 0;    ///< client dropouts
+  std::uint64_t straggler_uploads = 0;  ///< deadline-missed stragglers
+  std::uint64_t corrupt_messages = 0;   ///< wire messages failing validation
+  std::uint64_t skipped_rounds = 0;     ///< rounds below the benign quorum
   bool has_metrics = false;
   MetricsResult metrics;
 };
@@ -64,8 +70,17 @@ class Simulation {
   /// Installs an observer receiving every round's uploads.
   void SetRoundObserver(RoundObserver observer) { observer_ = std::move(observer); }
 
-  /// Runs one epoch; returns the summed benign BPR loss of the epoch.
+  /// Runs one epoch; returns the summed benign BPR loss of the epoch. When
+  /// the simulation was restored from a mid-epoch checkpoint, the first call
+  /// finishes the open epoch (skipping BeginEpoch, which would re-consume
+  /// rng) and returns the whole epoch's loss, checkpointed part included.
   double RunEpoch();
+
+  /// Runs at most `max_rounds` rounds, opening and closing epochs as needed;
+  /// may stop mid-epoch. Returns the rounds actually run (fewer only when
+  /// config.epochs is exhausted). This is the checkpointing driver's loop:
+  /// between any two calls the simulation is in a capturable state.
+  std::size_t RunRounds(std::size_t max_rounds);
 
   /// Runs config.epochs epochs, evaluating every `eval_every` epochs and at
   /// the final epoch when `evaluator` is non-null (eval_every = 0 evaluates
@@ -81,13 +96,40 @@ class Simulation {
   /// next call.
   const Matrix& BenignUserFactors();
 
+  // -- Checkpoint support (shard/checkpoint.h) ------------------------------
+  const FedConfig& config() const { return config_; }
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+  const std::vector<Client>& benign_clients() const { return benign_clients_; }
+  std::vector<Client>& mutable_benign_clients() { return benign_clients_; }
+  /// Server selection rng (mutable so a restore can reseat its cursor).
+  Rng& server_rng() { return rng_; }
+  const Rng& server_rng() const { return rng_; }
+  /// Next epoch RunEpoch would open — or, mid-epoch, the one that is open.
+  std::size_t current_epoch() const { return epoch_; }
+  /// True between a BeginEpoch and the completion of its last round; a
+  /// checkpoint taken now must carry the partial loss below.
+  bool epoch_open() const { return epoch_open_; }
+  /// Loss accumulated by the open epoch's completed rounds.
+  double epoch_loss() const { return epoch_loss_; }
+  /// Reseats the epoch cursor after a checkpoint restore: the engine's own
+  /// counters are restored separately via RoundEngine::Restore.
+  void RestoreEpochProgress(std::size_t epoch, double epoch_loss,
+                            bool epoch_open) {
+    epoch_ = epoch;
+    epoch_loss_ = epoch_loss;
+    epoch_open_ = epoch_open;
+  }
+
  private:
   FedConfig config_;
   ThreadPool* pool_;
   MfModel model_;
   std::vector<Client> benign_clients_;
   Rng rng_;
+  FaultPlan fault_plan_;  ///< built from config.faults; inert when zero-rate
   std::size_t epoch_ = 0;
+  double epoch_loss_ = 0.0;  ///< loss of the open epoch's completed rounds
+  bool epoch_open_ = false;  ///< BeginEpoch ran, last round hasn't finished
   RoundObserver observer_;
   Matrix user_factors_;  ///< BenignUserFactors() buffer, reused per call
   RoundEngine engine_;   ///< declared last: borrows the members above

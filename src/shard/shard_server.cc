@@ -31,32 +31,8 @@ void ShardServer::RouteRound(std::span<const ClientUpdate> updates,
   // loops — no shared output buffer, no ordering hand-off, and update order
   // is preserved per shard, which is what keeps every row's contributor
   // sequence identical to the single-server sweep.
-  ParallelFor(pool, shards_.size(), [&](std::size_t s) {
-    ShardState& shard = shards_[s];
-    Stopwatch timer;
-    shard.inbox.Clear();
-    shard.message_count = 0;
-    for (std::size_t sequence = 0; sequence < updates.size(); ++sequence) {
-      const ClientUpdate& update = updates[sequence];
-      shard.route_slots.clear();
-      const auto& rows = update.item_gradients.row_ids();
-      for (std::size_t slot = 0; slot < rows.size(); ++slot) {
-        if (plan_.ShardOf(rows[slot]) == s) {
-          shard.route_slots.push_back(static_cast<std::uint32_t>(slot));
-        }
-      }
-      if (!shard.route_slots.empty()) {
-        // The wire source id is the round-unique upload sequence number, not
-        // the client id: ClientUpdate.user is attacker-controlled (a sybil
-        // can impersonate a benign id), and Krum's winner broadcast must
-        // match exactly one upload.
-        EncodeUpload(update.item_gradients, sequence, shard.route_slots,
-                     shard.inbox);
-        ++shard.message_count;
-      }
-    }
-    shard.route_seconds = timer.ElapsedSeconds();
-  });
+  ParallelFor(pool, shards_.size(),
+              [&](std::size_t s) { RouteShard(updates, s); });
   ++stats_.rounds;
   for (const ShardState& shard : shards_) {
     stats_.upload_messages += shard.message_count;
@@ -64,8 +40,42 @@ void ShardServer::RouteRound(std::span<const ClientUpdate> updates,
   }
 }
 
+void ShardServer::RouteShard(std::span<const ClientUpdate> updates,
+                             std::size_t s) {
+  ShardState& shard = shards_[s];
+  Stopwatch timer;
+  shard.inbox.Clear();
+  shard.message_count = 0;
+  for (std::size_t sequence = 0; sequence < updates.size(); ++sequence) {
+    const ClientUpdate& update = updates[sequence];
+    shard.route_slots.clear();
+    const auto& rows = update.item_gradients.row_ids();
+    for (std::size_t slot = 0; slot < rows.size(); ++slot) {
+      if (plan_.ShardOf(rows[slot]) == s) {
+        shard.route_slots.push_back(static_cast<std::uint32_t>(slot));
+      }
+    }
+    if (!shard.route_slots.empty()) {
+      // The wire source id is the round-unique upload sequence number, not
+      // the client id: ClientUpdate.user is attacker-controlled (a sybil
+      // can impersonate a benign id), and Krum's winner broadcast must
+      // match exactly one upload.
+      EncodeUpload(update.item_gradients, sequence, shard.route_slots,
+                   shard.inbox);
+      ++shard.message_count;
+    }
+  }
+  shard.route_seconds = timer.ElapsedSeconds();
+}
+
+void ShardServer::RerouteShard(std::span<const ClientUpdate> updates,
+                               std::size_t s) {
+  RouteShard(updates, s);
+}
+
 Status ShardServer::DecodeInbox(ShardState& shard, std::size_t s) {
   shard.routed_count = 0;
+  std::uint64_t last_source = 0;
   BinaryReader reader = BinaryReader::View(shard.inbox.buffer());
   while (!reader.exhausted()) {
     if (shard.routed_count == shard.routed.size()) {
@@ -88,8 +98,26 @@ Status ShardServer::DecodeInbox(ShardState& shard, std::size_t s) {
                                   std::to_string(s));
       }
     }
+    // Routing encodes messages in ascending round-sequence order, so a
+    // non-ascending source is a replayed (duplicate) or reordered delivery —
+    // aggregating it would double-count the client.
+    if (shard.routed_count > 0 && source.value() <= last_source) {
+      return Status::Corruption("shard " + std::to_string(s) +
+                                ": duplicate or out-of-order upload source " +
+                                std::to_string(source.value()));
+    }
+    last_source = source.value();
     shard.routed_source[shard.routed_count] = source.value();
     ++shard.routed_count;
+  }
+  // A delivery truncated exactly at a message boundary decodes cleanly but
+  // loses tail messages; the router's count exposes it. (Hand-filled test
+  // inboxes never went through RouteRound and record no expectation.)
+  if (shard.message_count > 0 && shard.routed_count != shard.message_count) {
+    return Status::Corruption(
+        "shard " + std::to_string(s) + ": expected " +
+        std::to_string(shard.message_count) + " uploads, decoded " +
+        std::to_string(shard.routed_count));
   }
   return Status::OK();
 }
@@ -120,20 +148,29 @@ void ShardServer::AggregateShard(ShardState& shard,
   // The winner touched no row of this shard: empty shard delta.
 }
 
+Status ShardServer::AggregateShardRound(std::size_t s,
+                                        const AggregatorOptions& options,
+                                        std::size_t round_size,
+                                        std::uint64_t krum_source) {
+  ShardState& shard = shards_[s];
+  Stopwatch timer;
+  shard.status = DecodeInbox(shard, s);
+  if (shard.status.ok()) {
+    AggregateShard(shard, options, round_size, krum_source);
+    shard.delta_wire.Clear();
+    EncodeDelta(shard.delta, shard.delta_wire);
+  }
+  shard.aggregate_seconds = timer.ElapsedSeconds();
+  return shard.status;
+}
+
 Status ShardServer::AggregateRound(const AggregatorOptions& options,
                                    std::size_t round_size,
                                    std::uint64_t krum_source,
                                    ThreadPool* pool) {
   ParallelFor(pool, shards_.size(), [&](std::size_t s) {
-    ShardState& shard = shards_[s];
-    Stopwatch timer;
-    shard.status = DecodeInbox(shard, s);
-    if (shard.status.ok()) {
-      AggregateShard(shard, options, round_size, krum_source);
-      shard.delta_wire.Clear();
-      EncodeDelta(shard.delta, shard.delta_wire);
-    }
-    shard.aggregate_seconds = timer.ElapsedSeconds();
+    // Status lands in the shard slot; the serial sweep below reports it.
+    (void)AggregateShardRound(s, options, round_size, krum_source);
   });
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (!shards_[s].status.ok()) return shards_[s].status;
@@ -142,21 +179,30 @@ Status ShardServer::AggregateRound(const AggregatorOptions& options,
   return Status::OK();
 }
 
-Status ShardServer::MergeRoundDelta(SparseRoundDelta& out) {
-  Stopwatch timer;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    BinaryReader reader = BinaryReader::View(shards_[s].delta_wire.buffer());
-    FEDREC_RETURN_NOT_OK(DecodeDelta(reader, received_[s]));
-    if (!reader.exhausted()) {
-      return Status::Corruption("shard " + std::to_string(s) +
-                                ": trailing bytes after FRWD delta");
-    }
-    if (received_[s].cols() != dim_) {
-      return Status::Corruption("shard " + std::to_string(s) +
-                                ": delta dimension mismatch");
-    }
-    cursor_[s] = 0;
+Status ShardServer::DecodeShardDelta(std::size_t s) {
+  BinaryReader reader = BinaryReader::View(shards_[s].delta_wire.buffer());
+  FEDREC_RETURN_NOT_OK(DecodeDelta(reader, received_[s]));
+  if (!reader.exhausted()) {
+    return Status::Corruption("shard " + std::to_string(s) +
+                              ": trailing bytes after FRWD delta");
   }
+  if (received_[s].cols() != dim_) {
+    return Status::Corruption("shard " + std::to_string(s) +
+                              ": delta dimension mismatch");
+  }
+  return Status::OK();
+}
+
+Status ShardServer::MergeRoundDelta(SparseRoundDelta& out) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    FEDREC_RETURN_NOT_OK(DecodeShardDelta(s));
+  }
+  return MergeReceived(out);
+}
+
+Status ShardServer::MergeReceived(SparseRoundDelta& out) {
+  Stopwatch timer;
+  for (std::size_t s = 0; s < shards_.size(); ++s) cursor_[s] = 0;
   // Sorted-row union: shard row sets are disjoint, so the merge is a k-way
   // pick-the-smallest-head walk copying whole rows. Under kContiguousRange
   // the walk degenerates to concatenation in shard order.

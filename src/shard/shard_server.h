@@ -86,12 +86,41 @@ class ShardServer {
 
   /// Decodes the per-shard FRWD messages and merges them into `out` by
   /// sorted-row union (shard row sets are disjoint by construction; overlap
-  /// is reported as corruption).
+  /// is reported as corruption). Equivalent to DecodeShardDelta for every
+  /// shard followed by MergeReceived.
   [[nodiscard]] Status MergeRoundDelta(SparseRoundDelta& out);
 
-  /// Wire access for tests and custom transports: the inbox a coordinator
-  /// fills for shard `s`, and the FRWD bytes shard `s` produced last round.
+  // -- Per-shard steps (the fault-tolerant coordinator's retry loop; each is
+  //    safe to call concurrently for distinct shards) ------------------------
+
+  /// Re-encodes shard `s`'s inbox from the pristine uploads — byte-identical
+  /// to what RouteRound produced for it. The retry path's "resend": a
+  /// corrupted delivery re-requests the shard's routed rows from scratch.
+  void RerouteShard(std::span<const ClientUpdate> updates, std::size_t s);
+
+  /// One shard's server-side step: decodes its inbox, aggregates its routed
+  /// rows, re-encodes its FRWD reply. Returns Corruption on a damaged,
+  /// duplicated, truncated or misrouted inbox. (Same step AggregateRound runs
+  /// for every shard.)
+  [[nodiscard]] Status AggregateShardRound(std::size_t s,
+                                           const AggregatorOptions& options,
+                                           std::size_t round_size,
+                                           std::uint64_t krum_source);
+
+  /// Decodes shard `s`'s FRWD reply into the coordinator's receive slot
+  /// (validates framing, trailing bytes and dimension).
+  [[nodiscard]] Status DecodeShardDelta(std::size_t s);
+
+  /// Merges the decoded receive slots into `out` by sorted-row union. All
+  /// shards must have a successfully decoded slot (via DecodeShardDelta or
+  /// MergeRoundDelta's loop).
+  [[nodiscard]] Status MergeReceived(SparseRoundDelta& out);
+
+  /// Wire access for tests, custom transports and fault injection: the inbox
+  /// a coordinator fills for shard `s`, and the FRWD reply shard `s` produced
+  /// last round.
   BinaryWriter& inbox(std::size_t s) { return shards_[s].inbox; }
+  BinaryWriter& delta_writer(std::size_t s) { return shards_[s].delta_wire; }
   const std::string& delta_wire(std::size_t s) const {
     return shards_[s].delta_wire.buffer();
   }
@@ -130,8 +159,13 @@ class ShardServer {
     double aggregate_seconds = 0.0;
   };
 
-  /// Decodes shard `s`'s inbox into its routed slots; validates dimensions
-  /// and ownership.
+  /// Routes one shard's slice of the round into its inbox (RouteRound's
+  /// per-shard body; RerouteShard re-runs it for the retry path).
+  void RouteShard(std::span<const ClientUpdate> updates, std::size_t s);
+  /// Decodes shard `s`'s inbox into its routed slots; validates dimensions,
+  /// ownership, strictly-ascending sources (duplicate / replayed delivery)
+  /// and — when the inbox came from RouteRound — the message count
+  /// (boundary-truncated delivery).
   [[nodiscard]] Status DecodeInbox(ShardState& shard, std::size_t s);
   /// Aggregates shard `s`'s routed uploads into its delta.
   void AggregateShard(ShardState& shard, const AggregatorOptions& options,

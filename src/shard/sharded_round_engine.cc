@@ -1,5 +1,7 @@
 #include "shard/sharded_round_engine.h"
 
+#include <algorithm>
+
 namespace fedrec {
 
 ShardedRoundEngine::ShardedRoundEngine(RoundEngine* engine, MfModel* model,
@@ -23,8 +25,18 @@ double ShardedRoundEngine::RunRound(const RoundObserver& observer) {
   const double loss = engine_->LocalTrain();
   engine_->Attack();
   engine_->Observe(observer);
+  engine_->ApplyTransitFaults();
+  const bool faults = engine_->faults_active();
+  if (faults && engine_->BelowQuorum()) {
+    engine_->NoteSkippedRound();
+    engine_->AdvanceRound();
+    return loss;
+  }
 
-  const std::vector<ClientUpdate>& updates = engine_->workspace().updates;
+  // The surviving prefix (= all uploads when faults are inactive, leaving
+  // the historical path byte-identical).
+  const std::span<const ClientUpdate> updates(
+      engine_->workspace().updates.data(), engine_->live_uploads());
   server_.RouteRound(updates, pool_);
 
   // Krum is a whole-round selection: decide on the coordinator (which holds
@@ -35,16 +47,87 @@ double ShardedRoundEngine::RunRound(const RoundObserver& observer) {
     krum_source = KrumSelect(updates, /*num_items=*/0, model_->dim(),
                              config_->aggregator.krum_honest);
   }
-  // In-process wire corruption is a programming error, not an environmental
-  // failure: fail fast instead of threading Status through the round loop.
-  server_
-      .AggregateRound(config_->aggregator, updates.size(), krum_source, pool_)
-      .CheckOK();
-  server_.MergeRoundDelta(merged_).CheckOK();
+  if (!faults) {
+    // In-process wire corruption is a programming error, not an environmental
+    // failure: fail fast instead of threading Status through the round loop.
+    server_
+        .AggregateRound(config_->aggregator, updates.size(), krum_source,
+                        pool_)
+        .CheckOK();
+    server_.MergeRoundDelta(merged_).CheckOK();
+  } else {
+    AggregateWithFaults(updates, krum_source, *engine_->fault_plan());
+    server_.MergeReceived(merged_).CheckOK();
+  }
 
   model_->ApplySparseGradient(merged_, config_->model.learning_rate);
   engine_->AdvanceRound();
   return loss;
+}
+
+void ShardedRoundEngine::AggregateWithFaults(
+    std::span<const ClientUpdate> updates, std::uint64_t krum_source,
+    const FaultPlan& plan) {
+  const std::uint64_t round = engine_->global_round();
+  const std::size_t num_shards = server_.plan().num_shards();
+  const AggregatorOptions& options = config_->aggregator;
+  const std::size_t round_size = updates.size();
+  outcome_scratch_.assign(num_shards, ShardOutcome{});
+  ParallelFor(pool_, num_shards, [&](std::size_t s) {
+    ShardOutcome& outcome = outcome_scratch_[s];
+    bool delivered = false;
+    for (std::uint64_t attempt = 0;
+         attempt <= config_->max_shard_retries && !delivered; ++attempt) {
+      if (attempt > 0) {
+        ++outcome.retries;
+        outcome.backoff_ticks += config_->shard_retry_backoff_ticks
+                                 << (attempt - 1);
+        // A retry is a full resend: the coordinator re-routes the shard's
+        // rows from the pristine uploads, then the wire rolls its dice again
+        // (draws are keyed by attempt, so a transient failure clears).
+        server_.RerouteShard(updates, s);
+      }
+      if (plan.ShardOutage(round, s, attempt)) {
+        ++outcome.outages;
+        continue;
+      }
+      ApplyWireFault(plan.UploadWireFault(round, s, attempt),
+                     server_.inbox(s).mutable_buffer());
+      if (!server_.AggregateShardRound(s, options, round_size, krum_source)
+               .ok()) {
+        ++outcome.corrupt;
+        continue;
+      }
+      ApplyWireFault(plan.DeltaWireFault(round, s, attempt),
+                     server_.delta_writer(s).mutable_buffer());
+      if (!server_.DecodeShardDelta(s).ok()) {
+        ++outcome.corrupt;
+        continue;
+      }
+      delivered = true;
+    }
+    if (!delivered) {
+      // Retries exhausted: the coordinator aggregates this shard's row range
+      // locally from the pristine uploads — no wire, so no faults; the math
+      // is the shard's own (bit-identical by the routing invariant).
+      outcome.fallback = true;
+      server_.RerouteShard(updates, s);
+      server_.AggregateShardRound(s, options, round_size, krum_source)
+          .CheckOK();
+      server_.DecodeShardDelta(s).CheckOK();
+    }
+  });
+  // Serial fold: counters and the clock stay deterministic for any pool.
+  std::uint64_t max_backoff = 0;
+  for (const ShardOutcome& outcome : outcome_scratch_) {
+    wire_stats_.corrupt_messages += outcome.corrupt;
+    wire_stats_.shard_outages += outcome.outages;
+    wire_stats_.shard_retries += outcome.retries;
+    if (outcome.fallback) ++wire_stats_.fallback_shards;
+    max_backoff = std::max(max_backoff, outcome.backoff_ticks);
+  }
+  // Shards retry concurrently; the round pays the slowest shard's backoff.
+  engine_->AdvanceClock(max_backoff);
 }
 
 }  // namespace fedrec

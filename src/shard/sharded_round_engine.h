@@ -2,7 +2,10 @@
 #define FEDREC_SHARD_SHARDED_ROUND_ENGINE_H_
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
+#include "common/fault.h"
 #include "common/threadpool.h"
 #include "fed/config.h"
 #include "fed/round_engine.h"
@@ -47,6 +50,15 @@ class ShardedRoundEngine {
   /// Runs one full round through the sharded server path; returns the summed
   /// benign BPR loss (same contract as RoundEngine::RunRound). `observer`
   /// may be null.
+  ///
+  /// When the wrapped engine carries an enabled fault plan, the server side
+  /// runs the degraded protocol: transit faults thin the uploads (quorum
+  /// rules from the engine apply), each shard's FRWU delivery and FRWD reply
+  /// may be corrupted or the shard may be out entirely, and the coordinator
+  /// retries a failed shard up to config.max_shard_retries times
+  /// (re-routing pristinely, deterministic exponential backoff on the
+  /// virtual clock) before aggregating that shard's row range locally.
+  /// Without an enabled plan the historical wire path runs unchanged.
   double RunRound(const RoundObserver& observer = {});
 
   const ShardServer& server() const { return server_; }
@@ -54,13 +66,37 @@ class ShardedRoundEngine {
   const SparseRoundDelta& merged_delta() const { return merged_; }
   const RoundEngine& engine() const { return *engine_; }
 
+  /// Wire/shard failure counters of the degraded protocol (corrupt messages,
+  /// outages, retries, fallbacks). Transit-fault counters live on the
+  /// wrapped engine's fault_stats(). Deterministic for a fixed (seed,
+  /// fault seed) pair regardless of pool size.
+  const FaultStats& wire_fault_stats() const { return wire_stats_; }
+
  private:
+  /// One shard attempt ledger (ParallelFor-private; folded serially so the
+  /// counters and the clock are deterministic for any pool).
+  struct ShardOutcome {
+    std::uint32_t corrupt = 0;
+    std::uint32_t outages = 0;
+    std::uint32_t retries = 0;
+    bool fallback = false;
+    std::uint64_t backoff_ticks = 0;
+  };
+
+  /// The degraded per-shard aggregate: route is already done; runs the
+  /// retry/fallback loop per shard and leaves every shard's decoded delta in
+  /// the coordinator's receive slots.
+  void AggregateWithFaults(std::span<const ClientUpdate> updates,
+                           std::uint64_t krum_source, const FaultPlan& plan);
+
   RoundEngine* engine_;
   MfModel* model_;
   const FedConfig* config_;
   ThreadPool* pool_;
   ShardServer server_;
   SparseRoundDelta merged_;
+  FaultStats wire_stats_;
+  std::vector<ShardOutcome> outcome_scratch_;
 };
 
 }  // namespace fedrec

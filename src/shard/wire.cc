@@ -11,7 +11,11 @@ namespace {
 
 constexpr std::uint32_t kUploadMagic = 0x55575246;  // "FRWU"
 constexpr std::uint32_t kDeltaMagic = 0x44575246;   // "FRWD"
-constexpr std::uint32_t kWireVersion = 1;
+// v2: the CRC covers every byte after the version field (source / cols /
+// row_count included), not just the row payload — a v1 message with a
+// flipped count or source validated its checksum and mis-parsed. Magic and
+// version stay outside: a flip there already fails their own checks.
+constexpr std::uint32_t kWireVersion = 2;
 
 // Slice-by-8 CRC tables: table[0] is the classic byte-at-a-time table and
 // table[k][b] is the CRC of byte b followed by k zero bytes, so eight input
@@ -61,10 +65,19 @@ struct PayloadShape {
 };
 
 /// Reads and validates cols/row_count, bounds the payload against the
-/// remaining buffer (overflow-safe), and pre-checksums the payload bytes so
-/// corruption is detected before any row is parsed into `out`.
+/// remaining buffer (overflow-safe), and pre-checksums the covered header
+/// bytes and the payload so corruption is detected before any row is parsed
+/// into `out`. `header_crc` continues the checksum over covered header
+/// fields the caller already consumed (FRWU's source; 0 when none).
 Result<PayloadShape> ReadAndChecksumPayload(BinaryReader& reader,
+                                            std::uint32_t header_crc,
                                             const char* what) {
+  // cols/row_count are themselves covered: fold their bytes in before
+  // parsing, so a flipped count fails the checksum instead of mis-framing.
+  Result<std::string_view> counts = reader.PeekBytes(2 * sizeof(std::uint64_t));
+  if (!counts.ok()) return counts.status();
+  const std::uint32_t crc_through_counts =
+      Crc32(header_crc, counts.value().data(), 2 * sizeof(std::uint64_t));
   Result<std::uint64_t> cols = reader.ReadU64();
   if (!cols.ok()) return cols.status();
   Result<std::uint64_t> row_count = reader.ReadU64();
@@ -90,7 +103,7 @@ Result<PayloadShape> ReadAndChecksumPayload(BinaryReader& reader,
       reader.PeekBytes(shape.payload_bytes + sizeof(std::uint32_t));
   if (!framed.ok()) return framed.status();
   const std::uint32_t computed =
-      Crc32(0, framed.value().data(), shape.payload_bytes);
+      Crc32(crc_through_counts, framed.value().data(), shape.payload_bytes);
   std::uint32_t stored;
   std::memcpy(&stored, framed.value().data() + shape.payload_bytes,
               sizeof(stored));
@@ -135,21 +148,23 @@ std::uint32_t Crc32(std::uint32_t seed, const void* data, std::size_t size) {
 
 namespace {
 
-/// Writes the FRWU header; returns the payload start offset for the trailer.
+/// Writes the FRWU header; returns the checksum start offset (everything
+/// after the version field is covered) for the trailer.
 std::size_t BeginUploadMessage(std::uint64_t source, std::size_t cols,
                                std::size_t row_count, BinaryWriter& writer) {
   writer.WriteU32(kUploadMagic);
   writer.WriteU32(kWireVersion);
+  const std::size_t crc_begin = writer.buffer().size();
   writer.WriteU64(source);
   writer.WriteU64(cols);
   writer.WriteU64(row_count);
-  return writer.buffer().size();
+  return crc_begin;
 }
 
-/// Appends the CRC trailer over [payload_begin, current end).
-void FinishMessage(std::size_t payload_begin, BinaryWriter& writer) {
-  writer.WriteU32(Crc32(0, writer.buffer().data() + payload_begin,
-                        writer.buffer().size() - payload_begin));
+/// Appends the CRC trailer over [crc_begin, current end).
+void FinishMessage(std::size_t crc_begin, BinaryWriter& writer) {
+  writer.WriteU32(Crc32(0, writer.buffer().data() + crc_begin,
+                        writer.buffer().size() - crc_begin));
 }
 
 }  // namespace
@@ -159,7 +174,7 @@ void FinishMessage(std::size_t payload_begin, BinaryWriter& writer) {
 void EncodeUpload(const SparseRowMatrix& upload, std::uint64_t source,
                   std::span<const std::uint32_t> slots, BinaryWriter& writer) {
   WriterGrowthScope growth(writer);
-  const std::size_t payload_begin =
+  const std::size_t crc_begin =
       BeginUploadMessage(source, upload.cols(), slots.size(), writer);
   const auto& row_ids = upload.row_ids();
   for (std::uint32_t slot : slots) {
@@ -167,21 +182,21 @@ void EncodeUpload(const SparseRowMatrix& upload, std::uint64_t source,
     writer.WriteU64(row_ids[slot]);
     writer.WriteF32Array(upload.RowAtSlot(slot));
   }
-  FinishMessage(payload_begin, writer);
+  FinishMessage(crc_begin, writer);
 }
 
 // fedrec:hot
 void EncodeUpload(const SparseRowMatrix& upload, std::uint64_t source,
                   BinaryWriter& writer) {
   WriterGrowthScope growth(writer);
-  const std::size_t payload_begin =
+  const std::size_t crc_begin =
       BeginUploadMessage(source, upload.cols(), upload.row_count(), writer);
   const auto& row_ids = upload.row_ids();
   for (std::size_t slot = 0; slot < row_ids.size(); ++slot) {
     writer.WriteU64(row_ids[slot]);
     writer.WriteF32Array(upload.RowAtSlot(slot));
   }
-  FinishMessage(payload_begin, writer);
+  FinishMessage(crc_begin, writer);
 }
 
 // fedrec:hot — decode scatters into `out`'s retained slots; corruption
@@ -198,10 +213,18 @@ Result<std::uint64_t> DecodeUpload(BinaryReader& reader, SparseRowMatrix& out) {
     return Status::Corruption("unsupported FRWU version " +
                               std::to_string(version.value()));
   }
+  // The source id is covered by the checksum: fold its bytes in before
+  // consuming it (a flipped source would otherwise double- or mis-route).
+  Result<std::string_view> source_bytes =
+      reader.PeekBytes(sizeof(std::uint64_t));
+  if (!source_bytes.ok()) return source_bytes.status();
+  const std::uint32_t header_crc =
+      Crc32(0, source_bytes.value().data(), sizeof(std::uint64_t));
   Result<std::uint64_t> source = reader.ReadU64();
   if (!source.ok()) return source.status();
 
-  Result<PayloadShape> shape = ReadAndChecksumPayload(reader, "FRWU upload");
+  Result<PayloadShape> shape =
+      ReadAndChecksumPayload(reader, header_crc, "FRWU upload");
   if (!shape.ok()) return shape.status();
 
   out.Reset(shape.value().cols);
@@ -224,15 +247,15 @@ void EncodeDelta(const SparseRoundDelta& delta, BinaryWriter& writer) {
   WriterGrowthScope growth(writer);
   writer.WriteU32(kDeltaMagic);
   writer.WriteU32(kWireVersion);
+  const std::size_t crc_begin = writer.buffer().size();
   writer.WriteU64(delta.cols());
   writer.WriteU64(delta.row_count());
-  const std::size_t payload_begin = writer.buffer().size();
   const auto& rows = delta.rows();
   for (std::size_t slot = 0; slot < rows.size(); ++slot) {
     writer.WriteU64(rows[slot]);
     writer.WriteF32Array(delta.RowAtSlot(slot));
   }
-  FinishMessage(payload_begin, writer);
+  FinishMessage(crc_begin, writer);
 }
 
 // fedrec:hot
@@ -248,7 +271,8 @@ Status DecodeDelta(BinaryReader& reader, SparseRoundDelta& out) {
     return Status::Corruption("unsupported FRWD version " +
                               std::to_string(version.value()));
   }
-  Result<PayloadShape> shape = ReadAndChecksumPayload(reader, "FRWD delta");
+  Result<PayloadShape> shape =
+      ReadAndChecksumPayload(reader, /*header_crc=*/0, "FRWD delta");
   if (!shape.ok()) return shape.status();
 
   out.Reset(shape.value().cols);

@@ -20,8 +20,13 @@
 ///                   row_count x { u64 row_id, f32 values[cols] }, crc32
 ///                   (row ids strictly ascending)
 ///
-/// The trailing CRC32 covers the row payload, so a flipped bit in transit
-/// fails loudly as Status::Corruption instead of silently skewing the model.
+/// The trailing CRC32 covers every byte after the version field — source,
+/// cols, row_count and the row payload — so ANY flipped bit in transit fails
+/// loudly as Status::Corruption instead of silently skewing the model (magic
+/// and version are excluded: a flip there fails their own validation; a v1
+/// message, whose CRC covered only the payload, could mis-frame on a
+/// corrupted count). Exhaustively enforced by the wire_test corruption
+/// sweep, which flips every byte and truncates at every length.
 /// Encoders append to a caller-owned BinaryWriter and decoders parse a
 /// BinaryReader in place (BinaryReader::View) — both sides reuse high-water
 /// buffers, so a steady-state round encodes and decodes every message

@@ -448,5 +448,28 @@ TEST(AggregatorKindTest, NamesRoundTrip) {
   EXPECT_STREQ(AggregatorKindToString(AggregatorKind::kKrum), "krum");
 }
 
+
+TEST(AggregatorTest, EveryRuleAggregatesAnEmptyRoundCleanly) {
+  // Under fault injection with min_round_quorum = 0, an all-dropped round
+  // legally reaches the aggregator with zero uploads. Every rule must
+  // produce a clean empty delta (column count set, no rows) instead of
+  // tripping over the empty contributor index.
+  for (const AggregatorKind kind :
+       {AggregatorKind::kSum, AggregatorKind::kTrimmedMean,
+        AggregatorKind::kMedian, AggregatorKind::kNormBound,
+        AggregatorKind::kKrum}) {
+    AggregatorOptions options;
+    options.kind = kind;
+    options.krum_honest = 1;
+    AggregationWorkspace workspace;
+    SparseRoundDelta delta;
+    AggregateUpdates(std::span<const ClientUpdate>{}, /*dim=*/3, options,
+                     workspace, delta);
+    EXPECT_TRUE(delta.empty()) << AggregatorKindToString(kind);
+    EXPECT_EQ(delta.cols(), 3u) << AggregatorKindToString(kind);
+    EXPECT_EQ(delta.row_count(), 0u) << AggregatorKindToString(kind);
+  }
+}
+
 }  // namespace
 }  // namespace fedrec

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "attack/attack_factory.h"
+#include "common/fault.h"
 #include "attack/target_select.h"
 #include "data/public_view.h"
 #include "data/synthetic.h"
@@ -428,6 +429,27 @@ TEST(ShardedRoundEngineTest, SteadyStateRoundsAreAllocationFreeOnTheWirePath) {
     while (sharded.HasNextRound()) sharded.RunRound();
   }
   EXPECT_EQ(SparseAllocationCount(), 0u);
+}
+
+
+TEST(ShardServerTest, DuplicateDeliveryFailsLoudly) {
+  // Whole-inbox duplication (the kDuplicate wire fault) re-delivers every
+  // message with an already-seen source id. Each copy's own CRC still
+  // validates, so the strictly-ascending source check is what rejects the
+  // replay (the message-count check would catch it too).
+  const std::size_t dim = 4;
+  const auto updates = RandomUpdates(5, 40, dim, 8, 3);
+  const ShardPlan plan(40, 2, ShardPolicy::kContiguousRange);
+  ShardServer server(plan, dim);
+  server.RouteRound(updates, nullptr);
+  WireFault duplicate;
+  duplicate.kind = WireFaultKind::kDuplicate;
+  EXPECT_TRUE(ApplyWireFault(duplicate, server.inbox(0).mutable_buffer()));
+  AggregatorOptions options;
+  const Status status =
+      server.AggregateRound(options, updates.size(), /*krum_source=*/0,
+                            /*pool=*/nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
 }
 
 }  // namespace

@@ -185,11 +185,11 @@ TEST(WireFailureTest, ForeignMagicFails) {
 }
 
 TEST(WireFailureTest, UnknownVersionFails) {
-  // Hand-build a version-2 upload header; the decoder must refuse before
+  // Hand-build a version-3 upload header; the decoder must refuse before
   // touching the payload.
   BinaryWriter writer;
   writer.WriteU32(0x55575246);  // "FRWU"
-  writer.WriteU32(2);           // unsupported version
+  writer.WriteU32(3);           // unsupported version
   writer.WriteU64(0);           // source
   writer.WriteU64(3);           // cols
   writer.WriteU64(0);           // rows
@@ -228,12 +228,14 @@ TEST(WireFailureTest, DuplicateUploadRowFails) {
 
   BinaryWriter writer;
   writer.WriteU32(0x55575246);  // "FRWU"
-  writer.WriteU32(1);
+  writer.WriteU32(2);
   writer.WriteU64(9);  // source
   writer.WriteU64(2);  // cols
   writer.WriteU64(2);  // rows
   writer.WriteBytes(payload.buffer().data(), payload.buffer().size());
-  writer.WriteU32(Crc32(0, payload.buffer().data(), payload.buffer().size()));
+  // v2 checksum: everything after the version field.
+  writer.WriteU32(
+      Crc32(0, writer.buffer().data() + 8, writer.buffer().size() - 8));
 
   BinaryReader reader = BinaryReader::View(writer.buffer());
   SparseRowMatrix decoded;
@@ -253,11 +255,13 @@ TEST(WireFailureTest, NonAscendingDeltaRowsFail) {
 
   BinaryWriter writer;
   writer.WriteU32(0x44575246);  // "FRWD"
-  writer.WriteU32(1);
+  writer.WriteU32(2);
   writer.WriteU64(2);  // cols
   writer.WriteU64(2);  // rows
   writer.WriteBytes(payload.buffer().data(), payload.buffer().size());
-  writer.WriteU32(Crc32(0, payload.buffer().data(), payload.buffer().size()));
+  // v2 checksum: everything after the version field.
+  writer.WriteU32(
+      Crc32(0, writer.buffer().data() + 8, writer.buffer().size() - 8));
 
   BinaryReader reader = BinaryReader::View(writer.buffer());
   SparseRoundDelta decoded;
@@ -270,7 +274,7 @@ TEST(WireFailureTest, NonAscendingDeltaRowsFail) {
 TEST(WireFailureTest, AbsurdRowCountFailsInsteadOfAllocating) {
   BinaryWriter writer;
   writer.WriteU32(0x55575246);  // "FRWU"
-  writer.WriteU32(1);
+  writer.WriteU32(2);
   writer.WriteU64(0);                        // source
   writer.WriteU64(1u << 20);                 // cols
   writer.WriteU64(0xFFFFFFFFFFFFFFFFull);    // rows: overflow bait
@@ -279,6 +283,84 @@ TEST(WireFailureTest, AbsurdRowCountFailsInsteadOfAllocating) {
   Result<std::uint64_t> result = DecodeUpload(reader, decoded);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+// --- Exhaustive corruption sweep --------------------------------------------
+//
+// The fault-tolerance layer's contract is that NO single-byte transit
+// corruption can slip through decoding: flip any bit of any byte, or cut the
+// buffer at any length, and the decoder must return Status::Corruption — not
+// crash, not silently accept (run under asan/ubsan in CI to make "not crash"
+// a real check, not a hope).
+
+TEST(WireCorruptionSweepTest, EveryUploadByteFlipFailsWithCorruption) {
+  const SparseRowMatrix upload = MakeUpload(5, {4, 19, 33}, 21);
+  BinaryWriter writer;
+  EncodeUpload(upload, /*source=*/6, writer);
+  const std::string& wire = writer.buffer();
+  for (std::size_t offset = 0; offset < wire.size(); ++offset) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = wire;
+      corrupted[offset] = static_cast<char>(
+          static_cast<unsigned char>(corrupted[offset]) ^ (1u << bit));
+      BinaryReader reader = BinaryReader::View(corrupted);
+      SparseRowMatrix decoded;
+      Result<std::uint64_t> result = DecodeUpload(reader, decoded);
+      ASSERT_FALSE(result.ok())
+          << "flip of byte " << offset << " bit " << bit << " decoded";
+      EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST(WireCorruptionSweepTest, EveryUploadTruncationFailsWithCorruption) {
+  const SparseRowMatrix upload = MakeUpload(5, {4, 19, 33}, 21);
+  BinaryWriter writer;
+  EncodeUpload(upload, 6, writer);
+  const std::string& wire = writer.buffer();
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    BinaryReader reader =
+        BinaryReader::View(std::string_view(wire.data(), keep));
+    SparseRowMatrix decoded;
+    Result<std::uint64_t> result = DecodeUpload(reader, decoded);
+    ASSERT_FALSE(result.ok()) << "prefix " << keep << " decoded";
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireCorruptionSweepTest, EveryDeltaByteFlipFailsWithCorruption) {
+  const SparseRoundDelta delta = MakeDelta(5, {2, 8, 40}, 22);
+  BinaryWriter writer;
+  EncodeDelta(delta, writer);
+  const std::string& wire = writer.buffer();
+  for (std::size_t offset = 0; offset < wire.size(); ++offset) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = wire;
+      corrupted[offset] = static_cast<char>(
+          static_cast<unsigned char>(corrupted[offset]) ^ (1u << bit));
+      BinaryReader reader = BinaryReader::View(corrupted);
+      SparseRoundDelta decoded;
+      const Status status = DecodeDelta(reader, decoded);
+      ASSERT_FALSE(status.ok())
+          << "flip of byte " << offset << " bit " << bit << " decoded";
+      EXPECT_EQ(status.code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST(WireCorruptionSweepTest, EveryDeltaTruncationFailsWithCorruption) {
+  const SparseRoundDelta delta = MakeDelta(5, {2, 8, 40}, 22);
+  BinaryWriter writer;
+  EncodeDelta(delta, writer);
+  const std::string& wire = writer.buffer();
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    BinaryReader reader =
+        BinaryReader::View(std::string_view(wire.data(), keep));
+    SparseRoundDelta decoded;
+    const Status status = DecodeDelta(reader, decoded);
+    ASSERT_FALSE(status.ok()) << "prefix " << keep << " decoded";
+    EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  }
 }
 
 TEST(WireSteadyStateTest, WarmEncodeDecodeLoopIsAllocationFree) {
