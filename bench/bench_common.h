@@ -2,6 +2,7 @@
 #define FEDREC_BENCH_BENCH_COMMON_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,12 @@ void ApplyScale(const BenchOptions& options, ExperimentSpec& spec);
 
 /// Formats a metric like the paper tables ("0.9400").
 std::string Fmt4(double value);
+
+/// Nearest-rank percentile (`q` in [0, 100]) of `samples`, partially sorting
+/// the buffer in place (std::nth_element — no copy, no allocation, so a
+/// load bench can take p50/p99 of a reused per-round sample buffer between
+/// rounds). Returns 0 for an empty span.
+double PercentileInPlace(std::span<double> samples, double q);
 
 /// Appends a "rounds/s" row (one cell per experiment, in order) so every
 /// table bench can surface its round throughput into the CSV export and the

@@ -1,0 +1,347 @@
+/// bench_federation_service: high-concurrency load bench for the socket
+/// federation coordinator.
+///
+/// Spins up the full multi-process topology inside one process — S
+/// ShardDaemon serving threads (or external fedrec_shardd processes via
+/// --shardd=host:port,...), a SocketShardTransport-backed FederationService
+/// coordinator thread — then drives it with an epoll load generator that
+/// multiplexes N simulated clients over N nonblocking TCP connections. Per
+/// round every client sends one pre-encoded FRWU upload and waits for the
+/// coordinator's kRoundAck; the bench records rounds/s, per-upload round
+/// latency percentiles (p50/p99 over every measured upload), upload
+/// throughput, and steady-state allocations per round as seen by the
+/// sparse-allocation hook (coordinator + daemons + load generator combined,
+/// since they share the process).
+///
+///   ./bench_federation_service [--clients=256,1024] [--shards=1,2,4,8]
+///       [--rounds=30] [--warmup=5] [--dim=16] [--items=8192]
+///       [--upload-rows=8] [--shardd=host:port,...] [--csv=path] [--quick]
+///
+/// --quick shrinks the sweep for CI smoke runs; the full preset sustains
+/// >=1024 concurrent clients per round. --shardd pins the shard count to the
+/// given endpoints and skips the self-hosted daemon threads (the CI examples
+/// job launches real fedrec_shardd processes and passes them here).
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "net/epoll_loop.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "shard/federation_service.h"
+#include "shard/shard_daemon.h"
+#include "shard/socket_transport.h"
+#include "shard/wire.h"
+
+using namespace fedrec;
+
+namespace {
+
+struct LoadResult {
+  double rounds_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double upload_mb_per_sec = 0.0;
+  double allocs_per_round = 0.0;
+};
+
+struct SimClient {
+  int fd = -1;
+  FrameReader reader;
+  SendQueue out;
+  bool out_armed = false;
+  double send_seconds = 0.0;
+  std::string upload;  ///< pre-encoded FRWU payload, resent every round
+};
+
+/// Raises the fd ceiling to the hard limit: 1024+ clients plus daemons and
+/// the coordinator live in this one process.
+void RaiseFdLimit() {
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) == 0 &&
+      limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &limit);
+  }
+}
+
+std::vector<ShardEndpoint> ParseEndpoints(const std::string& spec) {
+  std::vector<ShardEndpoint> endpoints;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    const std::size_t colon = entry.rfind(':');
+    FEDREC_CHECK(colon != std::string::npos) << "--shardd entry needs host:port";
+    ShardEndpoint endpoint;
+    endpoint.host = entry.substr(0, colon);
+    endpoint.port = static_cast<std::uint16_t>(
+        std::stoul(entry.substr(colon + 1)));
+    endpoints.push_back(endpoint);
+    begin = end + 1;
+  }
+  return endpoints;
+}
+
+/// One (clients, shards) configuration: full topology up, measured rounds,
+/// topology down.
+LoadResult RunLoad(std::size_t num_clients, std::size_t num_shards,
+                   const std::vector<ShardEndpoint>& external_shardds,
+                   std::size_t rounds, std::size_t warmup, std::size_t dim,
+                   std::size_t num_items, std::size_t upload_rows,
+                   std::uint64_t seed) {
+  const ShardPlan plan(num_items, num_shards, ShardPolicy::kContiguousRange);
+
+  // Shard tier: self-hosted daemon threads unless external shardds given.
+  std::vector<std::unique_ptr<ShardDaemon>> daemons;
+  std::vector<std::thread> daemon_threads;
+  SocketShardTransport::Options transport_options;
+  if (external_shardds.empty()) {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      ShardDaemon::Options options;
+      options.shard_index = s;
+      daemons.push_back(std::make_unique<ShardDaemon>(options));
+      daemons.back()->Listen().CheckOK();
+      ShardEndpoint endpoint;
+      endpoint.port = daemons.back()->port();
+      transport_options.endpoints.push_back(endpoint);
+    }
+    for (auto& daemon : daemons) {
+      daemon_threads.emplace_back([&daemon] { daemon->Run(); });
+    }
+  } else {
+    transport_options.endpoints = external_shardds;
+  }
+
+  SocketShardTransport transport(plan, dim, transport_options);
+
+  MfHyperParams params;
+  params.dim = dim;
+  Rng model_rng(seed);
+  MfModel model(num_items, params, model_rng);
+
+  FederationService::Options service_options;
+  service_options.round_size = num_clients;
+  service_options.max_rounds = warmup + rounds;
+  FederationService service(&model, &transport, service_options);
+  service.Listen().CheckOK();
+  std::thread service_thread([&service] { service.Run(); });
+
+  // Load generator: connect every client, pre-encode its upload.
+  std::vector<SimClient> clients(num_clients);
+  std::vector<std::size_t> client_of_fd;
+  EpollLoop loop;
+  BinaryWriter upload_writer;
+  Rng rng(seed + 1);
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    SimClient& client = clients[i];
+    Result<int> fd = TcpConnect("127.0.0.1", service.port());
+    fd.status().CheckOK();
+    client.fd = fd.value();
+    SetNonBlocking(client.fd).CheckOK();
+    if (static_cast<std::size_t>(client.fd) >= client_of_fd.size()) {
+      client_of_fd.resize(static_cast<std::size_t>(client.fd) + 1, 0);
+    }
+    client_of_fd[static_cast<std::size_t>(client.fd)] = i;
+    loop.Watch(client.fd, EPOLLIN, static_cast<std::uint64_t>(client.fd))
+        .CheckOK();
+
+    SparseRowMatrix upload(dim);
+    for (std::size_t r = 0; r < upload_rows; ++r) {
+      // Spread rows round-robin with a per-client offset so every shard of
+      // every sweep point receives traffic.
+      const std::size_t row =
+          (i * upload_rows + r * (num_items / upload_rows + 1)) % num_items;
+      if (upload.Contains(row)) continue;
+      for (float& value : upload.RowMutable(row)) {
+        value = rng.NextFloat() - 0.5f;
+      }
+    }
+    upload_writer.Clear();
+    EncodeUpload(upload, /*source=*/i, upload_writer);
+    client.upload = upload_writer.buffer();
+  }
+
+  // Round loop. Warmup rounds grow every high-water buffer end to end; the
+  // allocation counter and the stopwatch start after them.
+  std::vector<double> samples(rounds * num_clients, 0.0);
+  std::size_t sample_count = 0;
+  std::uint64_t allocs_at_start = 0;
+  std::uint64_t upload_bytes = 0;
+  Stopwatch watch;
+  for (std::size_t round = 0; round < warmup + rounds; ++round) {
+    if (round == warmup) {
+      ResetSparseAllocationCount();
+      allocs_at_start = SparseAllocationCount();
+      watch.Reset();
+    }
+    const bool measured = round >= warmup;
+    for (SimClient& client : clients) {
+      const std::array<std::string_view, 1> pieces = {
+          std::string_view(client.upload)};
+      client.out.AppendFrame(FrameType::kClientUpload, pieces);
+      client.send_seconds = watch.ElapsedSeconds();
+      bool blocked = false;
+      client.out.Flush(client.fd, blocked).CheckOK();
+      if (blocked != client.out_armed) {
+        const std::uint32_t events =
+            blocked ? (EPOLLIN | EPOLLOUT)
+                    : static_cast<std::uint32_t>(EPOLLIN);
+        loop.Modify(client.fd, events,
+                    static_cast<std::uint64_t>(client.fd))
+            .CheckOK();
+        client.out_armed = blocked;
+      }
+      if (measured) upload_bytes += client.upload.size();
+    }
+    std::size_t pending_acks = num_clients;
+    while (pending_acks > 0) {
+      const std::span<const epoll_event> events = loop.Wait(10000);
+      FEDREC_CHECK(!events.empty()) << "load generator stalled waiting for acks";
+      for (const epoll_event& event : events) {
+        const int fd = static_cast<int>(event.data.u64);
+        SimClient& client = clients[client_of_fd[static_cast<std::size_t>(fd)]];
+        if ((event.events & EPOLLOUT) != 0) {
+          bool blocked = false;
+          client.out.Flush(client.fd, blocked).CheckOK();
+          if (!blocked && client.out_armed) {
+            loop.Modify(client.fd, EPOLLIN,
+                        static_cast<std::uint64_t>(client.fd))
+                .CheckOK();
+            client.out_armed = false;
+          }
+        }
+        if ((event.events & (EPOLLIN | EPOLLHUP | EPOLLERR)) == 0) continue;
+        for (;;) {
+          char* tail = client.reader.PrepareWrite(4096);
+          ReadOutcome outcome;
+          ReadSome(client.fd, tail, client.reader.writable(), outcome)
+              .CheckOK();
+          FEDREC_CHECK(!outcome.eof) << "coordinator closed a client mid-run";
+          client.reader.CommitWrite(outcome.bytes);
+          if (outcome.would_block) break;
+        }
+        for (;;) {
+          FrameView frame;
+          bool has_frame = false;
+          client.reader.Next(frame, has_frame).CheckOK();
+          if (!has_frame) break;
+          FEDREC_CHECK(frame.type == FrameType::kRoundAck)
+              << "unexpected reply type " << static_cast<int>(frame.type);
+          if (measured) {
+            samples[sample_count] =
+                watch.ElapsedSeconds() - client.send_seconds;
+            ++sample_count;
+          }
+          --pending_acks;
+        }
+      }
+    }
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  const std::uint64_t allocs = SparseAllocationCount() - allocs_at_start;
+
+  // Teardown: the coordinator stops itself at max_rounds; daemons by signal.
+  service_thread.join();
+  for (auto& daemon : daemons) daemon->RequestStop();
+  for (std::thread& thread : daemon_threads) thread.join();
+  for (SimClient& client : clients) CloseSocket(client.fd);
+
+  FEDREC_CHECK_EQ(sample_count, samples.size());
+  FEDREC_CHECK_EQ(service.stats().rounds_completed,
+                  static_cast<std::uint64_t>(warmup + rounds));
+  LoadResult result;
+  result.rounds_per_sec = static_cast<double>(rounds) / elapsed;
+  result.p50_ms = PercentileInPlace(samples, 50.0) * 1e3;
+  result.p99_ms = PercentileInPlace(samples, 99.0) * 1e3;
+  result.upload_mb_per_sec =
+      static_cast<double>(upload_bytes) / elapsed / (1024.0 * 1024.0);
+  result.allocs_per_round =
+      static_cast<double>(allocs) / static_cast<double>(rounds);
+  return result;
+}
+
+std::vector<std::size_t> ToSizes(const std::vector<double>& values) {
+  std::vector<std::size_t> sizes;
+  for (double value : values) {
+    sizes.push_back(static_cast<std::size_t>(value));
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RaiseFdLimit();
+  FlagParser flags;
+  flags.Parse(argc, argv).CheckOK();
+  const BenchOptions options = ParseBenchOptions(flags);
+
+  const bool quick = flags.GetBool("quick", false);
+  std::vector<std::size_t> client_counts =
+      ToSizes(flags.GetDoubleList("clients", quick ? std::vector<double>{64}
+                                                   : std::vector<double>{256,
+                                                                         1024}));
+  std::vector<std::size_t> shard_counts = ToSizes(
+      flags.GetDoubleList("shards", quick ? std::vector<double>{1, 2}
+                                          : std::vector<double>{1, 2, 4, 8}));
+  const auto rounds =
+      static_cast<std::size_t>(flags.GetInt("rounds", quick ? 8 : 30));
+  const auto warmup =
+      static_cast<std::size_t>(flags.GetInt("warmup", quick ? 2 : 5));
+  const auto dim = static_cast<std::size_t>(flags.GetInt("dim", 16));
+  const auto num_items =
+      static_cast<std::size_t>(flags.GetInt("items", 8192));
+  const auto upload_rows =
+      static_cast<std::size_t>(flags.GetInt("upload-rows", 8));
+
+  std::vector<ShardEndpoint> external_shardds;
+  if (flags.Has("shardd")) {
+    external_shardds = ParseEndpoints(flags.GetString("shardd", ""));
+    shard_counts.assign(1, external_shardds.size());
+    std::printf("using %zu external fedrec_shardd endpoints\n",
+                external_shardds.size());
+  }
+
+  TextTable table("federation service load (socket transport)");
+  std::vector<std::string> header = {"metric"};
+  std::vector<std::string> rounds_row = {"rounds/s"};
+  std::vector<std::string> p50_row = {"p50 ms"};
+  std::vector<std::string> p99_row = {"p99 ms"};
+  std::vector<std::string> mb_row = {"upload MB/s"};
+  std::vector<std::string> alloc_row = {"allocs/round"};
+  for (std::size_t clients : client_counts) {
+    for (std::size_t shards : shard_counts) {
+      std::printf("running %zu clients x %zu shards (%zu rounds + %zu warmup)"
+                  " ...\n",
+                  clients, shards, rounds, warmup);
+      std::fflush(stdout);
+      const LoadResult result =
+          RunLoad(clients, shards, external_shardds, rounds, warmup, dim,
+                  num_items, upload_rows, options.seed);
+      header.push_back(std::to_string(clients) + "c/" +
+                       std::to_string(shards) + "s");
+      rounds_row.push_back(Fmt4(result.rounds_per_sec));
+      p50_row.push_back(Fmt4(result.p50_ms));
+      p99_row.push_back(Fmt4(result.p99_ms));
+      mb_row.push_back(Fmt4(result.upload_mb_per_sec));
+      alloc_row.push_back(Fmt4(result.allocs_per_round));
+    }
+  }
+  table.SetHeader(header);
+  table.AddRow(rounds_row);
+  table.AddRow(p50_row);
+  table.AddRow(p99_row);
+  table.AddRow(mb_row);
+  table.AddRow(alloc_row);
+  EmitTable(table, options);
+  return 0;
+}

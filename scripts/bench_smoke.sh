@@ -66,16 +66,23 @@ report = {
     "rows": rows,
 }
 
-# Surface the round-throughput instrumentation (benches emit it as a
-# "rounds/s" row) as a top-level aggregate for the perf trajectory.
+# Surface the perf instrumentation rows (round throughput, and for the
+# load benches the round-latency percentiles) as top-level aggregates for
+# the perf trajectory.
+surfaced = {
+    "rounds/s": "rounds_per_sec_mean",
+    "p50 ms": "p50_ms_mean",
+    "p99 ms": "p99_ms_mean",
+}
 if label_key is not None:
     for row in rows:
-        if row.get(label_key) == "rounds/s":
-            values = [float(v) for k, v in row.items()
-                      if k != label_key and v]
-            if values:
-                report["rounds_per_sec_mean"] = sum(values) / len(values)
-            break
+        key = surfaced.get(row.get(label_key))
+        if key is None:
+            continue
+        values = [float(v) for k, v in row.items()
+                  if k != label_key and v]
+        if values:
+            report[key] = sum(values) / len(values)
 with open(os.environ["OUT_FILE"], "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")

@@ -1,0 +1,69 @@
+#include "net/epoll_loop.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace fedrec {
+
+namespace {
+
+Status EpollError(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EpollLoop::EpollLoop() : epoll_fd_(::epoll_create1(0)), events_(64) {
+  FEDREC_CHECK(epoll_fd_ >= 0) << "epoll_create1 failed";
+}
+
+EpollLoop::~EpollLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EpollLoop::Watch(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event event{};
+  event.events = events;
+  event.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    return EpollError("epoll_ctl(ADD)");
+  }
+  return Status::OK();
+}
+
+Status EpollLoop::Modify(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event event{};
+  event.events = events;
+  event.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    return EpollError("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+void EpollLoop::Remove(int fd) {
+  // The kernel auto-deregisters closed fds; an explicit remove after close
+  // reports EBADF, which is exactly the no-op we want.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+// fedrec:hot — one epoll_wait per call into the retained event buffer.
+std::span<const epoll_event> EpollLoop::Wait(int timeout_ms) {
+  for (;;) {
+    const int n = ::epoll_wait(epoll_fd_, events_.data(),
+                               static_cast<int>(events_.size()), timeout_ms);
+    if (n >= 0) {
+      return std::span<const epoll_event>(events_.data(),
+                                          static_cast<std::size_t>(n));
+    }
+    if (errno != EINTR) {
+      FEDREC_CHECK(false) << "epoll_wait: " << std::strerror(errno);
+    }
+  }
+}
+
+}  // namespace fedrec

@@ -1,0 +1,105 @@
+#ifndef FEDREC_NET_FRAME_H_
+#define FEDREC_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+/// \file
+/// Length-framed message envelope for the socket federation ("FRNT" frames).
+/// A frame is a fixed 16-byte header — magic, type, little-endian payload
+/// length — followed by the payload bytes verbatim. The payload of shard
+/// traffic is the existing FRWU/FRWD wire format (src/shard/wire.h), which
+/// carries its own version and checksum; the frame layer only delimits
+/// messages on a TCP byte stream, so it adds no second checksum.
+///
+/// FrameReader is the receive half: sockets read straight into its retained
+/// buffer (PrepareWrite/CommitWrite), and Next() yields complete frames as
+/// zero-copy views into that buffer — TCP may fragment a frame at any byte
+/// boundary, and reassembly is bit-identical to a single-buffer decode (see
+/// net_test). Steady state performs no allocation: the buffer is high-water
+/// sized and compacted in place, with one-time growth fed to the
+/// sparse-allocation hook like every other wire buffer in the tree.
+
+namespace fedrec {
+
+/// Frame type tags. Values are wire format — append only, never renumber.
+enum class FrameType : std::uint32_t {
+  kHello = 1,         ///< coordinator -> shardd: run geometry + fingerprint
+  kHelloAck = 2,      ///< shardd -> coordinator: handshake accepted
+  kShardRound = 3,    ///< coordinator -> shardd: round header + FRWU inbox
+  kShardDelta = 4,    ///< shardd -> coordinator: FRWD reply
+  kError = 5,         ///< either direction: status code + message
+  kClientUpload = 6,  ///< client -> coordinator: one FRWU upload
+  kRoundAck = 7,      ///< coordinator -> client: round applied
+  kShutdown = 8,      ///< orderly stop request (tests, scripts)
+};
+
+/// Fixed frame header size on the wire: magic + type + payload length.
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// Refuse absurd lengths before buffering: the largest legitimate frame is a
+/// full round's FRWU inbox, far under this; anything bigger is a corrupt or
+/// hostile length field that would otherwise drive buffer growth.
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
+
+/// A complete frame: `payload` views the reader's buffer and stays valid
+/// until the next PrepareWrite/Next call on that reader.
+struct FrameView {
+  FrameType type = FrameType::kError;
+  std::string_view payload;
+};
+
+/// Serializes a frame header into `out[kFrameHeaderBytes]`. The payload is
+/// written separately (typically gathered with writev straight from the
+/// sender's retained wire buffer — the frame layer never copies payloads).
+void EncodeFrameHeader(FrameType type, std::uint64_t payload_bytes, char* out);
+
+/// Parses and validates a frame header from `header[kFrameHeaderBytes]`.
+/// Corruption on bad magic, unknown type, or an over-limit length.
+[[nodiscard]] Status DecodeFrameHeader(const char* header, FrameType& type,
+                                       std::uint64_t& payload_bytes);
+
+/// Incremental frame reassembly over a TCP byte stream.
+class FrameReader {
+ public:
+  /// Writable tail of at least `min_bytes` for the next socket read; grows
+  /// the retained buffer only past its high-water mark. Invalidates views
+  /// returned by Next.
+  char* PrepareWrite(std::size_t min_bytes);
+
+  /// Bytes writable at the pointer PrepareWrite returned.
+  std::size_t writable() const { return buffer_.size() - end_; }
+
+  /// Publishes `bytes` bytes a socket read deposited at PrepareWrite's
+  /// pointer.
+  void CommitWrite(std::size_t bytes);
+
+  /// Convenience for tests and in-memory feeds: append a fragment.
+  void Feed(std::string_view fragment);
+
+  /// Yields the next complete frame, if one is fully buffered. Returns OK
+  /// with `has_frame=false` when more bytes are needed; Corruption poisons
+  /// the stream (framing is lost — the connection must be torn down).
+  [[nodiscard]] Status Next(FrameView& out, bool& has_frame);
+
+  /// Buffered-but-unparsed byte count (diagnostics).
+  std::size_t pending() const { return end_ - begin_; }
+
+  /// Drops buffered bytes and clears the poisoned flag; capacity is kept so
+  /// a reconnect reuses the high-water buffer.
+  void Reset();
+
+ private:
+  std::string buffer_;      ///< high-water sized; [begin_, end_) is live
+  std::size_t begin_ = 0;   ///< first unparsed byte
+  std::size_t end_ = 0;     ///< one past the last buffered byte
+  bool poisoned_ = false;   ///< a framing error was detected
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_NET_FRAME_H_

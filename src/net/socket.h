@@ -1,0 +1,105 @@
+#ifndef FEDREC_NET_SOCKET_H_
+#define FEDREC_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+/// \file
+/// Thin Status-returning wrappers over POSIX TCP sockets, plus SendQueue —
+/// the short-write-safe output half of a nonblocking connection. Everything
+/// here is transport plumbing: no message knowledge beyond the frame header,
+/// no clocks (timeouts are plain millisecond integers handed to the kernel).
+///
+/// Error mapping follows the shard fault taxonomy: connection-level failures
+/// (refused, reset, timed out, EOF mid-message) surface as Status::IOError —
+/// the same code the retry/fallback path treats as a shard outage — while
+/// malformed bytes surface as Status::Corruption from the frame/wire
+/// decoders.
+
+namespace fedrec {
+
+/// Listening socket bound to `host:port` (port 0 picks a free port; read it
+/// back with BoundPort). SO_REUSEADDR is set so restarted daemons rebind.
+[[nodiscard]] Result<int> TcpListen(const std::string& host,
+                                    std::uint16_t port, int backlog);
+
+/// The locally bound port of a listening socket (for port-0 binds).
+[[nodiscard]] Result<std::uint16_t> BoundPort(int fd);
+
+/// Accepts one pending connection. Returns OK with `fd = -1` when the
+/// (nonblocking) listener has nothing pending.
+[[nodiscard]] Status TcpAccept(int listener, int& fd);
+
+/// Blocking connect to `host:port`; returns the connected fd. TCP_NODELAY is
+/// set — round-trip latency matters more than segment count here.
+[[nodiscard]] Result<int> TcpConnect(const std::string& host,
+                                     std::uint16_t port);
+
+/// Bounds every subsequent blocking read/write on `fd` to `timeout_ms`; a
+/// hung peer then surfaces as IOError instead of wedging the round loop.
+[[nodiscard]] Status SetIoTimeout(int fd, int timeout_ms);
+
+/// Switches `fd` to nonblocking mode (epoll-driven connections).
+[[nodiscard]] Status SetNonBlocking(int fd);
+
+/// Closes `fd` if open and resets it to -1.
+void CloseSocket(int& fd);
+
+/// Outcome of one nonblocking read attempt.
+struct ReadOutcome {
+  std::size_t bytes = 0;     ///< bytes deposited into the caller's buffer
+  bool eof = false;          ///< orderly peer close
+  bool would_block = false;  ///< nonblocking fd had nothing to read
+};
+
+/// One read(2) into `out[0..cap)`. IOError on a connection-level failure
+/// (including a blocking fd's SO_RCVTIMEO expiry).
+[[nodiscard]] Status ReadSome(int fd, char* out, std::size_t cap,
+                              ReadOutcome& outcome);
+
+/// Reads until `out` is exactly filled (blocking fd). IOError on EOF or
+/// failure before `out.size()` bytes arrived.
+[[nodiscard]] Status ReadExact(int fd, std::span<char> out);
+
+/// Gathered write of every piece, in order, looping over partial writes
+/// until all bytes are on the wire (blocking fd). This is the upload fan-in
+/// path: a frame header on the stack plus payload slices straight from the
+/// retained wire buffers leave in one writev(2) per call, no copies.
+[[nodiscard]] Status WriteAllVec(int fd, std::span<const std::string_view> pieces);
+
+/// Pending output of one nonblocking connection. Frames are staged into a
+/// retained buffer (header + payload copy) and drained by Flush as the
+/// socket accepts bytes; a short write simply leaves the tail staged. Reply
+/// payloads here are small (FRWD partials, round acks), so the staging copy
+/// is cheap and buys a correct nonblocking sender with zero steady-state
+/// allocations (high-water buffer, compacted in place).
+class SendQueue {
+ public:
+  /// Stages one frame of `pieces` concatenated as the payload.
+  void AppendFrame(FrameType type, std::span<const std::string_view> pieces);
+
+  /// Writes staged bytes until drained or the socket would block (sets
+  /// `blocked`). IOError on a connection-level failure.
+  [[nodiscard]] Status Flush(int fd, bool& blocked);
+
+  bool empty() const { return begin_ == end_; }
+  std::size_t pending() const { return end_ - begin_; }
+  void Reset() { begin_ = end_ = 0; }
+
+ private:
+  void StageBytes(const char* data, std::size_t size);
+
+  std::string buffer_;     ///< high-water sized; [begin_, end_) unsent
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_NET_SOCKET_H_

@@ -1,0 +1,310 @@
+#include "shard/federation_service.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <utility>
+
+#include "fed/aggregator.h"
+#include "shard/shard_protocol.h"
+#include "shard/wire.h"
+
+namespace fedrec {
+
+namespace {
+
+/// Socket reads land in chunks of this size; each connection's frame buffer
+/// high-waters at the largest upload plus one chunk.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+FederationService::FederationService(MfModel* model, ShardTransport* transport,
+                                     Options options)
+    : model_(model), transport_(transport), options_(std::move(options)) {
+  FEDREC_CHECK(model_ != nullptr);
+  FEDREC_CHECK(transport_ != nullptr);
+  FEDREC_CHECK_GT(options_.round_size, 0u);
+  FEDREC_CHECK_EQ(transport_->server().plan().num_items(),
+                  model_->num_items());
+  FEDREC_CHECK_EQ(transport_->server().dim(), model_->dim());
+  updates_.resize(options_.round_size);
+  for (ClientUpdate& update : updates_) {
+    update.item_gradients.Reset(model_->dim());
+  }
+  participants_.assign(options_.round_size, -1);
+  int pipe_fds[2];
+  FEDREC_CHECK_EQ(::pipe(pipe_fds), 0) << "self-pipe creation failed";
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  SetNonBlocking(wake_read_).CheckOK();
+  SetNonBlocking(wake_write_).CheckOK();
+}
+
+FederationService::~FederationService() {
+  for (std::unique_ptr<Connection>& conn : conns_) {
+    if (conn != nullptr) CloseSocket(conn->fd);
+  }
+  CloseSocket(listen_fd_);
+  CloseSocket(wake_read_);
+  CloseSocket(wake_write_);
+}
+
+Status FederationService::Listen() {
+  FEDREC_CHECK(listen_fd_ < 0) << "Listen() called twice";
+  // The backlog must absorb a whole fleet of bench clients connecting at
+  // once; the kernel clamps to somaxconn.
+  Result<int> fd = TcpListen(options_.host, options_.port, /*backlog=*/4096);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = fd.value();
+  Status status = SetNonBlocking(listen_fd_);
+  if (status.ok()) {
+    Result<std::uint16_t> bound = BoundPort(listen_fd_);
+    if (bound.ok()) {
+      port_ = bound.value();
+    } else {
+      status = bound.status();
+    }
+  }
+  if (!status.ok()) CloseSocket(listen_fd_);
+  return status;
+}
+
+void FederationService::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  const char byte = 0;
+  const ssize_t written = ::write(wake_write_, &byte, 1);
+  (void)written;  // a full pipe already guarantees a pending wakeup
+}
+
+void FederationService::Run() {
+  FEDREC_CHECK(listen_fd_ >= 0) << "Listen() must succeed before Run()";
+  loop_.Watch(listen_fd_, EPOLLIN, static_cast<std::uint64_t>(listen_fd_))
+      .CheckOK();
+  loop_.Watch(wake_read_, EPOLLIN, static_cast<std::uint64_t>(wake_read_))
+      .CheckOK();
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::span<const epoll_event> events = loop_.Wait(-1);
+    for (const epoll_event& event : events) {
+      const int fd = static_cast<int>(event.data.u64);
+      if (fd == wake_read_) {
+        char drain[64];
+        while (::read(wake_read_, drain, sizeof(drain)) > 0) {
+        }
+        continue;  // stop_ is checked by the loop condition
+      }
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      HandleConnectionEvent(fd, event.events);
+    }
+  }
+  loop_.Remove(listen_fd_);
+  loop_.Remove(wake_read_);
+}
+
+void FederationService::AcceptPending() {
+  for (;;) {
+    int fd = -1;
+    if (!TcpAccept(listen_fd_, fd).ok()) return;
+    if (fd < 0) return;  // backlog drained
+    if (!SetNonBlocking(fd).ok()) {
+      CloseSocket(fd);
+      continue;
+    }
+    if (static_cast<std::size_t>(fd) >= conns_.size()) {
+      conns_.resize(static_cast<std::size_t>(fd) + 1);
+    }
+    std::unique_ptr<Connection>& slot = conns_[static_cast<std::size_t>(fd)];
+    if (slot == nullptr) slot = std::make_unique<Connection>();
+    slot->fd = fd;
+    slot->reader.Reset();
+    slot->out.Reset();
+    slot->out_armed = false;
+    if (!loop_.Watch(fd, EPOLLIN, static_cast<std::uint64_t>(fd)).ok()) {
+      CloseSocket(slot->fd);
+      continue;
+    }
+    ++stats_.connections_accepted;
+  }
+}
+
+void FederationService::HandleConnectionEvent(int fd, std::uint32_t events) {
+  if (static_cast<std::size_t>(fd) >= conns_.size()) return;
+  Connection* conn = conns_[static_cast<std::size_t>(fd)].get();
+  if (conn == nullptr || conn->fd != fd) return;  // stale event after close
+  if ((events & EPOLLOUT) != 0 && !FlushConnection(*conn)) {
+    CloseConnection(fd);
+    return;
+  }
+  if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) == 0) return;
+
+  bool peer_closed = false;
+  for (;;) {
+    char* tail = conn->reader.PrepareWrite(kReadChunk);
+    ReadOutcome outcome;
+    if (!ReadSome(fd, tail, conn->reader.writable(), outcome).ok()) {
+      CloseConnection(fd);
+      return;
+    }
+    conn->reader.CommitWrite(outcome.bytes);
+    if (outcome.eof) {
+      peer_closed = true;
+      break;
+    }
+    if (outcome.would_block) break;
+  }
+  for (;;) {
+    FrameView frame;
+    bool has_frame = false;
+    if (!conn->reader.Next(frame, has_frame).ok()) {
+      CloseConnection(fd);  // unframeable bytes: nothing left to trust
+      return;
+    }
+    if (!has_frame) break;
+    if (!HandleFrame(fd, *conn, frame)) {
+      CloseConnection(fd);
+      return;
+    }
+    if (conn->fd != fd) return;  // RunRound closed this connection
+  }
+  if (peer_closed) CloseConnection(fd);
+}
+
+bool FederationService::HandleFrame(int fd, Connection& conn,
+                                    const FrameView& frame) {
+  switch (frame.type) {
+    case FrameType::kClientUpload:
+      return HandleUpload(fd, conn, frame.payload);
+    case FrameType::kShutdown:
+      stop_.store(true, std::memory_order_release);
+      return true;
+    default:
+      return false;  // clients send only uploads (and shutdown in tests)
+  }
+}
+
+// fedrec:hot — upload fan-in: one FRWU decode in place from the connection
+// buffer into a recycled ClientUpdate slot. Thousands of clients per round
+// land here; no copies of the payload, no heap growth.
+bool FederationService::HandleUpload(int fd, Connection& conn,
+                                     std::string_view payload) {
+  ClientUpdate& slot = updates_[pending_];
+  BinaryReader reader = BinaryReader::View(payload);
+  Result<std::uint64_t> source = DecodeUpload(reader, slot.item_gradients);
+  Status status = source.ok() ? Status::OK() : source.status();
+  if (status.ok() && !reader.exhausted()) {
+    status = Status::Corruption("trailing bytes after FRWU upload");
+  }
+  if (status.ok() && slot.item_gradients.cols() != model_->dim()) {
+    status = Status::Corruption("upload dimension mismatch");
+  }
+  if (!status.ok()) {
+    // The frame layer already delimited the message, so a bad upload is
+    // recoverable: reject it and keep the connection.
+    ++stats_.rejected_uploads;
+    SendError(conn, status);
+    return FlushConnection(conn);
+  }
+  slot.user = static_cast<std::uint32_t>(source.value());
+  slot.loss = 0.0;
+  slot.pair_count = 0;
+  participants_[pending_] = fd;
+  ++pending_;
+  ++stats_.uploads_received;
+  stats_.upload_bytes += payload.size();
+  if (pending_ == options_.round_size) RunRound();
+  return true;
+}
+
+void FederationService::RunRound() {
+  const std::span<const ClientUpdate> updates(updates_.data(),
+                                              options_.round_size);
+  ShardServer& server = transport_->server();
+  server.RouteRound(updates, /*pool=*/nullptr);
+  // Krum is a whole-round selection: decide here, broadcast the winner's
+  // round sequence number to the shards (mirrors ShardedRoundEngine).
+  std::uint64_t krum_source = 0;
+  if (options_.aggregator.kind == AggregatorKind::kKrum && !updates.empty()) {
+    krum_source = KrumSelect(updates, /*num_items=*/0, model_->dim(),
+                             options_.aggregator.krum_honest);
+  }
+  if (!transport_->fallible()) {
+    server
+        .AggregateRound(options_.aggregator, updates.size(), krum_source,
+                        /*pool=*/nullptr)
+        .CheckOK();
+    server.MergeRoundDelta(merged_).CheckOK();
+  } else {
+    const std::size_t num_shards = server.plan().num_shards();
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const ShardRoundOutcome outcome = DeliverShardWithRetries(
+          *transport_, updates, s, options_.aggregator, updates.size(),
+          krum_source, round_, options_.retry);
+      stats_.shard_outages += outcome.outages;
+      stats_.shard_retries += outcome.retries;
+      if (outcome.fallback) ++stats_.fallback_shards;
+    }
+    server.MergeReceived(merged_).CheckOK();
+  }
+  model_->ApplySparseGradient(merged_, options_.learning_rate);
+  ++stats_.rounds_completed;
+
+  // Ack every contributed upload on its (still-open) connection. An fd
+  // recycled mid-round would mis-target the ack; bench clients hold their
+  // connection for the whole run, so the window is acceptable here.
+  scratch_.Clear();
+  scratch_.WriteU64(round_);
+  ++round_;
+  for (std::size_t i = 0; i < options_.round_size; ++i) {
+    const int fd = participants_[i];
+    participants_[i] = -1;
+    if (fd < 0 || static_cast<std::size_t>(fd) >= conns_.size()) continue;
+    Connection* conn = conns_[static_cast<std::size_t>(fd)].get();
+    if (conn == nullptr || conn->fd != fd) continue;  // left mid-round
+    const std::array<std::string_view, 1> pieces = {
+        std::string_view(scratch_.buffer())};
+    conn->out.AppendFrame(FrameType::kRoundAck, pieces);
+    if (!FlushConnection(*conn)) CloseConnection(fd);
+  }
+  pending_ = 0;
+  if (options_.max_rounds != 0 &&
+      stats_.rounds_completed >= options_.max_rounds) {
+    stop_.store(true, std::memory_order_release);
+  }
+}
+
+void FederationService::SendError(Connection& conn, const Status& status) {
+  scratch_.Clear();
+  EncodeErrorPayload(status, scratch_);
+  const std::array<std::string_view, 1> pieces = {
+      std::string_view(scratch_.buffer())};
+  conn.out.AppendFrame(FrameType::kError, pieces);
+}
+
+bool FederationService::FlushConnection(Connection& conn) {
+  bool blocked = false;
+  if (!conn.out.Flush(conn.fd, blocked).ok()) return false;
+  if (blocked != conn.out_armed) {
+    const std::uint32_t events =
+        blocked ? (EPOLLIN | EPOLLOUT) : static_cast<std::uint32_t>(EPOLLIN);
+    if (!loop_.Modify(conn.fd, events, static_cast<std::uint64_t>(conn.fd))
+             .ok()) {
+      return false;
+    }
+    conn.out_armed = blocked;
+  }
+  return true;
+}
+
+void FederationService::CloseConnection(int fd) {
+  Connection* conn = conns_[static_cast<std::size_t>(fd)].get();
+  loop_.Remove(fd);
+  CloseSocket(conn->fd);
+  conn->reader.Reset();
+  conn->out.Reset();
+  conn->out_armed = false;
+}
+
+}  // namespace fedrec

@@ -1,0 +1,127 @@
+#ifndef FEDREC_SHARD_FEDERATION_SERVICE_H_
+#define FEDREC_SHARD_FEDERATION_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "fed/client.h"
+#include "fed/config.h"
+#include "model/mf_model.h"
+#include "net/epoll_loop.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "shard/transport.h"
+
+/// \file
+/// FederationService: the coordinator's serving loop for socket-deployed
+/// federation. Real (or load-generated) clients connect over TCP and push
+/// kClientUpload frames, each carrying one FRWU upload; the service decodes
+/// them in place from reused connection buffers into recycled ClientUpdate
+/// slots, and when `round_size` uploads have landed it closes the round:
+/// route -> shard aggregation through the pluggable ShardTransport (the
+/// in-process server or fedrec_shardd processes over TCP) -> merge -> apply
+/// to the model -> one kRoundAck (carrying the round id) per contributed
+/// upload. Steady state — same round size, same-shaped uploads — touches the
+/// heap zero times on the upload fan-in and round paths.
+///
+/// The service is the high-concurrency half of the deployment story: a
+/// single epoll loop sustains thousands of concurrent client connections
+/// (bench_federation_service measures rounds/s and round-latency percentiles
+/// against it), while shard fan-out behind it reuses the engine's
+/// retry/fallback delivery (DeliverShardWithRetries), so a dead shardd
+/// degrades the round instead of wedging it.
+
+namespace fedrec {
+
+class FederationService {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;        ///< 0 = pick a free port (see port())
+    std::size_t round_size = 0;    ///< uploads that close a round (> 0)
+    AggregatorOptions aggregator;
+    float learning_rate = 0.01f;
+    ShardRetryPolicy retry;        ///< shard delivery retry/backoff policy
+    std::size_t max_rounds = 0;    ///< stop after this many rounds (0 = none)
+  };
+
+  struct Stats {
+    std::uint64_t rounds_completed = 0;
+    std::uint64_t uploads_received = 0;
+    std::uint64_t upload_bytes = 0;
+    std::uint64_t rejected_uploads = 0;   ///< kError replies sent
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t shard_outages = 0;      ///< folded delivery outcomes
+    std::uint64_t shard_retries = 0;
+    std::uint64_t fallback_shards = 0;
+  };
+
+  /// `model` and `transport` are borrowed and must outlive the service;
+  /// `transport`'s plan must cover the model's rows.
+  FederationService(MfModel* model, ShardTransport* transport,
+                    Options options);
+  ~FederationService();
+  FederationService(const FederationService&) = delete;
+  FederationService& operator=(const FederationService&) = delete;
+
+  /// Binds and listens; after OK, port() is the bound port.
+  [[nodiscard]] Status Listen();
+  std::uint16_t port() const { return port_; }
+
+  /// Serves until RequestStop(), a kShutdown frame, or `max_rounds` rounds.
+  void Run();
+
+  /// Thread-safe stop signal (self-pipe wakeup into the event loop).
+  void RequestStop();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameReader reader;
+    SendQueue out;
+    bool out_armed = false;  ///< EPOLLOUT currently in the epoll mask
+  };
+
+  void AcceptPending();
+  void HandleConnectionEvent(int fd, std::uint32_t events);
+  /// Returns false when the connection must be closed.
+  bool HandleFrame(int fd, Connection& conn, const FrameView& frame);
+  bool HandleUpload(int fd, Connection& conn, std::string_view payload);
+  /// Closes the pending round: route, aggregate via the transport, merge,
+  /// apply, ack every contributed upload.
+  void RunRound();
+  void SendError(Connection& conn, const Status& status);
+  bool FlushConnection(Connection& conn);
+  void CloseConnection(int fd);
+
+  MfModel* model_;
+  ShardTransport* transport_;
+  Options options_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  EpollLoop loop_;
+  std::atomic<bool> stop_{false};
+
+  std::vector<std::unique_ptr<Connection>> conns_;  ///< indexed by fd
+  std::vector<ClientUpdate> updates_;   ///< round_size recycled slots
+  std::vector<int> participants_;       ///< fd that sent updates_[i]
+  std::size_t pending_ = 0;             ///< filled prefix of updates_
+  std::uint64_t round_ = 0;
+  SparseRoundDelta merged_;
+  BinaryWriter scratch_;                ///< ack / error payload encode
+  Stats stats_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_SHARD_FEDERATION_SERVICE_H_

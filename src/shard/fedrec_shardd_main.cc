@@ -1,0 +1,62 @@
+/// fedrec_shardd: one shard server process of a socket-deployed federation.
+///
+///   ./fedrec_shardd --shard=0 [--host=127.0.0.1] [--port=0]
+///
+/// Serves its shard's decode + aggregate + FRWD-encode step over TCP to a
+/// SocketShardTransport coordinator. Port 0 picks a free port; the bound
+/// port is printed on a line of its own (`listening on <port>`) so launch
+/// scripts can scrape it. The daemon adopts its run (geometry + FRCK run
+/// fingerprint) from the first coordinator hello and refuses mismatched
+/// coordinators afterwards. SIGINT/SIGTERM stop it cleanly, as does a
+/// kShutdown frame from the coordinator.
+
+#include <csignal>
+#include <cstdio>
+
+#include "common/flags.h"
+#include "shard/shard_daemon.h"
+
+namespace {
+
+fedrec::ShardDaemon* g_daemon = nullptr;
+
+void HandleSignal(int /*signum*/) {
+  // RequestStop is async-signal-safe: an atomic store plus a self-pipe write.
+  if (g_daemon != nullptr) g_daemon->RequestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fedrec::FlagParser flags;
+  flags.Parse(argc, argv).CheckOK();
+
+  fedrec::ShardDaemon::Options options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(flags.GetInt("port", 0));
+  options.shard_index = static_cast<std::uint64_t>(flags.GetInt("shard", 0));
+
+  fedrec::ShardDaemon daemon(options);
+  daemon.Listen().CheckOK();
+  g_daemon = &daemon;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::printf("fedrec_shardd: shard %llu on %s\n",
+              static_cast<unsigned long long>(options.shard_index),
+              options.host.c_str());
+  std::printf("listening on %u\n", static_cast<unsigned>(daemon.port()));
+  std::fflush(stdout);
+
+  daemon.Run();
+
+  const fedrec::ShardDaemon::Stats& stats = daemon.stats();
+  std::printf(
+      "fedrec_shardd: served %llu rounds over %llu connections "
+      "(%llu recoverable errors, %llu rejected hellos)\n",
+      static_cast<unsigned long long>(stats.rounds_served),
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.recoverable_errors),
+      static_cast<unsigned long long>(stats.hellos_rejected));
+  return 0;
+}

@@ -1,0 +1,297 @@
+#include "shard/shard_daemon.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <utility>
+
+namespace fedrec {
+
+namespace {
+
+/// Socket reads land in chunks of this size; each connection's frame buffer
+/// high-waters at the largest delivery plus one chunk.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+ShardDaemon::ShardDaemon(Options options) : options_(std::move(options)) {
+  int pipe_fds[2];
+  FEDREC_CHECK_EQ(::pipe(pipe_fds), 0) << "self-pipe creation failed";
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  SetNonBlocking(wake_read_).CheckOK();
+  SetNonBlocking(wake_write_).CheckOK();
+}
+
+ShardDaemon::~ShardDaemon() {
+  for (std::unique_ptr<Connection>& conn : conns_) {
+    if (conn != nullptr) CloseSocket(conn->fd);
+  }
+  CloseSocket(listen_fd_);
+  CloseSocket(wake_read_);
+  CloseSocket(wake_write_);
+}
+
+Status ShardDaemon::Listen() {
+  FEDREC_CHECK(listen_fd_ < 0) << "Listen() called twice";
+  Result<int> fd = TcpListen(options_.host, options_.port, /*backlog=*/128);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = fd.value();
+  Status status = SetNonBlocking(listen_fd_);
+  if (status.ok()) {
+    Result<std::uint16_t> bound = BoundPort(listen_fd_);
+    if (bound.ok()) {
+      port_ = bound.value();
+    } else {
+      status = bound.status();
+    }
+  }
+  if (!status.ok()) CloseSocket(listen_fd_);
+  return status;
+}
+
+void ShardDaemon::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  const char byte = 0;
+  const ssize_t written = ::write(wake_write_, &byte, 1);
+  (void)written;  // a full pipe already guarantees a pending wakeup
+}
+
+void ShardDaemon::Run() {
+  FEDREC_CHECK(listen_fd_ >= 0) << "Listen() must succeed before Run()";
+  loop_.Watch(listen_fd_, EPOLLIN, static_cast<std::uint64_t>(listen_fd_))
+      .CheckOK();
+  loop_.Watch(wake_read_, EPOLLIN, static_cast<std::uint64_t>(wake_read_))
+      .CheckOK();
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::span<const epoll_event> events = loop_.Wait(-1);
+    for (const epoll_event& event : events) {
+      const int fd = static_cast<int>(event.data.u64);
+      if (fd == wake_read_) {
+        char drain[64];
+        while (::read(wake_read_, drain, sizeof(drain)) > 0) {
+        }
+        continue;  // stop_ is checked by the loop condition
+      }
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      HandleConnectionEvent(fd, event.events);
+    }
+  }
+  // Leave connections to the destructor (a stopped daemon may still be
+  // inspected); deregister the long-lived fds so Run() can be re-entered.
+  loop_.Remove(listen_fd_);
+  loop_.Remove(wake_read_);
+}
+
+void ShardDaemon::AcceptPending() {
+  for (;;) {
+    int fd = -1;
+    if (!TcpAccept(listen_fd_, fd).ok()) return;
+    if (fd < 0) return;  // backlog drained
+    if (!SetNonBlocking(fd).ok()) {
+      CloseSocket(fd);
+      continue;
+    }
+    if (static_cast<std::size_t>(fd) >= conns_.size()) {
+      conns_.resize(static_cast<std::size_t>(fd) + 1);
+    }
+    std::unique_ptr<Connection>& slot = conns_[static_cast<std::size_t>(fd)];
+    if (slot == nullptr) slot = std::make_unique<Connection>();
+    slot->fd = fd;
+    slot->reader.Reset();
+    slot->out.Reset();
+    slot->helloed = false;
+    slot->out_armed = false;
+    if (!loop_.Watch(fd, EPOLLIN, static_cast<std::uint64_t>(fd)).ok()) {
+      CloseSocket(slot->fd);
+      continue;
+    }
+    ++stats_.connections_accepted;
+  }
+}
+
+void ShardDaemon::HandleConnectionEvent(int fd, std::uint32_t events) {
+  if (static_cast<std::size_t>(fd) >= conns_.size()) return;
+  Connection* conn = conns_[static_cast<std::size_t>(fd)].get();
+  if (conn == nullptr || conn->fd != fd) return;  // stale event after close
+  if ((events & EPOLLOUT) != 0 && !FlushConnection(*conn)) {
+    CloseConnection(fd);
+    return;
+  }
+  if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) == 0) return;
+
+  // Drain the socket into the connection's reassembly buffer, then serve
+  // every complete frame. A peer close is honoured only after the buffered
+  // frames are served, so a shutdown frame followed by close still lands.
+  bool peer_closed = false;
+  for (;;) {
+    char* tail = conn->reader.PrepareWrite(kReadChunk);
+    ReadOutcome outcome;
+    if (!ReadSome(fd, tail, conn->reader.writable(), outcome).ok()) {
+      CloseConnection(fd);
+      return;
+    }
+    conn->reader.CommitWrite(outcome.bytes);
+    if (outcome.eof) {
+      peer_closed = true;
+      break;
+    }
+    if (outcome.would_block) break;
+  }
+  for (;;) {
+    FrameView frame;
+    bool has_frame = false;
+    if (!conn->reader.Next(frame, has_frame).ok()) {
+      CloseConnection(fd);  // unframeable bytes: nothing left to trust
+      return;
+    }
+    if (!has_frame) break;
+    if (!HandleFrame(*conn, frame)) {
+      CloseConnection(fd);
+      return;
+    }
+  }
+  if (peer_closed) CloseConnection(fd);
+}
+
+bool ShardDaemon::HandleFrame(Connection& conn, const FrameView& frame) {
+  switch (frame.type) {
+    case FrameType::kHello:
+      return HandleHello(conn, frame.payload);
+    case FrameType::kShardRound:
+      if (!conn.helloed) return false;
+      return HandleRound(conn, frame.payload);
+    case FrameType::kShutdown:
+      stop_.store(true, std::memory_order_release);
+      return true;
+    default:
+      return false;  // a shardd receives only the three types above
+  }
+}
+
+bool ShardDaemon::HandleHello(Connection& conn, std::string_view payload) {
+  ShardHello hello;
+  Status status = DecodeHello(payload, hello);
+  if (status.ok()) status = CheckHello(hello);
+  if (!status.ok()) {
+    ++stats_.hellos_rejected;
+    SendError(conn, status);
+    (void)FlushConnection(conn);  // best-effort delivery of the rejection
+    return false;
+  }
+  conn.helloed = true;
+  ++stats_.hellos_accepted;
+  conn.out.AppendFrame(FrameType::kHelloAck, {});
+  return FlushConnection(conn);
+}
+
+Status ShardDaemon::CheckHello(const ShardHello& hello) {
+  if (hello.protocol_version != kShardProtocolVersion) {
+    return Status::FailedPrecondition("shard protocol version mismatch");
+  }
+  if (hello.shard_index != options_.shard_index) {
+    return Status::FailedPrecondition("hello targets a different shard index");
+  }
+  if (hello.num_shards == 0 || hello.shard_index >= hello.num_shards ||
+      hello.num_items == 0 || hello.dim == 0) {
+    return Status::InvalidArgument("malformed hello geometry");
+  }
+  if (hello.policy > static_cast<std::uint32_t>(ShardPolicy::kHashed)) {
+    return Status::InvalidArgument("unknown shard policy");
+  }
+  if (!adopted_) {
+    // First coordinator of the run: adopt its geometry and build the shard's
+    // state. Later hellos (reconnects, or a coordinator restored from FRCK)
+    // must match exactly — fingerprint included.
+    geometry_ = hello;
+    server_ = std::make_unique<ShardServer>(
+        ShardPlan(hello.num_items, hello.num_shards,
+                  static_cast<ShardPolicy>(hello.policy)),
+        hello.dim);
+    adopted_ = true;
+    return Status::OK();
+  }
+  if (hello.run_fingerprint != geometry_.run_fingerprint ||
+      hello.num_items != geometry_.num_items || hello.dim != geometry_.dim ||
+      hello.num_shards != geometry_.num_shards ||
+      hello.policy != geometry_.policy) {
+    return Status::FailedPrecondition(
+        "hello does not match the adopted run (fingerprint or geometry)");
+  }
+  return Status::OK();
+}
+
+// fedrec:hot — steady-state serving: the delivery is decoded in place from
+// the connection's reassembly buffer, aggregated, and the retained FRWD
+// reply staged for send; no copies of the inbox bytes, no heap growth.
+bool ShardDaemon::HandleRound(Connection& conn, std::string_view payload) {
+  const std::size_t shard = static_cast<std::size_t>(options_.shard_index);
+  ShardRoundHeader header;
+  std::string_view inbox_wire;
+  Status status = DecodeRoundHeader(payload, header, inbox_wire);
+  AggregatorOptions options;
+  if (status.ok()) {
+    Result<AggregatorOptions> parsed = RoundHeaderOptions(header);
+    if (parsed.ok()) {
+      options = parsed.value();
+    } else {
+      status = parsed.status();
+    }
+  }
+  if (status.ok()) {
+    status = server_->AggregateShardRoundWire(
+        shard, inbox_wire, header.message_count, options, header.round_size,
+        header.krum_source);
+  }
+  if (!status.ok()) {
+    // Recoverable: report the failure and keep serving — the coordinator's
+    // retry path resends, and its retries exhaust into a local fallback.
+    ++stats_.recoverable_errors;
+    SendError(conn, status);
+    return FlushConnection(conn);
+  }
+  ++stats_.rounds_served;
+  const std::array<std::string_view, 1> pieces = {
+      std::string_view(server_->delta_wire(shard))};
+  conn.out.AppendFrame(FrameType::kShardDelta, pieces);
+  return FlushConnection(conn);
+}
+
+void ShardDaemon::SendError(Connection& conn, const Status& status) {
+  scratch_.Clear();
+  EncodeErrorPayload(status, scratch_);
+  const std::array<std::string_view, 1> pieces = {
+      std::string_view(scratch_.buffer())};
+  conn.out.AppendFrame(FrameType::kError, pieces);
+}
+
+bool ShardDaemon::FlushConnection(Connection& conn) {
+  bool blocked = false;
+  if (!conn.out.Flush(conn.fd, blocked).ok()) return false;
+  if (blocked != conn.out_armed) {
+    const std::uint32_t events =
+        blocked ? (EPOLLIN | EPOLLOUT) : static_cast<std::uint32_t>(EPOLLIN);
+    if (!loop_.Modify(conn.fd, events, static_cast<std::uint64_t>(conn.fd))
+             .ok()) {
+      return false;
+    }
+    conn.out_armed = blocked;
+  }
+  return true;
+}
+
+void ShardDaemon::CloseConnection(int fd) {
+  Connection* conn = conns_[static_cast<std::size_t>(fd)].get();
+  loop_.Remove(fd);
+  CloseSocket(conn->fd);
+  conn->reader.Reset();
+  conn->out.Reset();
+  conn->helloed = false;
+  conn->out_armed = false;
+}
+
+}  // namespace fedrec

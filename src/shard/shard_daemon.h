@@ -1,0 +1,119 @@
+#ifndef FEDREC_SHARD_SHARD_DAEMON_H_
+#define FEDREC_SHARD_SHARD_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "net/epoll_loop.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "shard/shard_protocol.h"
+#include "shard/shard_server.h"
+
+/// \file
+/// ShardDaemon: the serving loop behind the fedrec_shardd binary. One
+/// process (or thread, in tests) owns one shard's compute: a nonblocking
+/// epoll event loop accepts coordinator connections, reassembles length-
+/// framed deliveries from reused per-connection buffers, runs the shard's
+/// decode + aggregate + FRWD re-encode step in place on those bytes (the
+/// same `// fedrec:hot` codec path the in-process deployment runs), and
+/// streams the reply back through a short-write-safe send queue. Steady
+/// state — one coordinator delivering round after round — allocates
+/// nothing; buffers are high-water sized.
+///
+/// The daemon is deliberately stateless between rounds: everything a round
+/// needs travels in its delivery, so a crashed-and-restarted shardd rejoins
+/// by simply accepting the coordinator's reconnect. The Hello handshake
+/// pins the run: geometry (plan shape, dim, shard index) plus the run
+/// fingerprint — the same FRCK checkpoint fingerprint the coordinator's
+/// restore validates — are adopted from the first coordinator and every
+/// later connection must match, so a shardd can never serve rows for a run
+/// it does not belong to.
+
+namespace fedrec {
+
+class ShardDaemon {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;          ///< 0 = pick a free port (see port())
+    std::uint64_t shard_index = 0;   ///< which shard this daemon serves
+  };
+
+  struct Stats {
+    std::uint64_t rounds_served = 0;
+    std::uint64_t hellos_accepted = 0;
+    std::uint64_t hellos_rejected = 0;
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t recoverable_errors = 0;  ///< kError replies sent
+  };
+
+  explicit ShardDaemon(Options options);
+  ~ShardDaemon();
+  ShardDaemon(const ShardDaemon&) = delete;
+  ShardDaemon& operator=(const ShardDaemon&) = delete;
+
+  /// Binds and listens; after OK, port() is the bound port. Run() may then
+  /// be called (possibly on another thread) — connects issued in between
+  /// queue in the listen backlog.
+  [[nodiscard]] Status Listen();
+  std::uint16_t port() const { return port_; }
+
+  /// Serves until RequestStop() or a kShutdown frame. Blocks the caller.
+  void Run();
+
+  /// Thread-safe stop signal (self-pipe wakeup into the event loop).
+  void RequestStop();
+
+  /// Serving counters; read after Run() returns (tests) or from the serving
+  /// thread.
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameReader reader;
+    SendQueue out;
+    bool helloed = false;
+    bool out_armed = false;  ///< EPOLLOUT currently in the epoll mask
+  };
+
+  void AcceptPending();
+  void HandleConnectionEvent(int fd, std::uint32_t events);
+  /// Returns false when the connection must be closed.
+  bool HandleFrame(Connection& conn, const FrameView& frame);
+  bool HandleHello(Connection& conn, std::string_view payload);
+  bool HandleRound(Connection& conn, std::string_view payload);
+  /// Validates `hello` against the adopted geometry (adopting it first if
+  /// this is the run's first coordinator).
+  [[nodiscard]] Status CheckHello(const ShardHello& hello);
+  void SendError(Connection& conn, const Status& status);
+  /// Flushes the send queue and (de)arms EPOLLOUT to match.
+  bool FlushConnection(Connection& conn);
+  void CloseConnection(int fd);
+
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  EpollLoop loop_;
+  std::atomic<bool> stop_{false};
+
+  bool adopted_ = false;           ///< geometry pinned by the first hello
+  ShardHello geometry_;
+  std::unique_ptr<ShardServer> server_;
+
+  std::vector<std::unique_ptr<Connection>> conns_;  ///< indexed by fd
+  BinaryWriter scratch_;           ///< error / ack payload encode scratch
+  Stats stats_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_SHARD_SHARD_DAEMON_H_

@@ -1,0 +1,151 @@
+#include "shard/shard_protocol.h"
+
+#include <string>
+#include <utility>
+
+namespace fedrec {
+
+void EncodeHello(const ShardHello& hello, BinaryWriter& writer) {
+  writer.WriteU32(hello.protocol_version);
+  writer.WriteU64(hello.run_fingerprint);
+  writer.WriteU64(hello.num_items);
+  writer.WriteU64(hello.dim);
+  writer.WriteU64(hello.num_shards);
+  writer.WriteU64(hello.shard_index);
+  writer.WriteU32(hello.policy);
+}
+
+Status DecodeHello(std::string_view payload, ShardHello& hello) {
+  BinaryReader reader = BinaryReader::View(payload);
+  Result<std::uint32_t> version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  hello.protocol_version = version.value();
+  Result<std::uint64_t> fingerprint = reader.ReadU64();
+  if (!fingerprint.ok()) return fingerprint.status();
+  hello.run_fingerprint = fingerprint.value();
+  Result<std::uint64_t> num_items = reader.ReadU64();
+  if (!num_items.ok()) return num_items.status();
+  hello.num_items = num_items.value();
+  Result<std::uint64_t> dim = reader.ReadU64();
+  if (!dim.ok()) return dim.status();
+  hello.dim = dim.value();
+  Result<std::uint64_t> num_shards = reader.ReadU64();
+  if (!num_shards.ok()) return num_shards.status();
+  hello.num_shards = num_shards.value();
+  Result<std::uint64_t> shard_index = reader.ReadU64();
+  if (!shard_index.ok()) return shard_index.status();
+  hello.shard_index = shard_index.value();
+  Result<std::uint32_t> policy = reader.ReadU32();
+  if (!policy.ok()) return policy.status();
+  hello.policy = policy.value();
+  if (!reader.exhausted()) {
+    return Status::Corruption("trailing bytes after shard hello");
+  }
+  return Status::OK();
+}
+
+// fedrec:hot — per-round, per-shard header encode into a retained writer.
+void EncodeRoundHeader(const ShardRoundHeader& header, BinaryWriter& writer) {
+  writer.WriteU64(header.round);
+  writer.WriteU64(header.round_size);
+  writer.WriteU64(header.krum_source);
+  writer.WriteU64(header.message_count);
+  writer.WriteU32(header.aggregator_kind);
+  writer.WriteF32(header.trim_fraction);
+  writer.WriteF32(header.norm_bound);
+  writer.WriteU64(header.krum_honest);
+}
+
+// fedrec:hot — the inbox bytes come back as a view, never copied.
+Status DecodeRoundHeader(std::string_view payload, ShardRoundHeader& header,
+                         std::string_view& inbox_wire) {
+  BinaryReader reader = BinaryReader::View(payload);
+  Result<std::uint64_t> round = reader.ReadU64();
+  if (!round.ok()) return round.status();
+  header.round = round.value();
+  Result<std::uint64_t> round_size = reader.ReadU64();
+  if (!round_size.ok()) return round_size.status();
+  header.round_size = round_size.value();
+  Result<std::uint64_t> krum_source = reader.ReadU64();
+  if (!krum_source.ok()) return krum_source.status();
+  header.krum_source = krum_source.value();
+  Result<std::uint64_t> message_count = reader.ReadU64();
+  if (!message_count.ok()) return message_count.status();
+  header.message_count = message_count.value();
+  Result<std::uint32_t> kind = reader.ReadU32();
+  if (!kind.ok()) return kind.status();
+  header.aggregator_kind = kind.value();
+  Result<float> trim = reader.ReadF32();
+  if (!trim.ok()) return trim.status();
+  header.trim_fraction = trim.value();
+  Result<float> bound = reader.ReadF32();
+  if (!bound.ok()) return bound.status();
+  header.norm_bound = bound.value();
+  Result<std::uint64_t> honest = reader.ReadU64();
+  if (!honest.ok()) return honest.status();
+  header.krum_honest = honest.value();
+  inbox_wire = payload.substr(reader.position());
+  return Status::OK();
+}
+
+Result<AggregatorOptions> RoundHeaderOptions(const ShardRoundHeader& header) {
+  if (header.aggregator_kind >
+      static_cast<std::uint32_t>(AggregatorKind::kKrum)) {
+    return Status::Corruption("unknown aggregator kind " +
+                              std::to_string(header.aggregator_kind));
+  }
+  AggregatorOptions options;
+  options.kind = static_cast<AggregatorKind>(header.aggregator_kind);
+  options.trim_fraction = header.trim_fraction;
+  options.norm_bound = header.norm_bound;
+  options.krum_honest = static_cast<std::size_t>(header.krum_honest);
+  return options;
+}
+
+ShardRoundHeader MakeRoundHeader(std::uint64_t round, std::size_t round_size,
+                                 std::uint64_t krum_source,
+                                 std::size_t message_count,
+                                 const AggregatorOptions& options) {
+  ShardRoundHeader header;
+  header.round = round;
+  header.round_size = round_size;
+  header.krum_source = krum_source;
+  header.message_count = message_count;
+  header.aggregator_kind = static_cast<std::uint32_t>(options.kind);
+  header.trim_fraction = static_cast<float>(options.trim_fraction);
+  header.norm_bound = static_cast<float>(options.norm_bound);
+  header.krum_honest = static_cast<std::uint64_t>(options.krum_honest);
+  return header;
+}
+
+void EncodeErrorPayload(const Status& status, BinaryWriter& writer) {
+  writer.WriteU32(static_cast<std::uint32_t>(status.code()));
+  writer.WriteString(status.message());
+}
+
+Status DecodeErrorPayload(std::string_view payload) {
+  BinaryReader reader = BinaryReader::View(payload);
+  Result<std::uint32_t> code = reader.ReadU32();
+  Result<std::string> message =
+      code.ok() ? reader.ReadString() : Result<std::string>(code.status());
+  if (!code.ok() || !message.ok()) {
+    return Status::IOError("malformed kError payload from peer");
+  }
+  std::string text = "remote: " + message.value();
+  switch (static_cast<StatusCode>(code.value())) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(text));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(text));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(text));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(text));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(text));
+    default:
+      return Status::Internal(std::move(text));
+  }
+}
+
+}  // namespace fedrec

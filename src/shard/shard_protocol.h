@@ -1,0 +1,90 @@
+#ifndef FEDREC_SHARD_SHARD_PROTOCOL_H_
+#define FEDREC_SHARD_SHARD_PROTOCOL_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/serialize.h"
+#include "fed/config.h"
+#include "shard/shard_plan.h"
+
+/// \file
+/// Payload codecs of the coordinator <-> shardd socket protocol. The frame
+/// layer (net/frame.h) delimits messages; these structs define what is
+/// inside the handshake and round frames:
+///
+///   kHello       ShardHello — protocol version, run fingerprint (the FRCK
+///                checkpoint fingerprint of the run), plan geometry, the
+///                shard index this connection serves
+///   kHelloAck    empty
+///   kShardRound  ShardRoundHeader followed by the shard's routed FRWU inbox
+///                bytes verbatim
+///   kShardDelta  the shard's FRWD reply bytes verbatim
+///   kError       u32 StatusCode + message string
+///
+/// A restarted shardd is stateless between rounds: rejoin is the Hello
+/// handshake re-validating the run fingerprint (the same fingerprint FRCK
+/// restore validates on the coordinator), after which the next kShardRound
+/// delivery is a full resend of the shard's routed inbox.
+
+namespace fedrec {
+
+/// Version of the coordinator<->shardd exchange (frame types + payloads).
+inline constexpr std::uint32_t kShardProtocolVersion = 1;
+
+/// Handshake payload: everything a shardd must agree on before serving.
+struct ShardHello {
+  std::uint32_t protocol_version = kShardProtocolVersion;
+  std::uint64_t run_fingerprint = 0;  ///< CheckpointFingerprint of the run
+  std::uint64_t num_items = 0;
+  std::uint64_t dim = 0;
+  std::uint64_t num_shards = 0;
+  std::uint64_t shard_index = 0;
+  std::uint32_t policy = 0;           ///< ShardPolicy
+};
+
+void EncodeHello(const ShardHello& hello, BinaryWriter& writer);
+[[nodiscard]] Status DecodeHello(std::string_view payload, ShardHello& hello);
+
+/// Per-round delivery header: the aggregation parameters the shard's step
+/// needs, followed on the wire by the routed FRWU inbox bytes.
+struct ShardRoundHeader {
+  std::uint64_t round = 0;
+  std::uint64_t round_size = 0;      ///< uploads in the whole round
+  std::uint64_t krum_source = 0;     ///< globally Krum-selected sequence id
+  std::uint64_t message_count = 0;   ///< FRWU messages in the inbox bytes
+  std::uint32_t aggregator_kind = 0; ///< AggregatorKind
+  float trim_fraction = 0.0f;
+  float norm_bound = 0.0f;
+  std::uint64_t krum_honest = 0;
+};
+
+/// Serialized size of a ShardRoundHeader (fixed-width fields only).
+inline constexpr std::size_t kShardRoundHeaderBytes = 52;
+
+void EncodeRoundHeader(const ShardRoundHeader& header, BinaryWriter& writer);
+/// Decodes the header prefix of a kShardRound payload and returns the
+/// remaining FRWU inbox bytes in `inbox_wire` (a view into `payload`).
+[[nodiscard]] Status DecodeRoundHeader(std::string_view payload,
+                                       ShardRoundHeader& header,
+                                       std::string_view& inbox_wire);
+
+/// The aggregator options a round header carries (validates the kind).
+[[nodiscard]] Result<AggregatorOptions> RoundHeaderOptions(
+    const ShardRoundHeader& header);
+
+/// Builds a round header from the coordinator's aggregation parameters.
+ShardRoundHeader MakeRoundHeader(std::uint64_t round, std::size_t round_size,
+                                 std::uint64_t krum_source,
+                                 std::size_t message_count,
+                                 const AggregatorOptions& options);
+
+/// kError payload: u32 StatusCode + message.
+void EncodeErrorPayload(const Status& status, BinaryWriter& writer);
+/// Reconstructs the peer's Status (IOError when the payload is malformed).
+[[nodiscard]] Status DecodeErrorPayload(std::string_view payload);
+
+}  // namespace fedrec
+
+#endif  // FEDREC_SHARD_SHARD_PROTOCOL_H_

@@ -73,10 +73,12 @@ void ShardServer::RerouteShard(std::span<const ClientUpdate> updates,
   RouteShard(updates, s);
 }
 
-Status ShardServer::DecodeInbox(ShardState& shard, std::size_t s) {
+Status ShardServer::DecodeInbox(ShardState& shard, std::size_t s,
+                                std::string_view wire,
+                                std::size_t expected_messages) {
   shard.routed_count = 0;
   std::uint64_t last_source = 0;
-  BinaryReader reader = BinaryReader::View(shard.inbox.buffer());
+  BinaryReader reader = BinaryReader::View(wire);
   while (!reader.exhausted()) {
     if (shard.routed_count == shard.routed.size()) {
       shard.routed.emplace_back();
@@ -113,10 +115,10 @@ Status ShardServer::DecodeInbox(ShardState& shard, std::size_t s) {
   // A delivery truncated exactly at a message boundary decodes cleanly but
   // loses tail messages; the router's count exposes it. (Hand-filled test
   // inboxes never went through RouteRound and record no expectation.)
-  if (shard.message_count > 0 && shard.routed_count != shard.message_count) {
+  if (expected_messages > 0 && shard.routed_count != expected_messages) {
     return Status::Corruption(
         "shard " + std::to_string(s) + ": expected " +
-        std::to_string(shard.message_count) + " uploads, decoded " +
+        std::to_string(expected_messages) + " uploads, decoded " +
         std::to_string(shard.routed_count));
   }
   return Status::OK();
@@ -148,13 +150,15 @@ void ShardServer::AggregateShard(ShardState& shard,
   // The winner touched no row of this shard: empty shard delta.
 }
 
-Status ShardServer::AggregateShardRound(std::size_t s,
-                                        const AggregatorOptions& options,
-                                        std::size_t round_size,
-                                        std::uint64_t krum_source) {
+Status ShardServer::AggregateShardFromWire(std::size_t s,
+                                           std::string_view inbox_wire,
+                                           std::size_t expected_messages,
+                                           const AggregatorOptions& options,
+                                           std::size_t round_size,
+                                           std::uint64_t krum_source) {
   ShardState& shard = shards_[s];
   Stopwatch timer;
-  shard.status = DecodeInbox(shard, s);
+  shard.status = DecodeInbox(shard, s, inbox_wire, expected_messages);
   if (shard.status.ok()) {
     AggregateShard(shard, options, round_size, krum_source);
     shard.delta_wire.Clear();
@@ -162,6 +166,25 @@ Status ShardServer::AggregateShardRound(std::size_t s,
   }
   shard.aggregate_seconds = timer.ElapsedSeconds();
   return shard.status;
+}
+
+Status ShardServer::AggregateShardRound(std::size_t s,
+                                        const AggregatorOptions& options,
+                                        std::size_t round_size,
+                                        std::uint64_t krum_source) {
+  ShardState& shard = shards_[s];
+  return AggregateShardFromWire(s, shard.inbox.buffer(), shard.message_count,
+                                options, round_size, krum_source);
+}
+
+Status ShardServer::AggregateShardRoundWire(std::size_t s,
+                                            std::string_view inbox_wire,
+                                            std::size_t expected_messages,
+                                            const AggregatorOptions& options,
+                                            std::size_t round_size,
+                                            std::uint64_t krum_source) {
+  return AggregateShardFromWire(s, inbox_wire, expected_messages, options,
+                                round_size, krum_source);
 }
 
 Status ShardServer::AggregateRound(const AggregatorOptions& options,
@@ -179,8 +202,9 @@ Status ShardServer::AggregateRound(const AggregatorOptions& options,
   return Status::OK();
 }
 
-Status ShardServer::DecodeShardDelta(std::size_t s) {
-  BinaryReader reader = BinaryReader::View(shards_[s].delta_wire.buffer());
+Status ShardServer::DecodeShardDeltaWire(std::size_t s,
+                                         std::string_view frwd_wire) {
+  BinaryReader reader = BinaryReader::View(frwd_wire);
   FEDREC_RETURN_NOT_OK(DecodeDelta(reader, received_[s]));
   if (!reader.exhausted()) {
     return Status::Corruption("shard " + std::to_string(s) +
@@ -191,6 +215,10 @@ Status ShardServer::DecodeShardDelta(std::size_t s) {
                               ": delta dimension mismatch");
   }
   return Status::OK();
+}
+
+Status ShardServer::DecodeShardDelta(std::size_t s) {
+  return DecodeShardDeltaWire(s, shards_[s].delta_wire.buffer());
 }
 
 Status ShardServer::MergeRoundDelta(SparseRoundDelta& out) {

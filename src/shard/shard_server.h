@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/matrix.h"
@@ -111,6 +112,26 @@ class ShardServer {
   /// (validates framing, trailing bytes and dimension).
   [[nodiscard]] Status DecodeShardDelta(std::size_t s);
 
+  // -- Transport-delivered wire views (the socket deployment; bytes are
+  //    decoded in place from the caller's connection buffer, nothing is
+  //    copied into the inbox/delta writers) -------------------------------
+
+  /// Shard `s`'s server-side step over FRWU bytes a transport delivered:
+  /// same decode + aggregate + FRWD re-encode as AggregateShardRound, with
+  /// `inbox_wire` in place of the in-process inbox. `expected_messages`
+  /// guards boundary-truncated deliveries (0 = no expectation recorded).
+  [[nodiscard]] Status AggregateShardRoundWire(std::size_t s,
+                                               std::string_view inbox_wire,
+                                               std::size_t expected_messages,
+                                               const AggregatorOptions& options,
+                                               std::size_t round_size,
+                                               std::uint64_t krum_source);
+
+  /// Decodes an FRWD reply a transport delivered for shard `s` into the
+  /// coordinator's receive slot (same validation as DecodeShardDelta).
+  [[nodiscard]] Status DecodeShardDeltaWire(std::size_t s,
+                                            std::string_view frwd_wire);
+
   /// Merges the decoded receive slots into `out` by sorted-row union. All
   /// shards must have a successfully decoded slot (via DecodeShardDelta or
   /// MergeRoundDelta's loop).
@@ -123,6 +144,13 @@ class ShardServer {
   BinaryWriter& delta_writer(std::size_t s) { return shards_[s].delta_wire; }
   const std::string& delta_wire(std::size_t s) const {
     return shards_[s].delta_wire.buffer();
+  }
+
+  /// FRWU messages RouteRound/RerouteShard encoded into shard `s`'s inbox
+  /// this round (a socket coordinator sends it ahead of the bytes so the
+  /// shardd can detect boundary-truncated deliveries).
+  std::size_t message_count(std::size_t s) const {
+    return shards_[s].message_count;
   }
 
   /// Shard `s`'s own decoded delta from the last AggregateRound (pre-wire).
@@ -162,11 +190,21 @@ class ShardServer {
   /// Routes one shard's slice of the round into its inbox (RouteRound's
   /// per-shard body; RerouteShard re-runs it for the retry path).
   void RouteShard(std::span<const ClientUpdate> updates, std::size_t s);
-  /// Decodes shard `s`'s inbox into its routed slots; validates dimensions,
-  /// ownership, strictly-ascending sources (duplicate / replayed delivery)
-  /// and — when the inbox came from RouteRound — the message count
-  /// (boundary-truncated delivery).
-  [[nodiscard]] Status DecodeInbox(ShardState& shard, std::size_t s);
+  /// Decodes FRWU `wire` into shard `s`'s routed slots; validates
+  /// dimensions, ownership, strictly-ascending sources (duplicate / replayed
+  /// delivery) and — when `expected_messages` is nonzero — the message count
+  /// (boundary-truncated delivery). The in-process path passes the shard's
+  /// own inbox; the socket path passes the connection buffer.
+  [[nodiscard]] Status DecodeInbox(ShardState& shard, std::size_t s,
+                                   std::string_view wire,
+                                   std::size_t expected_messages);
+  /// Shared body of AggregateShardRound / AggregateShardRoundWire.
+  [[nodiscard]] Status AggregateShardFromWire(std::size_t s,
+                                              std::string_view inbox_wire,
+                                              std::size_t expected_messages,
+                                              const AggregatorOptions& options,
+                                              std::size_t round_size,
+                                              std::uint64_t krum_source);
   /// Aggregates shard `s`'s routed uploads into its delta.
   void AggregateShard(ShardState& shard, const AggregatorOptions& options,
                       std::size_t round_size, std::uint64_t krum_source);

@@ -11,11 +11,31 @@ ShardedRoundEngine::ShardedRoundEngine(RoundEngine* engine, MfModel* model,
       model_(model),
       config_(config),
       pool_(pool),
-      server_(plan, model->dim()) {
+      owned_transport_(
+          std::make_unique<InProcessShardTransport>(plan, model->dim())),
+      transport_(owned_transport_.get()) {
   FEDREC_CHECK(engine_ != nullptr);
   FEDREC_CHECK(model_ != nullptr);
   FEDREC_CHECK(config_ != nullptr);
   FEDREC_CHECK_EQ(plan.num_items(), model->num_items());
+}
+
+ShardedRoundEngine::ShardedRoundEngine(RoundEngine* engine, MfModel* model,
+                                       const FedConfig* config,
+                                       ShardTransport* transport,
+                                       ThreadPool* pool)
+    : engine_(engine),
+      model_(model),
+      config_(config),
+      pool_(pool),
+      transport_(transport) {
+  FEDREC_CHECK(engine_ != nullptr);
+  FEDREC_CHECK(model_ != nullptr);
+  FEDREC_CHECK(config_ != nullptr);
+  FEDREC_CHECK(transport_ != nullptr);
+  FEDREC_CHECK_EQ(transport_->server().plan().num_items(),
+                  model->num_items());
+  FEDREC_CHECK_EQ(transport_->server().dim(), model->dim());
 }
 
 double ShardedRoundEngine::RunRound(const RoundObserver& observer) {
@@ -37,7 +57,7 @@ double ShardedRoundEngine::RunRound(const RoundObserver& observer) {
   // the historical path byte-identical).
   const std::span<const ClientUpdate> updates(
       engine_->workspace().updates.data(), engine_->live_uploads());
-  server_.RouteRound(updates, pool_);
+  server().RouteRound(updates, pool_);
 
   // Krum is a whole-round selection: decide on the coordinator (which holds
   // the full uploads before routing anyway) and broadcast the winner's
@@ -47,17 +67,20 @@ double ShardedRoundEngine::RunRound(const RoundObserver& observer) {
     krum_source = KrumSelect(updates, /*num_items=*/0, model_->dim(),
                              config_->aggregator.krum_honest);
   }
-  if (!faults) {
+  if (owned_transport_ != nullptr) {
+    owned_transport_->set_fault_plan(faults ? engine_->fault_plan() : nullptr);
+  }
+  if (!faults && !transport_->fallible()) {
     // In-process wire corruption is a programming error, not an environmental
     // failure: fail fast instead of threading Status through the round loop.
-    server_
+    server()
         .AggregateRound(config_->aggregator, updates.size(), krum_source,
                         pool_)
         .CheckOK();
-    server_.MergeRoundDelta(merged_).CheckOK();
+    server().MergeRoundDelta(merged_).CheckOK();
   } else {
-    AggregateWithFaults(updates, krum_source, *engine_->fault_plan());
-    server_.MergeReceived(merged_).CheckOK();
+    AggregateDegraded(updates, krum_source);
+    server().MergeReceived(merged_).CheckOK();
   }
 
   model_->ApplySparseGradient(merged_, config_->model.learning_rate);
@@ -65,61 +88,23 @@ double ShardedRoundEngine::RunRound(const RoundObserver& observer) {
   return loss;
 }
 
-void ShardedRoundEngine::AggregateWithFaults(
-    std::span<const ClientUpdate> updates, std::uint64_t krum_source,
-    const FaultPlan& plan) {
+void ShardedRoundEngine::AggregateDegraded(
+    std::span<const ClientUpdate> updates, std::uint64_t krum_source) {
   const std::uint64_t round = engine_->global_round();
-  const std::size_t num_shards = server_.plan().num_shards();
+  const std::size_t num_shards = server().plan().num_shards();
   const AggregatorOptions& options = config_->aggregator;
   const std::size_t round_size = updates.size();
-  outcome_scratch_.assign(num_shards, ShardOutcome{});
+  const ShardRetryPolicy policy{config_->max_shard_retries,
+                                config_->shard_retry_backoff_ticks};
+  outcome_scratch_.assign(num_shards, ShardRoundOutcome{});
   ParallelFor(pool_, num_shards, [&](std::size_t s) {
-    ShardOutcome& outcome = outcome_scratch_[s];
-    bool delivered = false;
-    for (std::uint64_t attempt = 0;
-         attempt <= config_->max_shard_retries && !delivered; ++attempt) {
-      if (attempt > 0) {
-        ++outcome.retries;
-        outcome.backoff_ticks += config_->shard_retry_backoff_ticks
-                                 << (attempt - 1);
-        // A retry is a full resend: the coordinator re-routes the shard's
-        // rows from the pristine uploads, then the wire rolls its dice again
-        // (draws are keyed by attempt, so a transient failure clears).
-        server_.RerouteShard(updates, s);
-      }
-      if (plan.ShardOutage(round, s, attempt)) {
-        ++outcome.outages;
-        continue;
-      }
-      ApplyWireFault(plan.UploadWireFault(round, s, attempt),
-                     server_.inbox(s).mutable_buffer());
-      if (!server_.AggregateShardRound(s, options, round_size, krum_source)
-               .ok()) {
-        ++outcome.corrupt;
-        continue;
-      }
-      ApplyWireFault(plan.DeltaWireFault(round, s, attempt),
-                     server_.delta_writer(s).mutable_buffer());
-      if (!server_.DecodeShardDelta(s).ok()) {
-        ++outcome.corrupt;
-        continue;
-      }
-      delivered = true;
-    }
-    if (!delivered) {
-      // Retries exhausted: the coordinator aggregates this shard's row range
-      // locally from the pristine uploads — no wire, so no faults; the math
-      // is the shard's own (bit-identical by the routing invariant).
-      outcome.fallback = true;
-      server_.RerouteShard(updates, s);
-      server_.AggregateShardRound(s, options, round_size, krum_source)
-          .CheckOK();
-      server_.DecodeShardDelta(s).CheckOK();
-    }
+    outcome_scratch_[s] =
+        DeliverShardWithRetries(*transport_, updates, s, options, round_size,
+                                krum_source, round, policy);
   });
   // Serial fold: counters and the clock stay deterministic for any pool.
   std::uint64_t max_backoff = 0;
-  for (const ShardOutcome& outcome : outcome_scratch_) {
+  for (const ShardRoundOutcome& outcome : outcome_scratch_) {
     wire_stats_.corrupt_messages += outcome.corrupt;
     wire_stats_.shard_outages += outcome.outages;
     wire_stats_.shard_retries += outcome.retries;

@@ -2,6 +2,7 @@
 #define FEDREC_SHARD_SHARDED_ROUND_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "fed/round_engine.h"
 #include "model/mf_model.h"
 #include "shard/shard_server.h"
+#include "shard/transport.h"
 
 /// \file
 /// Sharded federation round loop: the client-facing stages
@@ -22,6 +24,13 @@
 ///   Select -> LocalTrain -> Attack -> Observe
 ///     -> Route (FRWU wire) -> per-shard Aggregate -> FRWD wire -> Merge
 ///     -> Apply
+///
+/// How the wire bytes travel is the ShardTransport seam: in-process buffer
+/// handoffs (the default) or TCP connections to fedrec_shardd processes
+/// (SocketShardTransport) — the loop here is identical for both, including
+/// the degraded protocol: a dead or refused connection surfaces as the same
+/// kIOError a plan-injected shard outage does, and flows through the same
+/// bounded-retry / coordinator-local-fallback path with the same ledger.
 ///
 /// Every upload of the round — the malicious ones produced by the Attack
 /// stage included — flows through the same routed wire path, so poisoned
@@ -36,12 +45,21 @@ namespace fedrec {
 /// Drives RoundEngine's client stages and ShardServer's server stages.
 class ShardedRoundEngine {
  public:
-  /// All pointers are borrowed and must outlive this engine. `engine` is the
-  /// single-federation round engine whose client stages are reused (its
-  /// Aggregate/Apply are never called); `pool` fans both LocalTrain (via the
-  /// engine) and the per-shard server work, and may be null.
+  /// In-process deployment: constructs and owns the historical buffer-handoff
+  /// transport. All pointers are borrowed and must outlive this engine.
+  /// `engine` is the single-federation round engine whose client stages are
+  /// reused (its Aggregate/Apply are never called); `pool` fans both
+  /// LocalTrain (via the engine) and the per-shard server work, and may be
+  /// null.
   ShardedRoundEngine(RoundEngine* engine, MfModel* model,
                      const FedConfig* config, const ShardPlan& plan,
+                     ThreadPool* pool);
+
+  /// Custom-transport deployment (e.g. SocketShardTransport over TCP
+  /// fedrec_shardd processes). `transport` is borrowed and must outlive this
+  /// engine; its plan must cover the model's item rows at the model's dim.
+  ShardedRoundEngine(RoundEngine* engine, MfModel* model,
+                     const FedConfig* config, ShardTransport* transport,
                      ThreadPool* pool);
 
   void BeginEpoch(std::size_t epoch) { engine_->BeginEpoch(epoch); }
@@ -51,52 +69,47 @@ class ShardedRoundEngine {
   /// benign BPR loss (same contract as RoundEngine::RunRound). `observer`
   /// may be null.
   ///
-  /// When the wrapped engine carries an enabled fault plan, the server side
-  /// runs the degraded protocol: transit faults thin the uploads (quorum
-  /// rules from the engine apply), each shard's FRWU delivery and FRWD reply
-  /// may be corrupted or the shard may be out entirely, and the coordinator
-  /// retries a failed shard up to config.max_shard_retries times
-  /// (re-routing pristinely, deterministic exponential backoff on the
-  /// virtual clock) before aggregating that shard's row range locally.
-  /// Without an enabled plan the historical wire path runs unchanged.
+  /// When the wrapped engine carries an enabled fault plan — or the
+  /// transport itself is fallible (sockets) — the server side runs the
+  /// degraded protocol: transit faults thin the uploads (quorum rules from
+  /// the engine apply), each shard's FRWU delivery and FRWD reply may fail
+  /// or be corrupted, and the coordinator retries a failed shard up to
+  /// config.max_shard_retries times (re-routing pristinely, deterministic
+  /// exponential backoff on the virtual clock) before aggregating that
+  /// shard's row range locally. Otherwise the historical wire path runs
+  /// unchanged.
   double RunRound(const RoundObserver& observer = {});
 
-  const ShardServer& server() const { return server_; }
-  ShardServer& server() { return server_; }
+  const ShardServer& server() const { return transport_->server(); }
+  ShardServer& server() { return transport_->server(); }
+  ShardTransport& transport() { return *transport_; }
   const SparseRoundDelta& merged_delta() const { return merged_; }
   const RoundEngine& engine() const { return *engine_; }
 
   /// Wire/shard failure counters of the degraded protocol (corrupt messages,
   /// outages, retries, fallbacks). Transit-fault counters live on the
   /// wrapped engine's fault_stats(). Deterministic for a fixed (seed,
-  /// fault seed) pair regardless of pool size.
+  /// fault seed) pair regardless of pool size; over a socket transport the
+  /// same counters record *real* outages (dead shardd, timeout) instead of
+  /// injected draws.
   const FaultStats& wire_fault_stats() const { return wire_stats_; }
 
  private:
-  /// One shard attempt ledger (ParallelFor-private; folded serially so the
-  /// counters and the clock are deterministic for any pool).
-  struct ShardOutcome {
-    std::uint32_t corrupt = 0;
-    std::uint32_t outages = 0;
-    std::uint32_t retries = 0;
-    bool fallback = false;
-    std::uint64_t backoff_ticks = 0;
-  };
-
   /// The degraded per-shard aggregate: route is already done; runs the
   /// retry/fallback loop per shard and leaves every shard's decoded delta in
   /// the coordinator's receive slots.
-  void AggregateWithFaults(std::span<const ClientUpdate> updates,
-                           std::uint64_t krum_source, const FaultPlan& plan);
+  void AggregateDegraded(std::span<const ClientUpdate> updates,
+                         std::uint64_t krum_source);
 
   RoundEngine* engine_;
   MfModel* model_;
   const FedConfig* config_;
   ThreadPool* pool_;
-  ShardServer server_;
+  std::unique_ptr<InProcessShardTransport> owned_transport_;
+  ShardTransport* transport_;
   SparseRoundDelta merged_;
   FaultStats wire_stats_;
-  std::vector<ShardOutcome> outcome_scratch_;
+  std::vector<ShardRoundOutcome> outcome_scratch_;
 };
 
 }  // namespace fedrec

@@ -1,0 +1,150 @@
+#include "shard/socket_transport.h"
+
+#include <array>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace fedrec {
+
+namespace {
+
+/// Socket reads land in chunks of this size; the frame reader's buffer
+/// high-waters at the largest reply plus one chunk.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+SocketShardTransport::SocketShardTransport(const ShardPlan& plan,
+                                           std::size_t dim, Options options)
+    : server_(plan, dim),
+      options_(std::move(options)),
+      conns_(plan.num_shards()) {
+  FEDREC_CHECK_EQ(options_.endpoints.size(), plan.num_shards())
+      << "one shardd endpoint per shard";
+}
+
+SocketShardTransport::~SocketShardTransport() {
+  for (Connection& conn : conns_) CloseSocket(conn.fd);
+}
+
+void SocketShardTransport::Disconnect(std::size_t s) {
+  CloseSocket(conns_[s].fd);
+  conns_[s].reader.Reset();
+}
+
+std::size_t SocketShardTransport::open_connections() const {
+  std::size_t open = 0;
+  for (const Connection& conn : conns_) open += conn.fd >= 0 ? 1 : 0;
+  return open;
+}
+
+Status SocketShardTransport::ReadFrame(Connection& conn, FrameView& out) {
+  for (;;) {
+    bool has_frame = false;
+    FEDREC_RETURN_NOT_OK(conn.reader.Next(out, has_frame));
+    if (has_frame) return Status::OK();
+    char* tail = conn.reader.PrepareWrite(kReadChunk);
+    ReadOutcome outcome;
+    FEDREC_RETURN_NOT_OK(
+        ReadSome(conn.fd, tail, conn.reader.writable(), outcome));
+    if (outcome.eof) {
+      return Status::IOError("shardd closed the connection mid-reply");
+    }
+    if (outcome.would_block) {
+      return Status::IOError("shardd reply timed out");
+    }
+    conn.reader.CommitWrite(outcome.bytes);
+  }
+}
+
+Status SocketShardTransport::EnsureConnected(Connection& conn,
+                                             std::size_t s) {
+  if (conn.fd >= 0) return Status::OK();
+  const ShardEndpoint& endpoint = options_.endpoints[s];
+  Result<int> fd = TcpConnect(endpoint.host, endpoint.port);
+  if (!fd.ok()) return fd.status();
+  conn.fd = fd.value();
+  conn.reader.Reset();
+  Status status = SetIoTimeout(conn.fd, options_.io_timeout_ms);
+  if (status.ok()) {
+    ShardHello hello;
+    hello.run_fingerprint = options_.run_fingerprint;
+    hello.num_items = server_.plan().num_items();
+    hello.dim = server_.dim();
+    hello.num_shards = server_.plan().num_shards();
+    hello.shard_index = s;
+    hello.policy = static_cast<std::uint32_t>(server_.plan().policy());
+    conn.scratch.Clear();
+    EncodeHello(hello, conn.scratch);
+    char header[kFrameHeaderBytes];
+    EncodeFrameHeader(FrameType::kHello, conn.scratch.buffer().size(),
+                      header);
+    const std::array<std::string_view, 2> pieces = {
+        std::string_view(header, sizeof(header)),
+        std::string_view(conn.scratch.buffer())};
+    status = WriteAllVec(conn.fd, pieces);
+  }
+  FrameView ack;
+  if (status.ok()) status = ReadFrame(conn, ack);
+  if (status.ok() && ack.type == FrameType::kError) {
+    status = DecodeErrorPayload(ack.payload);
+  } else if (status.ok() && ack.type != FrameType::kHelloAck) {
+    status = Status::Corruption("expected kHelloAck from shardd");
+  }
+  if (!status.ok()) {
+    CloseSocket(conn.fd);
+    conn.reader.Reset();
+  }
+  return status;
+}
+
+// fedrec:hot — steady-state delivery: one header encode, one writev, one
+// in-place decode from the reused connection buffer; no copies, no growth.
+Status SocketShardTransport::RoundTrip(Connection& conn, std::size_t s,
+                                       const AggregatorOptions& options,
+                                       std::size_t round_size,
+                                       std::uint64_t krum_source,
+                                       std::uint64_t round) {
+  conn.scratch.Clear();
+  EncodeRoundHeader(MakeRoundHeader(round, round_size, krum_source,
+                                    server_.message_count(s), options),
+                    conn.scratch);
+  const std::string_view inbox(server_.inbox(s).buffer());
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(FrameType::kShardRound,
+                    conn.scratch.buffer().size() + inbox.size(), header);
+  const std::array<std::string_view, 3> pieces = {
+      std::string_view(header, sizeof(header)),
+      std::string_view(conn.scratch.buffer()), inbox};
+  FEDREC_RETURN_NOT_OK(WriteAllVec(conn.fd, pieces));
+
+  FrameView reply;
+  FEDREC_RETURN_NOT_OK(ReadFrame(conn, reply));
+  if (reply.type == FrameType::kError) {
+    return DecodeErrorPayload(reply.payload);
+  }
+  if (reply.type != FrameType::kShardDelta) {
+    return Status::Corruption("expected kShardDelta from shardd");
+  }
+  return server_.DecodeShardDeltaWire(s, reply.payload);
+}
+
+Status SocketShardTransport::ExecuteShardRound(
+    std::size_t s, const AggregatorOptions& options, std::size_t round_size,
+    std::uint64_t krum_source, std::uint64_t round, std::uint64_t attempt) {
+  (void)attempt;  // reconnects key off connection state, not the attempt id
+  Connection& conn = conns_[s];
+  Status status = EnsureConnected(conn, s);
+  if (status.ok()) status = RoundTrip(conn, s, options, round_size,
+                                      krum_source, round);
+  if (!status.ok()) {
+    // Tear the connection down on any failure: framing may be lost, and the
+    // next attempt's reconnect doubles as the shardd-rejoin path.
+    CloseSocket(conn.fd);
+    conn.reader.Reset();
+  }
+  return status;
+}
+
+}  // namespace fedrec

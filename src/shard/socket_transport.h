@@ -1,0 +1,99 @@
+#ifndef FEDREC_SHARD_SOCKET_TRANSPORT_H_
+#define FEDREC_SHARD_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "shard/shard_protocol.h"
+#include "shard/transport.h"
+
+/// \file
+/// SocketShardTransport: the multi-process deployment of the shard seam.
+/// Each shard's compute runs in a fedrec_shardd process; the coordinator
+/// keeps one TCP connection per shard and, per round, sends the shard's
+/// routed FRWU inbox in a single writev (frame header + round header +
+/// inbox bytes gathered straight from the retained wire buffers — no
+/// copies), then decodes the FRWD reply in place from the connection's
+/// reused receive buffer. Steady state allocates nothing.
+///
+/// Failure mapping keeps the fault protocol's taxonomy: a refused, dead,
+/// timed-out or mid-message-closed connection is kIOError — exactly what an
+/// injected shard outage surfaces as, so the engine's bounded-retry /
+/// local-fallback path and its ledger carry over unchanged. Each retry
+/// attempt reconnects, which is how a restarted shardd (validated against
+/// the run fingerprint in the Hello handshake — the FRCK checkpoint
+/// fingerprint) rejoins mid-run.
+
+namespace fedrec {
+
+/// Where one shardd listens.
+struct ShardEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+class SocketShardTransport final : public ShardTransport {
+ public:
+  struct Options {
+    std::vector<ShardEndpoint> endpoints;  ///< one per shard, shard order
+    /// Bound on every blocking connect/read/write; a hung shardd becomes an
+    /// outage after this long instead of wedging the round.
+    int io_timeout_ms = 5000;
+    /// CheckpointFingerprint of the run; shardds refuse a mismatched rejoin.
+    std::uint64_t run_fingerprint = 0;
+  };
+
+  /// `options.endpoints` must have one entry per shard of `plan`.
+  SocketShardTransport(const ShardPlan& plan, std::size_t dim,
+                       Options options);
+  ~SocketShardTransport() override;
+  SocketShardTransport(const SocketShardTransport&) = delete;
+  SocketShardTransport& operator=(const SocketShardTransport&) = delete;
+
+  ShardServer& server() override { return server_; }
+  bool fallible() const override { return true; }
+  const char* name() const override { return "socket"; }
+
+  [[nodiscard]] Status ExecuteShardRound(std::size_t s,
+                                         const AggregatorOptions& options,
+                                         std::size_t round_size,
+                                         std::uint64_t krum_source,
+                                         std::uint64_t round,
+                                         std::uint64_t attempt) override;
+
+  /// Drops shard `s`'s connection; the next attempt reconnects. (Tests use
+  /// this to exercise the rejoin path without killing a process.)
+  void Disconnect(std::size_t s);
+
+  /// Connections currently established (diagnostics).
+  std::size_t open_connections() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameReader reader;     ///< reused receive buffer (in-place decode)
+    BinaryWriter scratch;   ///< hello / round-header encode scratch
+  };
+
+  /// Connects + handshakes if the connection is down. IOError on failure.
+  [[nodiscard]] Status EnsureConnected(Connection& conn, std::size_t s);
+  /// One delivery: round frame out (writev), delta frame back, decode into
+  /// the coordinator's receive slot.
+  [[nodiscard]] Status RoundTrip(Connection& conn, std::size_t s,
+                                 const AggregatorOptions& options,
+                                 std::size_t round_size,
+                                 std::uint64_t krum_source,
+                                 std::uint64_t round);
+  /// Blocks (bounded by the io timeout) until one full frame arrives.
+  [[nodiscard]] Status ReadFrame(Connection& conn, FrameView& out);
+
+  ShardServer server_;
+  Options options_;
+  std::vector<Connection> conns_;
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_SHARD_SOCKET_TRANSPORT_H_

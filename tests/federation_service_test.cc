@@ -1,0 +1,283 @@
+#include "shard/federation_service.h"
+
+#include <array>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "fed/aggregator.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "shard/shard_plan.h"
+#include "shard/transport.h"
+#include "shard/wire.h"
+
+namespace fedrec {
+namespace {
+
+constexpr std::size_t kNumItems = 30;
+constexpr std::size_t kDim = 6;
+constexpr float kLearningRate = 0.05f;
+
+MfHyperParams ModelParams() {
+  MfHyperParams params;
+  params.dim = kDim;
+  params.learning_rate = kLearningRate;
+  return params;
+}
+
+/// A deterministic upload: `rows` gradient rows seeded off (user, round).
+SparseRowMatrix MakeGradients(std::uint32_t user, std::uint64_t round,
+                              std::span<const std::size_t> rows) {
+  SparseRowMatrix gradients(kDim);
+  Rng rng(1000 + round * 100 + user);
+  for (const std::size_t row : rows) {
+    auto values = gradients.RowMutable(row);
+    for (float& v : values) {
+      v = static_cast<float>(rng.NextGaussian(0.0, 0.1));
+    }
+  }
+  return gradients;
+}
+
+std::string EncodeClientUpload(const SparseRowMatrix& gradients,
+                               std::uint32_t user) {
+  BinaryWriter writer;
+  EncodeUpload(gradients, user, writer);
+  return writer.buffer();
+}
+
+/// Blocking test client: one TCP connection to the service.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    Result<int> fd = TcpConnect("127.0.0.1", port);
+    fd.status().CheckOK();
+    fd_ = fd.value();
+    SetIoTimeout(fd_, 5000).CheckOK();
+  }
+  ~TestClient() { CloseSocket(fd_); }
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  void SendFrame(FrameType type, std::string_view payload) {
+    char header[kFrameHeaderBytes];
+    EncodeFrameHeader(type, payload.size(), header);
+    const std::array<std::string_view, 2> pieces = {
+        std::string_view(header, sizeof(header)), payload};
+    WriteAllVec(fd_, pieces).CheckOK();
+  }
+
+  /// Blocks (bounded by the io timeout) for the next frame from the service.
+  std::pair<FrameType, std::string> NextFrame() {
+    for (;;) {
+      FrameView view;
+      bool has_frame = false;
+      reader_.Next(view, has_frame).CheckOK();
+      if (has_frame) return {view.type, std::string(view.payload)};
+      char* tail = reader_.PrepareWrite(4096);
+      ReadOutcome outcome;
+      ReadSome(fd_, tail, reader_.writable(), outcome).CheckOK();
+      FEDREC_CHECK(!outcome.eof) << "service closed the connection";
+      FEDREC_CHECK(!outcome.would_block) << "service reply timed out";
+      reader_.CommitWrite(outcome.bytes);
+    }
+  }
+
+  std::uint64_t ExpectRoundAck() {
+    const auto [type, payload] = NextFrame();
+    EXPECT_EQ(type, FrameType::kRoundAck);
+    BinaryReader reader = BinaryReader::View(payload);
+    Result<std::uint64_t> round = reader.ReadU64();
+    round.status().CheckOK();
+    return round.value();
+  }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+/// Service + in-process shard fan-out on a background thread. The service
+/// self-stops after `max_rounds`; Join() then reaps the thread.
+class ServiceHarness {
+ public:
+  ServiceHarness(MfModel* model, std::size_t num_shards,
+                 std::size_t round_size, std::size_t max_rounds)
+      : transport_(ShardPlan(kNumItems, num_shards,
+                             ShardPolicy::kContiguousRange),
+                   kDim) {
+    FederationService::Options options;
+    options.round_size = round_size;
+    options.learning_rate = kLearningRate;
+    options.max_rounds = max_rounds;
+    service_ =
+        std::make_unique<FederationService>(model, &transport_, options);
+    service_->Listen().CheckOK();
+    thread_ = std::thread([this] { service_->Run(); });
+  }
+
+  ~ServiceHarness() {
+    if (thread_.joinable()) {
+      service_->RequestStop();
+      thread_.join();
+    }
+  }
+
+  void Join() { thread_.join(); }
+  std::uint16_t port() const { return service_->port(); }
+  const FederationService::Stats& stats() const { return service_->stats(); }
+
+ private:
+  InProcessShardTransport transport_;
+  std::unique_ptr<FederationService> service_;
+  std::thread thread_;
+};
+
+/// Applies one round of `updates` to `model` the way the service does:
+/// aggregate (kSum defaults) then one sparse SGD step.
+void ApplyReferenceRound(MfModel& model,
+                         std::span<const ClientUpdate> updates) {
+  AggregationWorkspace workspace;
+  SparseRoundDelta delta;
+  AggregateUpdates(updates, kDim, AggregatorOptions{}, workspace, delta);
+  model.ApplySparseGradient(delta, kLearningRate);
+}
+
+TEST(FederationServiceTest, SingleClientDrivesRoundsAndModelMatches) {
+  Rng service_init(5);
+  MfModel service_model(kNumItems, ModelParams(), service_init);
+  Rng reference_init(5);
+  MfModel reference_model(kNumItems, ModelParams(), reference_init);
+  ASSERT_TRUE(service_model.item_factors() ==
+              reference_model.item_factors());
+
+  const std::size_t rounds = 3;
+  ServiceHarness harness(&service_model, /*num_shards=*/2, /*round_size=*/1,
+                         rounds);
+  TestClient client(harness.port());
+  const std::array<std::size_t, 3> rows = {2, 17, 29};
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    const SparseRowMatrix gradients = MakeGradients(7, r, rows);
+    client.SendFrame(FrameType::kClientUpload,
+                     EncodeClientUpload(gradients, 7));
+    EXPECT_EQ(client.ExpectRoundAck(), r);
+
+    ClientUpdate update;
+    update.user = 7;
+    update.item_gradients = gradients;
+    ApplyReferenceRound(reference_model, std::span(&update, 1));
+  }
+  harness.Join();  // self-stopped at max_rounds
+
+  EXPECT_TRUE(service_model.item_factors() ==
+              reference_model.item_factors());
+  EXPECT_EQ(harness.stats().rounds_completed, rounds);
+  EXPECT_EQ(harness.stats().uploads_received, rounds);
+  EXPECT_EQ(harness.stats().rejected_uploads, 0u);
+}
+
+TEST(FederationServiceTest, ConcurrentClientsCompleteRounds) {
+  Rng service_init(6);
+  MfModel service_model(kNumItems, ModelParams(), service_init);
+  Rng reference_init(6);
+  MfModel reference_model(kNumItems, ModelParams(), reference_init);
+
+  const std::size_t num_clients = 3;
+  const std::size_t rounds = 2;
+  ServiceHarness harness(&service_model, /*num_shards=*/2, num_clients,
+                         rounds);
+
+  // Disjoint row sets per client: per-row aggregation sees exactly one
+  // contributor, so the reference is insensitive to arrival order.
+  const std::array<std::array<std::size_t, 2>, 3> client_rows = {
+      {{0, 11}, {5, 22}, {9, 28}}};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(harness.port());
+      for (std::uint64_t r = 0; r < rounds; ++r) {
+        const SparseRowMatrix gradients = MakeGradients(
+            static_cast<std::uint32_t>(c), r, client_rows[c]);
+        client.SendFrame(FrameType::kClientUpload,
+                         EncodeClientUpload(gradients,
+                                            static_cast<std::uint32_t>(c)));
+        EXPECT_EQ(client.ExpectRoundAck(), r);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  harness.Join();
+
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    std::vector<ClientUpdate> updates(num_clients);
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      updates[c].user = static_cast<std::uint32_t>(c);
+      updates[c].item_gradients = MakeGradients(
+          static_cast<std::uint32_t>(c), r, client_rows[c]);
+    }
+    ApplyReferenceRound(reference_model, updates);
+  }
+  EXPECT_TRUE(service_model.item_factors() ==
+              reference_model.item_factors());
+  EXPECT_EQ(harness.stats().rounds_completed, rounds);
+  EXPECT_EQ(harness.stats().uploads_received, num_clients * rounds);
+  EXPECT_EQ(harness.stats().connections_accepted, num_clients);
+}
+
+TEST(FederationServiceTest, MalformedUploadIsRejectedAndConnectionSurvives) {
+  Rng init(7);
+  MfModel model(kNumItems, ModelParams(), init);
+  ServiceHarness harness(&model, /*num_shards=*/1, /*round_size=*/1,
+                         /*max_rounds=*/1);
+  TestClient client(harness.port());
+
+  // Garbage bytes: the FRWU decoder refuses them, the service replies with
+  // kError, and the connection keeps serving.
+  client.SendFrame(FrameType::kClientUpload, "definitely not FRWU bytes");
+  const auto [error_type, error_payload] = client.NextFrame();
+  EXPECT_EQ(error_type, FrameType::kError);
+
+  const std::array<std::size_t, 1> rows = {3};
+  client.SendFrame(
+      FrameType::kClientUpload,
+      EncodeClientUpload(MakeGradients(1, 0, rows), 1));
+  EXPECT_EQ(client.ExpectRoundAck(), 0u);
+  harness.Join();
+  EXPECT_EQ(harness.stats().rejected_uploads, 1u);
+  EXPECT_EQ(harness.stats().rounds_completed, 1u);
+}
+
+TEST(FederationServiceTest, WrongDimUploadIsRejected) {
+  Rng init(8);
+  MfModel model(kNumItems, ModelParams(), init);
+  ServiceHarness harness(&model, /*num_shards=*/1, /*round_size=*/1,
+                         /*max_rounds=*/1);
+  TestClient client(harness.port());
+
+  // Well-formed FRWU, wrong geometry: a dim-4 upload against a dim-6 model.
+  SparseRowMatrix wrong_dim(4);
+  auto row = wrong_dim.RowMutable(2);
+  for (float& v : row) v = 0.25f;
+  client.SendFrame(FrameType::kClientUpload,
+                   EncodeClientUpload(wrong_dim, 9));
+  const auto [error_type, error_payload] = client.NextFrame();
+  EXPECT_EQ(error_type, FrameType::kError);
+
+  const std::array<std::size_t, 1> rows = {4};
+  client.SendFrame(
+      FrameType::kClientUpload,
+      EncodeClientUpload(MakeGradients(2, 0, rows), 2));
+  EXPECT_EQ(client.ExpectRoundAck(), 0u);
+  harness.Join();
+  EXPECT_EQ(harness.stats().rejected_uploads, 1u);
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,471 @@
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/epoll_loop.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace fedrec {
+namespace {
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(type, payload.size(), header);
+  out.append(header, kFrameHeaderBytes);
+  out.append(payload);
+  return out;
+}
+
+/// Drains every complete frame currently buffered in `reader`.
+std::vector<std::pair<FrameType, std::string>> DrainFrames(
+    FrameReader& reader) {
+  std::vector<std::pair<FrameType, std::string>> frames;
+  for (;;) {
+    FrameView view;
+    bool has_frame = false;
+    Status status = reader.Next(view, has_frame);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    if (!status.ok() || !has_frame) break;
+    frames.emplace_back(view.type, std::string(view.payload));
+  }
+  return frames;
+}
+
+// --- frame header codec ------------------------------------------------------
+
+TEST(FrameHeaderTest, RoundTripsEveryType) {
+  for (const FrameType type :
+       {FrameType::kHello, FrameType::kHelloAck, FrameType::kShardRound,
+        FrameType::kShardDelta, FrameType::kError, FrameType::kClientUpload,
+        FrameType::kRoundAck, FrameType::kShutdown}) {
+    char header[kFrameHeaderBytes];
+    EncodeFrameHeader(type, 0xBEEFCAFEull & (kMaxFramePayload - 1), header);
+    FrameType decoded_type = FrameType::kError;
+    std::uint64_t payload_bytes = 0;
+    const Status status =
+        DecodeFrameHeader(header, decoded_type, payload_bytes);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(decoded_type, type);
+    EXPECT_EQ(payload_bytes, 0xBEEFCAFEull & (kMaxFramePayload - 1));
+  }
+}
+
+TEST(FrameHeaderTest, BadMagicIsCorruption) {
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(FrameType::kHello, 4, header);
+  header[0] ^= 0x5A;
+  FrameType type = FrameType::kError;
+  std::uint64_t payload_bytes = 0;
+  const Status status = DecodeFrameHeader(header, type, payload_bytes);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(FrameHeaderTest, UnknownTypeIsCorruption) {
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(static_cast<FrameType>(999), 0, header);
+  FrameType type = FrameType::kError;
+  std::uint64_t payload_bytes = 0;
+  const Status status = DecodeFrameHeader(header, type, payload_bytes);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(FrameHeaderTest, OversizedLengthIsCorruption) {
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(FrameType::kShardRound, kMaxFramePayload + 1, header);
+  FrameType type = FrameType::kError;
+  std::uint64_t payload_bytes = 0;
+  const Status status = DecodeFrameHeader(header, type, payload_bytes);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+// --- FrameReader reassembly --------------------------------------------------
+
+TEST(FrameReaderTest, SingleFeedYieldsFrame) {
+  FrameReader reader;
+  reader.Feed(EncodeFrame(FrameType::kShardDelta, "payload-bytes"));
+  const auto frames = DrainFrames(reader);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].first, FrameType::kShardDelta);
+  EXPECT_EQ(frames[0].second, "payload-bytes");
+  EXPECT_EQ(reader.pending(), 0u);
+}
+
+TEST(FrameReaderTest, EmptyPayloadFrame) {
+  FrameReader reader;
+  reader.Feed(EncodeFrame(FrameType::kHelloAck, ""));
+  const auto frames = DrainFrames(reader);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].first, FrameType::kHelloAck);
+  EXPECT_TRUE(frames[0].second.empty());
+}
+
+TEST(FrameReaderTest, MultipleFramesInOneFeed) {
+  std::string stream;
+  stream += EncodeFrame(FrameType::kHello, "alpha");
+  stream += EncodeFrame(FrameType::kShardRound, "");
+  stream += EncodeFrame(FrameType::kError, "bravo-charlie");
+  FrameReader reader;
+  reader.Feed(stream);
+  const auto frames = DrainFrames(reader);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].second, "alpha");
+  EXPECT_EQ(frames[1].first, FrameType::kShardRound);
+  EXPECT_EQ(frames[2].second, "bravo-charlie");
+}
+
+TEST(FrameReaderTest, FragmentationAtEveryByteBoundaryIsBitIdentical) {
+  // TCP may split the stream anywhere. Cut a two-frame stream at every byte
+  // boundary and check the reassembled frames match the one-shot decode.
+  std::string payload_a(37, '\0');
+  for (std::size_t i = 0; i < payload_a.size(); ++i) {
+    payload_a[i] = static_cast<char>(i * 7 + 1);
+  }
+  std::string stream;
+  stream += EncodeFrame(FrameType::kShardRound, payload_a);
+  stream += EncodeFrame(FrameType::kShardDelta, "tail");
+
+  FrameReader reference;
+  reference.Feed(stream);
+  const auto expected = DrainFrames(reference);
+  ASSERT_EQ(expected.size(), 2u);
+
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    FrameReader reader;
+    reader.Feed(std::string_view(stream).substr(0, cut));
+    auto frames = DrainFrames(reader);
+    reader.Feed(std::string_view(stream).substr(cut));
+    for (auto& frame : DrainFrames(reader)) frames.push_back(std::move(frame));
+    ASSERT_EQ(frames.size(), expected.size()) << "cut=" << cut;
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+      EXPECT_EQ(frames[f].first, expected[f].first) << "cut=" << cut;
+      EXPECT_EQ(frames[f].second, expected[f].second) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(FrameReaderTest, ByteAtATimeFeedReassembles) {
+  const std::string stream = EncodeFrame(FrameType::kClientUpload, "drip-fed");
+  FrameReader reader;
+  std::vector<std::pair<FrameType, std::string>> frames;
+  for (char byte : stream) {
+    reader.Feed(std::string_view(&byte, 1));
+    for (auto& frame : DrainFrames(reader)) frames.push_back(std::move(frame));
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].second, "drip-fed");
+}
+
+TEST(FrameReaderTest, PrepareCommitPathMatchesFeed) {
+  // The socket read path deposits bytes directly into the retained buffer.
+  const std::string stream = EncodeFrame(FrameType::kRoundAck, "via-prepare");
+  FrameReader reader;
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    const std::size_t chunk = std::min<std::size_t>(5, stream.size() - offset);
+    char* dst = reader.PrepareWrite(chunk);
+    ASSERT_GE(reader.writable(), chunk);
+    std::memcpy(dst, stream.data() + offset, chunk);
+    reader.CommitWrite(chunk);
+    offset += chunk;
+  }
+  const auto frames = DrainFrames(reader);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].second, "via-prepare");
+}
+
+TEST(FrameReaderTest, CorruptHeaderPoisonsUntilReset) {
+  FrameReader reader;
+  std::string bad = EncodeFrame(FrameType::kHello, "x");
+  bad[1] ^= 0x33;  // damage the magic
+  reader.Feed(bad);
+  FrameView view;
+  bool has_frame = false;
+  Status status = reader.Next(view, has_frame);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  // Framing is lost: the reader stays poisoned even for pristine bytes.
+  reader.Feed(EncodeFrame(FrameType::kHello, "y"));
+  status = reader.Next(view, has_frame);
+  ASSERT_FALSE(status.ok());
+  // Reset clears the poison and the buffered garbage.
+  reader.Reset();
+  EXPECT_EQ(reader.pending(), 0u);
+  reader.Feed(EncodeFrame(FrameType::kHello, "z"));
+  const auto frames = DrainFrames(reader);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].second, "z");
+}
+
+// --- SendQueue ---------------------------------------------------------------
+
+/// A nonblocking socketpair with a tiny send buffer so Flush hits short
+/// writes and EAGAIN long before a frame fits in one write(2).
+struct TinyPipe {
+  int writer = -1;
+  int reader = -1;
+  TinyPipe() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    writer = fds[0];
+    reader = fds[1];
+    const int tiny = 1;  // kernel clamps to its minimum, still far below 1MB
+    ::setsockopt(writer, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+    ::setsockopt(reader, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+    SetNonBlocking(writer).CheckOK();
+    SetNonBlocking(reader).CheckOK();
+  }
+  ~TinyPipe() {
+    CloseSocket(writer);
+    CloseSocket(reader);
+  }
+};
+
+TEST(SendQueueTest, ShortWritesDrainAcrossFlushes) {
+  TinyPipe pipe;
+  std::string payload(1 << 20, '\0');  // 1 MiB >> any SO_SNDBUF minimum
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i % 251);
+  }
+  SendQueue queue;
+  const std::string_view pieces[] = {std::string_view(payload)};
+  queue.AppendFrame(FrameType::kShardDelta, pieces);
+  ASSERT_EQ(queue.pending(), kFrameHeaderBytes + payload.size());
+
+  // First flush must stop short: the frame cannot fit in the socket buffer.
+  bool blocked = false;
+  Status status = queue.Flush(pipe.writer, blocked);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(blocked);
+  EXPECT_GT(queue.pending(), 0u);
+
+  // Alternate draining the reader and flushing the tail until done.
+  FrameReader reader;
+  std::size_t flushes = 1;
+  for (;;) {
+    ReadOutcome outcome;
+    char* dst = reader.PrepareWrite(64 * 1024);
+    status = ReadSome(pipe.reader, dst, reader.writable(), outcome);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    reader.CommitWrite(outcome.bytes);
+    FrameView view;
+    bool has_frame = false;
+    status = reader.Next(view, has_frame);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    if (has_frame) {
+      EXPECT_EQ(view.type, FrameType::kShardDelta);
+      EXPECT_EQ(view.payload, payload);
+      break;
+    }
+    if (!queue.empty()) {
+      status = queue.Flush(pipe.writer, blocked);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      ++flushes;
+    }
+    ASSERT_LT(flushes, 100000u) << "no progress";
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_GT(flushes, 1u) << "frame fit in one write; short-write not covered";
+}
+
+TEST(SendQueueTest, MultiplePieceFramesConcatenate) {
+  TinyPipe pipe;
+  SendQueue queue;
+  const std::string_view pieces[] = {"head-", "middle-", "tail"};
+  queue.AppendFrame(FrameType::kError, pieces);
+  bool blocked = false;
+  while (!queue.empty()) {
+    const Status status = queue.Flush(pipe.writer, blocked);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+  FrameReader reader;
+  ReadOutcome outcome;
+  char* dst = reader.PrepareWrite(4096);
+  ReadSome(pipe.reader, dst, reader.writable(), outcome).CheckOK();
+  reader.CommitWrite(outcome.bytes);
+  const auto frames = DrainFrames(reader);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].second, "head-middle-tail");
+}
+
+TEST(SendQueueTest, FlushOnClosedPeerIsIOError) {
+  TinyPipe pipe;
+  CloseSocket(pipe.reader);
+  SendQueue queue;
+  std::string payload(1 << 20, 'q');
+  const std::string_view pieces[] = {std::string_view(payload)};
+  queue.AppendFrame(FrameType::kShardDelta, pieces);
+  // The first flush may land in the socket buffer; keep flushing until the
+  // dead peer surfaces (EPIPE/ECONNRESET -> kIOError, the outage code).
+  Status status;
+  for (int i = 0; i < 64 && status.ok() && !queue.empty(); ++i) {
+    bool blocked = false;
+    status = queue.Flush(pipe.writer, blocked);
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+// --- WriteAllVec -------------------------------------------------------------
+
+TEST(WriteAllVecTest, GatheredPiecesArriveInOrder) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = "payload-from-two-pieces";
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(FrameType::kClientUpload, payload.size(), header);
+  const std::string_view pieces[] = {
+      std::string_view(header, kFrameHeaderBytes),
+      std::string_view(payload).substr(0, 7),
+      std::string_view(payload).substr(7)};
+  WriteAllVec(fds[0], pieces).CheckOK();
+
+  std::string wire(kFrameHeaderBytes + payload.size(), '\0');
+  ReadExact(fds[1], std::span<char>(wire.data(), wire.size())).CheckOK();
+  FrameReader reader;
+  reader.Feed(wire);
+  const auto frames = DrainFrames(reader);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].first, FrameType::kClientUpload);
+  EXPECT_EQ(frames[0].second, payload);
+  CloseSocket(fds[0]);
+  CloseSocket(fds[1]);
+}
+
+TEST(WriteAllVecTest, LargePiecesSurvivePartialWrites) {
+  // A tiny send buffer forces sendmsg to land far fewer bytes per call than
+  // the gather holds, exercising the in-place iovec resumption (blocking fds
+  // with a reader thread draining the other end).
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int tiny = 1;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+
+  std::string expected;
+  std::vector<std::string> chunks;
+  for (int i = 0; i < 8; ++i) {
+    chunks.push_back(
+        std::string(128 * 1024 + i, static_cast<char>('a' + i)));
+    expected += chunks.back();
+  }
+  std::vector<std::string_view> pieces(chunks.begin(), chunks.end());
+
+  std::string wire(expected.size(), '\0');
+  std::thread reader_thread([&] {
+    ReadExact(fds[1], std::span<char>(wire.data(), wire.size())).CheckOK();
+  });
+  WriteAllVec(fds[0], pieces).CheckOK();
+  reader_thread.join();
+  EXPECT_TRUE(wire == expected);
+  CloseSocket(fds[0]);
+  CloseSocket(fds[1]);
+}
+
+// --- EpollLoop + TCP ---------------------------------------------------------
+
+TEST(EpollLoopTest, ListenConnectAcceptEcho) {
+  Result<int> listener = TcpListen("127.0.0.1", 0, 8);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  Result<std::uint16_t> port = BoundPort(listener.value());
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  SetNonBlocking(listener.value()).CheckOK();
+
+  EpollLoop loop;
+  loop.Watch(listener.value(), EPOLLIN, 1).CheckOK();
+
+  Result<int> client = TcpConnect("127.0.0.1", port.value());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  SetIoTimeout(client.value(), 2000).CheckOK();
+
+  // Accept via epoll readiness.
+  int server_fd = -1;
+  for (int spin = 0; spin < 100 && server_fd < 0; ++spin) {
+    for (const epoll_event& event : loop.Wait(100)) {
+      if (event.data.u64 == 1) {
+        TcpAccept(listener.value(), server_fd).CheckOK();
+      }
+    }
+  }
+  ASSERT_GE(server_fd, 0) << "accept never became ready";
+  SetNonBlocking(server_fd).CheckOK();
+  loop.Watch(server_fd, EPOLLIN, 2).CheckOK();
+
+  // Client sends a frame (blocking); server echoes it back via SendQueue.
+  const std::string payload = "echo-me";
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(FrameType::kError, payload.size(), header);
+  const std::string_view out_pieces[] = {
+      std::string_view(header, kFrameHeaderBytes), std::string_view(payload)};
+  WriteAllVec(client.value(), out_pieces).CheckOK();
+
+  FrameReader server_reader;
+  SendQueue server_out;
+  bool echoed = false;
+  for (int spin = 0; spin < 100 && !echoed; ++spin) {
+    for (const epoll_event& event : loop.Wait(100)) {
+      if (event.data.u64 != 2) continue;
+      ReadOutcome outcome;
+      char* dst = server_reader.PrepareWrite(4096);
+      ReadSome(server_fd, dst, server_reader.writable(), outcome).CheckOK();
+      server_reader.CommitWrite(outcome.bytes);
+      FrameView view;
+      bool has_frame = false;
+      server_reader.Next(view, has_frame).CheckOK();
+      if (!has_frame) continue;
+      const std::string_view echo_pieces[] = {view.payload};
+      server_out.AppendFrame(view.type, echo_pieces);
+      bool blocked = false;
+      while (!server_out.empty()) {
+        server_out.Flush(server_fd, blocked).CheckOK();
+      }
+      echoed = true;
+    }
+  }
+  ASSERT_TRUE(echoed);
+
+  // Client reads the echo back (blocking, bounded by the io timeout).
+  std::string echo_wire(kFrameHeaderBytes + payload.size(), '\0');
+  ReadExact(client.value(), std::span<char>(echo_wire.data(), echo_wire.size()))
+      .CheckOK();
+  FrameReader client_reader;
+  client_reader.Feed(echo_wire);
+  const auto frames = DrainFrames(client_reader);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].second, payload);
+
+  loop.Remove(server_fd);
+  loop.Remove(listener.value());
+  int client_fd = client.value();
+  int listen_fd = listener.value();
+  CloseSocket(server_fd);
+  CloseSocket(client_fd);
+  CloseSocket(listen_fd);
+}
+
+TEST(TcpConnectTest, RefusedConnectionIsIOError) {
+  // Bind-then-close to find a port that is (momentarily) free and refused.
+  Result<int> listener = TcpListen("127.0.0.1", 0, 1);
+  ASSERT_TRUE(listener.ok());
+  Result<std::uint16_t> port = BoundPort(listener.value());
+  ASSERT_TRUE(port.ok());
+  int fd = listener.value();
+  CloseSocket(fd);
+  Result<int> client = TcpConnect("127.0.0.1", port.value());
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,378 @@
+#include "shard/socket_transport.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "fed/simulation.h"
+#include "shard/shard_daemon.h"
+#include "shard/sharded_round_engine.h"
+#include "shard/transport.h"
+
+namespace fedrec {
+namespace {
+
+Dataset EngineData() {
+  SyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 90;
+  config.mean_interactions_per_user = 12.0;
+  config.seed = 1;
+  return GenerateSynthetic(config);
+}
+
+FedConfig EngineConfig() {
+  FedConfig config;
+  config.model.dim = 8;
+  config.model.learning_rate = 0.05f;
+  config.clients_per_round = 16;
+  config.epochs = 3;
+  config.seed = 2;
+  return config;
+}
+
+/// Shard daemons on threads: the fedrec_shardd serving loop, self-hosted so
+/// tests exercise the real TCP path without process management.
+class DaemonFleet {
+ public:
+  explicit DaemonFleet(std::size_t num_shards) {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      ShardDaemon::Options options;
+      options.shard_index = s;
+      daemons_.push_back(std::make_unique<ShardDaemon>(options));
+      daemons_.back()->Listen().CheckOK();
+      ShardEndpoint endpoint;
+      endpoint.port = daemons_.back()->port();
+      endpoints_.push_back(endpoint);
+    }
+    threads_.resize(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      threads_[s] = std::thread([this, s] { daemons_[s]->Run(); });
+    }
+  }
+
+  ~DaemonFleet() {
+    for (std::size_t s = 0; s < daemons_.size(); ++s) Kill(s);
+  }
+
+  /// Stops shardd `s` and destroys it: its connections close, its port is
+  /// released, and subsequent deliveries are refused.
+  void Kill(std::size_t s) {
+    if (daemons_[s] == nullptr) return;
+    daemons_[s]->RequestStop();
+    threads_[s].join();
+    daemons_[s].reset();
+  }
+
+  /// Brings shardd `s` back on its original port (SO_REUSEADDR rebind); the
+  /// restarted daemon is stateless and rejoins via the hello handshake.
+  void Restart(std::size_t s) {
+    ShardDaemon::Options options;
+    options.shard_index = s;
+    options.port = endpoints_[s].port;
+    daemons_[s] = std::make_unique<ShardDaemon>(options);
+    daemons_[s]->Listen().CheckOK();
+    threads_[s] = std::thread([this, s] { daemons_[s]->Run(); });
+  }
+
+  const std::vector<ShardEndpoint>& endpoints() const { return endpoints_; }
+  const ShardDaemon& daemon(std::size_t s) const { return *daemons_[s]; }
+
+ private:
+  std::vector<std::unique_ptr<ShardDaemon>> daemons_;
+  std::vector<std::thread> threads_;
+  std::vector<ShardEndpoint> endpoints_;
+};
+
+/// Runs `epochs` epochs of `sim` through `transport`; returns per-epoch
+/// losses and exposes the engine for ledger inspection via `out_engine`.
+std::vector<double> RunOverTransport(Simulation& sim, const FedConfig& config,
+                                     ShardTransport& transport,
+                                     std::size_t epochs,
+                                     FaultStats* ledger = nullptr) {
+  ShardedRoundEngine sharded(&sim.engine(), &sim.model(), &config, &transport,
+                             nullptr);
+  std::vector<double> losses;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    sharded.BeginEpoch(e);
+    double loss = 0.0;
+    while (sharded.HasNextRound()) loss += sharded.RunRound();
+    losses.push_back(loss);
+  }
+  if (ledger != nullptr) *ledger = sharded.wire_fault_stats();
+  return losses;
+}
+
+// --- bit-identity over TCP ---------------------------------------------------
+
+TEST(SocketShardTransportTest, BitIdenticalForAllRulesAndShardCounts) {
+  const Dataset data = EngineData();
+  for (const AggregatorKind kind :
+       {AggregatorKind::kSum, AggregatorKind::kTrimmedMean,
+        AggregatorKind::kMedian, AggregatorKind::kNormBound,
+        AggregatorKind::kKrum}) {
+    FedConfig config = EngineConfig();
+    config.epochs = 2;
+    config.aggregator.kind = kind;  // krum_honest 0 = derive per round
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      DaemonFleet fleet(shards);
+      const ShardPlan plan(data.num_items(), shards, ShardPolicy::kHashed);
+      SocketShardTransport::Options transport_options;
+      transport_options.endpoints = fleet.endpoints();
+      SocketShardTransport transport(plan, config.model.dim,
+                                     transport_options);
+
+      Simulation reference(data, config, 0, nullptr, nullptr);
+      Simulation socket_sim(data, config, 0, nullptr, nullptr);
+      FaultStats ledger;
+      const std::vector<double> socket_losses =
+          RunOverTransport(socket_sim, config, transport, config.epochs,
+                           &ledger);
+      for (std::size_t e = 0; e < config.epochs; ++e) {
+        EXPECT_DOUBLE_EQ(reference.RunEpoch(), socket_losses[e])
+            << AggregatorKindToString(kind) << " shards=" << shards
+            << " epoch=" << e;
+      }
+      EXPECT_TRUE(reference.model().item_factors() ==
+                  socket_sim.model().item_factors())
+          << AggregatorKindToString(kind) << " shards=" << shards;
+      // Healthy daemons: the degraded protocol ran but recorded nothing.
+      EXPECT_EQ(ledger.shard_outages, 0u);
+      EXPECT_EQ(ledger.fallback_shards, 0u);
+      EXPECT_EQ(ledger.corrupt_messages, 0u);
+    }
+  }
+}
+
+// --- killed shardd == injected outage ---------------------------------------
+
+/// The injected twin of a killed shardd: delegates to the in-process
+/// transport but fails shard `dead_shard` with the outage code from global
+/// round `dead_from_round` on.
+class InjectedOutageTransport final : public ShardTransport {
+ public:
+  InjectedOutageTransport(const ShardPlan& plan, std::size_t dim,
+                          std::size_t dead_shard,
+                          std::uint64_t dead_from_round)
+      : inner_(plan, dim),
+        dead_shard_(dead_shard),
+        dead_from_round_(dead_from_round) {}
+
+  ShardServer& server() override { return inner_.server(); }
+  bool fallible() const override { return true; }
+  const char* name() const override { return "injected-outage"; }
+
+  [[nodiscard]] Status ExecuteShardRound(std::size_t s,
+                                         const AggregatorOptions& options,
+                                         std::size_t round_size,
+                                         std::uint64_t krum_source,
+                                         std::uint64_t round,
+                                         std::uint64_t attempt) override {
+    if (s == dead_shard_ && round >= dead_from_round_) {
+      return Status::IOError("injected: shardd is down");
+    }
+    return inner_.ExecuteShardRound(s, options, round_size, krum_source,
+                                    round, attempt);
+  }
+
+ private:
+  InProcessShardTransport inner_;
+  std::size_t dead_shard_;
+  std::uint64_t dead_from_round_;
+};
+
+TEST(SocketShardTransportTest, KilledSharddLedgerMatchesInjectedOutage) {
+  const Dataset data = EngineData();
+  const FedConfig config = EngineConfig();  // 3 epochs
+  const std::size_t shards = 3;
+  const std::size_t dead = 2;
+  const std::uint64_t rounds_per_epoch =
+      (data.num_users() + config.clients_per_round - 1) /
+      config.clients_per_round;
+  const ShardPlan plan(data.num_items(), shards, ShardPolicy::kContiguousRange);
+
+  // Socket run: kill shardd `dead` after epoch 0; it stays down.
+  DaemonFleet fleet(shards);
+  SocketShardTransport::Options transport_options;
+  transport_options.endpoints = fleet.endpoints();
+  SocketShardTransport transport(plan, config.model.dim, transport_options);
+  Simulation socket_sim(data, config, 0, nullptr, nullptr);
+  ShardedRoundEngine socket_engine(&socket_sim.engine(), &socket_sim.model(),
+                                   &config, &transport, nullptr);
+  std::vector<double> socket_losses;
+  for (std::size_t e = 0; e < config.epochs; ++e) {
+    if (e == 1) fleet.Kill(dead);
+    socket_engine.BeginEpoch(e);
+    double loss = 0.0;
+    while (socket_engine.HasNextRound()) loss += socket_engine.RunRound();
+    socket_losses.push_back(loss);
+  }
+
+  // Injected twin: an in-process run whose fault is "shard `dead` is out
+  // from the same global round on".
+  InjectedOutageTransport injected(plan, config.model.dim, dead,
+                                   rounds_per_epoch);
+  Simulation injected_sim(data, config, 0, nullptr, nullptr);
+  FaultStats injected_ledger;
+  const std::vector<double> injected_losses = RunOverTransport(
+      injected_sim, config, injected, config.epochs, &injected_ledger);
+
+  // Clean single-server reference: the fallback recomputes the dead shard's
+  // rows from the pristine uploads, so even the degraded runs must track it
+  // bit-exactly.
+  Simulation reference(data, config, 0, nullptr, nullptr);
+  for (std::size_t e = 0; e < config.epochs; ++e) {
+    const double reference_loss = reference.RunEpoch();
+    EXPECT_DOUBLE_EQ(reference_loss, socket_losses[e]) << "epoch " << e;
+    EXPECT_DOUBLE_EQ(reference_loss, injected_losses[e]) << "epoch " << e;
+  }
+  EXPECT_TRUE(reference.model().item_factors() ==
+              socket_sim.model().item_factors());
+  EXPECT_TRUE(reference.model().item_factors() ==
+              injected_sim.model().item_factors());
+
+  // The ledgers must agree entry for entry: a dead process and an injected
+  // outage are the same event to the retry/fallback protocol.
+  const FaultStats& socket_ledger = socket_engine.wire_fault_stats();
+  EXPECT_EQ(socket_ledger.shard_outages, injected_ledger.shard_outages);
+  EXPECT_EQ(socket_ledger.shard_retries, injected_ledger.shard_retries);
+  EXPECT_EQ(socket_ledger.fallback_shards, injected_ledger.fallback_shards);
+  EXPECT_EQ(socket_ledger.corrupt_messages, injected_ledger.corrupt_messages);
+
+  // And the counts themselves are deterministic: every dead round burns the
+  // full retry budget and ends in exactly one local fallback.
+  const std::uint64_t dead_rounds = (config.epochs - 1) * rounds_per_epoch;
+  EXPECT_EQ(injected_ledger.shard_outages,
+            dead_rounds * (config.max_shard_retries + 1));
+  EXPECT_EQ(injected_ledger.shard_retries,
+            dead_rounds * config.max_shard_retries);
+  EXPECT_EQ(injected_ledger.fallback_shards, dead_rounds);
+}
+
+// --- reconnect and rejoin ----------------------------------------------------
+
+TEST(SocketShardTransportTest, DisconnectReconnectsWithoutAnOutage) {
+  const Dataset data = EngineData();
+  FedConfig config = EngineConfig();
+  const std::size_t shards = 2;
+  DaemonFleet fleet(shards);
+  const ShardPlan plan(data.num_items(), shards, ShardPolicy::kContiguousRange);
+  SocketShardTransport::Options transport_options;
+  transport_options.endpoints = fleet.endpoints();
+  SocketShardTransport transport(plan, config.model.dim, transport_options);
+
+  Simulation reference(data, config, 0, nullptr, nullptr);
+  Simulation socket_sim(data, config, 0, nullptr, nullptr);
+  ShardedRoundEngine sharded(&socket_sim.engine(), &socket_sim.model(),
+                             &config, &transport, nullptr);
+  for (std::size_t e = 0; e < config.epochs; ++e) {
+    sharded.BeginEpoch(e);
+    double loss = 0.0;
+    while (sharded.HasNextRound()) loss += sharded.RunRound();
+    EXPECT_DOUBLE_EQ(reference.RunEpoch(), loss);
+    // Drop a live connection between epochs: the next delivery's
+    // EnsureConnected re-handshakes inside the first attempt, so nothing
+    // reaches the outage ledger.
+    EXPECT_EQ(transport.open_connections(), shards);
+    transport.Disconnect(e % shards);
+    EXPECT_EQ(transport.open_connections(), shards - 1);
+  }
+  EXPECT_TRUE(reference.model().item_factors() ==
+              socket_sim.model().item_factors());
+  EXPECT_EQ(sharded.wire_fault_stats().shard_outages, 0u);
+  EXPECT_EQ(sharded.wire_fault_stats().fallback_shards, 0u);
+}
+
+TEST(SocketShardTransportTest, RestartedSharddRejoinsViaHello) {
+  const Dataset data = EngineData();
+  FedConfig config = EngineConfig();
+  const std::size_t shards = 2;
+  const std::size_t bounced = 1;
+  DaemonFleet fleet(shards);
+  const ShardPlan plan(data.num_items(), shards, ShardPolicy::kHashed);
+  SocketShardTransport::Options transport_options;
+  transport_options.endpoints = fleet.endpoints();
+  transport_options.run_fingerprint = 0xFEDFEDull;
+  SocketShardTransport transport(plan, config.model.dim, transport_options);
+
+  Simulation reference(data, config, 0, nullptr, nullptr);
+  Simulation socket_sim(data, config, 0, nullptr, nullptr);
+  ShardedRoundEngine sharded(&socket_sim.engine(), &socket_sim.model(),
+                             &config, &transport, nullptr);
+  for (std::size_t e = 0; e < config.epochs; ++e) {
+    if (e == 1) {
+      // Bounce one shardd between epochs. The transport's connection is now
+      // stale, so the first delivery records one outage, and the retry's
+      // reconnect lands on the restarted daemon — a fresh hello handshake.
+      fleet.Kill(bounced);
+      fleet.Restart(bounced);
+    }
+    sharded.BeginEpoch(e);
+    double loss = 0.0;
+    while (sharded.HasNextRound()) loss += sharded.RunRound();
+    EXPECT_DOUBLE_EQ(reference.RunEpoch(), loss) << "epoch " << e;
+  }
+  EXPECT_TRUE(reference.model().item_factors() ==
+              socket_sim.model().item_factors());
+  // The bounce cost at most one outage+retry and never a fallback: the
+  // restarted process rejoined and served.
+  const FaultStats& ledger = sharded.wire_fault_stats();
+  EXPECT_LE(ledger.shard_outages, 1u);
+  EXPECT_EQ(ledger.shard_outages, ledger.shard_retries);
+  EXPECT_EQ(ledger.fallback_shards, 0u);
+  EXPECT_GE(fleet.daemon(bounced).stats().hellos_accepted, 1u);
+  EXPECT_GT(fleet.daemon(bounced).stats().rounds_served, 0u);
+}
+
+// --- hello validation --------------------------------------------------------
+
+TEST(SocketShardTransportTest, MismatchedHelloIsRejected) {
+  DaemonFleet fleet(1);
+  const ShardPlan plan(90, 1, ShardPolicy::kContiguousRange);
+  SocketShardTransport::Options transport_options;
+  transport_options.endpoints = fleet.endpoints();
+  transport_options.run_fingerprint = 42;
+
+  // The first coordinator's hello pins the run: geometry + fingerprint.
+  SocketShardTransport good(plan, 8, transport_options);
+  good.ExecuteShardRound(0, AggregatorOptions{}, 0, 0, 0, 0).CheckOK();
+
+  // A different fingerprint is a different run — refused.
+  SocketShardTransport::Options bad_options = transport_options;
+  bad_options.run_fingerprint = 43;
+  SocketShardTransport bad_fingerprint(plan, 8, bad_options);
+  Status status =
+      bad_fingerprint.ExecuteShardRound(0, AggregatorOptions{}, 0, 0, 0, 0);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+
+  // A different model dim is a different run too.
+  SocketShardTransport bad_dim(plan, 5, transport_options);
+  status = bad_dim.ExecuteShardRound(0, AggregatorOptions{}, 0, 0, 0, 0);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+
+  // The pinned coordinator still serves.
+  good.ExecuteShardRound(0, AggregatorOptions{}, 0, 0, 1, 0).CheckOK();
+  EXPECT_GE(fleet.daemon(0).stats().hellos_rejected, 2u);
+}
+
+TEST(SocketShardTransportTest, WrongShardIndexIsRejected) {
+  // Point shard 1's endpoint at shard 0's daemon: the hello carries
+  // shard_index 1, the daemon serves 0, and the handshake must refuse.
+  DaemonFleet fleet(1);
+  const ShardPlan plan(90, 2, ShardPolicy::kContiguousRange);
+  SocketShardTransport::Options transport_options;
+  transport_options.endpoints = {fleet.endpoints()[0], fleet.endpoints()[0]};
+  SocketShardTransport transport(plan, 8, transport_options);
+  const Status status =
+      transport.ExecuteShardRound(1, AggregatorOptions{}, 0, 0, 0, 0);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace fedrec

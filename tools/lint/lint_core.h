@@ -14,8 +14,8 @@
 /// which keeps the tool dependency-free and fast enough for a pre-commit hook.
 ///
 /// Enforced rule families (see README "Correctness tooling"):
-///   layering         includes must respect common < data < model < fed <
-///                    {attack, shard}; no upward or cross edges
+///   layering         includes must respect common < data < {model, net} <
+///                    fed < {attack, shard}; no upward or cross edges
 ///   determinism      std::rand / time( / std::random_device / chrono ::now(
 ///                    banned in src/ (allowlist: stopwatch.h); range-for over
 ///                    std::unordered_* banned in src/fed/ and src/shard/
@@ -23,7 +23,8 @@
 ///                    new / malloc / resize( / push_back( / emplace_back( /
 ///                    std::string construction, unless the line carries
 ///                    `// fedrec:alloc-ok` (for deliberate high-water growth)
-///   error-discipline reinterpret_cast outside wire.cc/serialize.cc, naked
+///   error-discipline reinterpret_cast outside wire.cc/serialize.cc/
+///                    socket.cc, naked
 ///                    `catch (...)`, and statement-level calls that discard a
 ///                    Status/Result return
 ///
