@@ -21,6 +21,12 @@
 /// >=1024 concurrent clients per round. --shardd pins the shard count to the
 /// given endpoints and skips the self-hosted daemon threads (the CI examples
 /// job launches real fedrec_shardd processes and passes them here).
+///
+/// After the clean sweep the bench re-runs one configuration behind
+/// ChaosProxy relays injecting seeded connection resets on the shard links
+/// at 0% / 5% / 20% per window ("rst0/rst5/rst20" columns): rounds/s and
+/// p99 under chaos quantify what the retry/fallback path costs when shard
+/// delivery keeps getting severed.
 
 #include <sys/resource.h>
 
@@ -32,6 +38,7 @@
 
 #include "bench_common.h"
 #include "common/stopwatch.h"
+#include "net/chaos_proxy.h"
 #include "net/epoll_loop.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -92,12 +99,14 @@ std::vector<ShardEndpoint> ParseEndpoints(const std::string& spec) {
 }
 
 /// One (clients, shards) configuration: full topology up, measured rounds,
-/// topology down.
+/// topology down. `reset_rate > 0` fronts every shard endpoint with a
+/// ChaosProxy injecting seeded connection resets, so shard delivery rides
+/// the retry/fallback path at the given per-window probability.
 LoadResult RunLoad(std::size_t num_clients, std::size_t num_shards,
                    const std::vector<ShardEndpoint>& external_shardds,
                    std::size_t rounds, std::size_t warmup, std::size_t dim,
                    std::size_t num_items, std::size_t upload_rows,
-                   std::uint64_t seed) {
+                   std::uint64_t seed, double reset_rate) {
   const ShardPlan plan(num_items, num_shards, ShardPolicy::kContiguousRange);
 
   // Shard tier: self-hosted daemon threads unless external shardds given.
@@ -119,6 +128,30 @@ LoadResult RunLoad(std::size_t num_clients, std::size_t num_shards,
     }
   } else {
     transport_options.endpoints = external_shardds;
+  }
+
+  // Chaos tier: seeded reset injection between the coordinator's transport
+  // and the shard endpoints (relay threads, one proxy per endpoint).
+  std::vector<std::unique_ptr<ChaosProxy>> proxies;
+  std::vector<std::thread> proxy_threads;
+  if (reset_rate > 0.0) {
+    std::vector<ShardEndpoint> proxied;
+    for (const ShardEndpoint& endpoint : transport_options.endpoints) {
+      ChaosProxy::Options chaos_options;
+      chaos_options.upstream_host = endpoint.host;
+      chaos_options.upstream_port = endpoint.port;
+      chaos_options.chaos.chaos_seed = seed + 101;
+      chaos_options.chaos.reset_rate = reset_rate;
+      proxies.push_back(std::make_unique<ChaosProxy>(chaos_options));
+      proxies.back()->Listen().CheckOK();
+      ShardEndpoint front;
+      front.port = proxies.back()->port();
+      proxied.push_back(front);
+    }
+    for (auto& proxy : proxies) {
+      proxy_threads.emplace_back([p = proxy.get()] { p->Run(); });
+    }
+    transport_options.endpoints = proxied;
   }
 
   SocketShardTransport transport(plan, dim, transport_options);
@@ -253,6 +286,8 @@ LoadResult RunLoad(std::size_t num_clients, std::size_t num_shards,
   service_thread.join();
   for (auto& daemon : daemons) daemon->RequestStop();
   for (std::thread& thread : daemon_threads) thread.join();
+  for (auto& proxy : proxies) proxy->RequestStop();
+  for (std::thread& thread : proxy_threads) thread.join();
   for (SimClient& client : clients) CloseSocket(client.fd);
 
   FEDREC_CHECK_EQ(sample_count, samples.size());
@@ -326,7 +361,7 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       const LoadResult result =
           RunLoad(clients, shards, external_shardds, rounds, warmup, dim,
-                  num_items, upload_rows, options.seed);
+                  num_items, upload_rows, options.seed, /*reset_rate=*/0.0);
       header.push_back(std::to_string(clients) + "c/" +
                        std::to_string(shards) + "s");
       rounds_row.push_back(Fmt4(result.rounds_per_sec));
@@ -335,6 +370,31 @@ int main(int argc, char** argv) {
       mb_row.push_back(Fmt4(result.upload_mb_per_sec));
       alloc_row.push_back(Fmt4(result.allocs_per_round));
     }
+  }
+
+  // Chaos columns: one configuration re-run behind reset-injecting proxies
+  // at 0% (proxied baseline), 5% and 20% per-window reset probability.
+  const std::size_t chaos_clients = client_counts.front();
+  const std::size_t chaos_shards = shard_counts.back();
+  for (const double rate : {0.0, 0.05, 0.20}) {
+    std::printf("running %zu clients x %zu shards under %.0f%% seeded resets"
+                " ...\n",
+                chaos_clients, chaos_shards, rate * 100.0);
+    std::fflush(stdout);
+    // rate 0 still goes through the proxies so the relay hop itself is
+    // priced into the baseline column, not misread as chaos cost.
+    const LoadResult result =
+        RunLoad(chaos_clients, chaos_shards, external_shardds, rounds, warmup,
+                dim, num_items, upload_rows, options.seed,
+                rate > 0.0 ? rate : 1e-12);
+    header.push_back(std::to_string(chaos_clients) + "c/" +
+                     std::to_string(chaos_shards) + "s/rst" +
+                     std::to_string(static_cast<int>(rate * 100.0)));
+    rounds_row.push_back(Fmt4(result.rounds_per_sec));
+    p50_row.push_back(Fmt4(result.p50_ms));
+    p99_row.push_back(Fmt4(result.p99_ms));
+    mb_row.push_back(Fmt4(result.upload_mb_per_sec));
+    alloc_row.push_back(Fmt4(result.allocs_per_round));
   }
   table.SetHeader(header);
   table.AddRow(rounds_row);

@@ -2,11 +2,27 @@
 #define FEDREC_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 /// \file
-/// Wall-clock stopwatch used for progress reporting in the bench harness.
+/// Wall-clock stopwatch used for progress reporting in the bench harness,
+/// plus the tree's single monotonic millisecond source. The determinism lint
+/// bans clock reads everywhere else in src/, so every wall-time consumer —
+/// liveness deadlines in the serving loops, bench timing — funnels through
+/// this file, where the exemption is auditable.
 
 namespace fedrec {
+
+/// Milliseconds on the steady (monotonic) clock. The liveness layer's
+/// deadline wheel is driven off this value; nothing that shapes a training
+/// trajectory may consult it (heartbeats and peer reaping affect *when*
+/// work happens, never *what* the round computes).
+inline std::uint64_t MonotonicMillis() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Monotonic wall-clock timer started on construction.
 class Stopwatch {

@@ -58,6 +58,25 @@ std::size_t Simulation::RunRounds(std::size_t max_rounds) {
   return run;
 }
 
+std::size_t Simulation::RunRounds(
+    std::size_t max_rounds, const std::function<double()>& round_runner) {
+  std::size_t run = 0;
+  while (run < max_rounds && epoch_ < config_.epochs) {
+    if (!epoch_open_) {
+      engine_.BeginEpoch(epoch_);
+      epoch_loss_ = 0.0;
+      epoch_open_ = true;
+    }
+    epoch_loss_ += round_runner();
+    ++run;
+    if (!engine_.HasNextRound()) {
+      epoch_open_ = false;
+      ++epoch_;
+    }
+  }
+  return run;
+}
+
 std::vector<EpochRecord> Simulation::Run(
     const Evaluator* evaluator, const std::vector<std::uint32_t>& target_items,
     std::size_t eval_every) {

@@ -2,6 +2,7 @@
 #define FEDREC_FED_SIMULATION_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/threadpool.h"
@@ -81,6 +82,16 @@ class Simulation {
   /// config.epochs is exhausted). This is the checkpointing driver's loop:
   /// between any two calls the simulation is in a capturable state.
   std::size_t RunRounds(std::size_t max_rounds);
+
+  /// RunRounds with round execution delegated to `round_runner` — typically
+  /// a ShardedRoundEngine wrapping this simulation's engine over a socket
+  /// transport (the fed layer cannot name that type; shard sits above it).
+  /// Epoch bookkeeping (BeginEpoch / HasNextRound) still runs on this
+  /// simulation's engine, which the runner must wrap, so checkpoints capture
+  /// exactly the same state as the in-process overload and the two runs are
+  /// bit-identical. `round_runner` returns the round's summed benign loss.
+  std::size_t RunRounds(std::size_t max_rounds,
+                        const std::function<double()>& round_runner);
 
   /// Runs config.epochs epochs, evaluating every `eval_every` epochs and at
   /// the final epoch when `evaluator` is non-null (eval_every = 0 evaluates

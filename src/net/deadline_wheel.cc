@@ -1,0 +1,98 @@
+#include "net/deadline_wheel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fedrec {
+
+DeadlineWheel::DeadlineWheel(std::uint64_t slot_ms, std::size_t slot_count)
+    : slot_ms_(slot_ms), slots_(slot_count) {
+  FEDREC_CHECK_GT(slot_ms, 0u);
+  FEDREC_CHECK_GT(slot_count, 0u);
+}
+
+void DeadlineWheel::EnsureEntry(std::uint64_t tag) {
+  if (tag >= entries_.size()) {
+    entries_.resize(static_cast<std::size_t>(tag) + 1);
+  }
+}
+
+// fedrec:hot — armed on every inbound byte of every connection: one entry
+// write plus one bucket append into retained storage.
+void DeadlineWheel::Arm(std::uint64_t tag, std::uint64_t deadline_ms) {
+  EnsureEntry(tag);  // fedrec:alloc-ok — fd-table-bounded one-time growth
+  Entry& entry = entries_[static_cast<std::size_t>(tag)];
+  // Deadlines already behind the sweep cursor park in the cursor's own slot
+  // so the next sweep delivers them instead of waiting a full revolution.
+  const std::uint64_t slot_key = std::max(deadline_ms, cursor_ms_);
+  const std::size_t slot = SlotOf(slot_key);
+  // Re-arming within the same slot just moves the deadline: the existing
+  // bucket copy re-reads it at sweep time. Per-read activity refreshes would
+  // otherwise append one stale copy each, bloating the bucket between
+  // sweeps.
+  const bool need_copy = !entry.armed || entry.slot != slot;
+  if (!entry.armed) ++armed_count_;
+  entry.deadline_ms = deadline_ms;
+  entry.slot = slot;
+  entry.armed = true;
+  if (need_copy) {
+    slots_[slot].push_back(tag);  // fedrec:alloc-ok — high-water bucket
+  }
+}
+
+void DeadlineWheel::Disarm(std::uint64_t tag) {
+  if (tag >= entries_.size()) return;
+  Entry& entry = entries_[static_cast<std::size_t>(tag)];
+  if (!entry.armed) return;
+  entry.armed = false;
+  --armed_count_;  // the bucket entry goes stale; sweep drops it
+}
+
+bool DeadlineWheel::NextDeadline(std::uint64_t& deadline_ms) const {
+  if (armed_count_ == 0) return false;
+  bool found = false;
+  for (const Entry& entry : entries_) {
+    if (!entry.armed) continue;
+    if (!found || entry.deadline_ms < deadline_ms) {
+      deadline_ms = entry.deadline_ms;
+      found = true;
+    }
+  }
+  return found;
+}
+
+// fedrec:hot — one sweep per event-loop turn: visits only the slots the
+// clock crossed since the last call, touching stale entries at most once.
+void DeadlineWheel::ExpireDue(std::uint64_t now_ms,
+                              std::vector<std::uint64_t>& due) {
+  if (now_ms < cursor_ms_) now_ms = cursor_ms_;  // monotonic guard
+  const std::uint64_t first_slot = cursor_ms_ / slot_ms_;
+  const std::uint64_t last_slot = now_ms / slot_ms_;
+  // A full revolution visits every slot once; sweeping further would only
+  // revisit the same buckets.
+  const std::uint64_t span = std::min<std::uint64_t>(
+      last_slot - first_slot, slots_.size() > 0 ? slots_.size() - 1 : 0);
+  for (std::uint64_t s = last_slot - span; s <= last_slot; ++s) {
+    std::vector<std::uint64_t>& bucket =
+        slots_[static_cast<std::size_t>(s % slots_.size())];
+    resweep_.clear();
+    for (const std::uint64_t tag : bucket) {
+      const Entry& entry = entries_[static_cast<std::size_t>(tag)];
+      if (!entry.armed) continue;  // lazily disarmed (or already fired)
+      if (entry.deadline_ms <= now_ms) {
+        Disarm(tag);
+        due.push_back(tag);  // fedrec:alloc-ok — reused caller buffer
+      } else if (entry.slot == static_cast<std::size_t>(s % slots_.size())) {
+        // Still live in this bucket (same-slot re-arm, or a wrapped
+        // beyond-span deadline): keep it for a later revolution.
+        resweep_.push_back(tag);  // fedrec:alloc-ok — reused scratch
+      }
+      // else: a re-arm moved the live copy to another slot; drop this one.
+    }
+    bucket.swap(resweep_);
+  }
+  cursor_ms_ = now_ms;
+}
+
+}  // namespace fedrec

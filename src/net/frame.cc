@@ -12,7 +12,7 @@ constexpr std::uint32_t kFrameMagic = 0x544E5246;  // "FRNT"
 
 bool KnownFrameType(std::uint32_t type) {
   return type >= static_cast<std::uint32_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint32_t>(FrameType::kShutdown);
+         type <= static_cast<std::uint32_t>(FrameType::kRetryAfter);
 }
 
 }  // namespace
@@ -99,6 +99,15 @@ Status FrameReader::Next(FrameView& out, bool& has_frame) {
   if (!header.ok()) {
     poisoned_ = true;
     return header;
+  }
+  if (payload_bytes > max_payload_) {
+    // A valid header advertising more than this connection's cap: refuse
+    // before buffering a single payload byte, so a hostile length field
+    // cannot drive high-water growth.
+    poisoned_ = true;
+    return Status::Corruption("FRNT frame payload length " +
+                              std::to_string(payload_bytes) +
+                              " exceeds the connection cap");
   }
   if (end_ - begin_ - kFrameHeaderBytes < payload_bytes) return Status::OK();
   out.type = type;

@@ -36,6 +36,8 @@ enum class FrameType : std::uint32_t {
   kClientUpload = 6,  ///< client -> coordinator: one FRWU upload
   kRoundAck = 7,      ///< coordinator -> client: round applied
   kShutdown = 8,      ///< orderly stop request (tests, scripts)
+  kHeartbeat = 9,     ///< liveness probe; either direction, empty payload
+  kRetryAfter = 10,   ///< coordinator -> client: overloaded, back off (u32 ms)
 };
 
 /// Fixed frame header size on the wire: magic + type + payload length.
@@ -90,14 +92,24 @@ class FrameReader {
   std::size_t pending() const { return end_ - begin_; }
 
   /// Drops buffered bytes and clears the poisoned flag; capacity is kept so
-  /// a reconnect reuses the high-water buffer.
+  /// a reconnect reuses the high-water buffer. The payload cap survives — it
+  /// is connection policy, not stream state.
   void Reset();
+
+  /// Tightens the per-frame payload limit below the protocol-wide
+  /// kMaxFramePayload. A serving loop fronting untrusted peers caps each
+  /// connection near its largest legitimate message, so a hostile length
+  /// field cannot commit the server to buffering gigabytes: Next() poisons
+  /// the stream as Corruption the moment an over-cap header is parsed.
+  void set_max_payload(std::uint64_t bytes) { max_payload_ = bytes; }
+  std::uint64_t max_payload() const { return max_payload_; }
 
  private:
   std::string buffer_;      ///< high-water sized; [begin_, end_) is live
   std::size_t begin_ = 0;   ///< first unparsed byte
   std::size_t end_ = 0;     ///< one past the last buffered byte
   bool poisoned_ = false;   ///< a framing error was detected
+  std::uint64_t max_payload_ = kMaxFramePayload;  ///< per-connection cap
 };
 
 }  // namespace fedrec

@@ -119,6 +119,13 @@ Status SetIoTimeout(int fd, int timeout_ms) {
   return Status::OK();
 }
 
+Status SetSendBuffer(int fd, int bytes) {
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) != 0) {
+    return ErrnoError("setsockopt(SO_SNDBUF)");
+  }
+  return Status::OK();
+}
+
 Status SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {

@@ -48,6 +48,12 @@ namespace fedrec {
 /// Switches `fd` to nonblocking mode (epoll-driven connections).
 [[nodiscard]] Status SetNonBlocking(int fd);
 
+/// Shrinks (or grows) `fd`'s kernel send buffer to ~`bytes` (the kernel
+/// doubles the value and clamps at its minimum). A tiny buffer makes a
+/// stalled reader block writes almost immediately — how the overload tests
+/// reach the send-queue high water in a handful of frames.
+[[nodiscard]] Status SetSendBuffer(int fd, int bytes);
+
 /// Closes `fd` if open and resets it to -1.
 void CloseSocket(int& fd);
 

@@ -1,6 +1,7 @@
 #include "shard/checkpoint.h"
 
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <string>
@@ -378,6 +379,17 @@ Status SaveCheckpoint(const TrainingCheckpoint& checkpoint,
   BinaryWriter writer;
   EncodeCheckpoint(checkpoint, writer);
   return writer.Flush(path);
+}
+
+Status SaveCheckpointAtomic(const TrainingCheckpoint& checkpoint,
+                            const std::string& path) {
+  const std::string staging = path + ".tmp";
+  FEDREC_RETURN_NOT_OK(SaveCheckpoint(checkpoint, staging));
+  if (std::rename(staging.c_str(), path.c_str()) != 0) {
+    (void)std::remove(staging.c_str());
+    return Status::IOError("rename of staged checkpoint failed: " + staging);
+  }
+  return Status::OK();
 }
 
 Result<TrainingCheckpoint> LoadCheckpoint(const std::string& path) {

@@ -88,6 +88,13 @@ void EncodeCheckpoint(const TrainingCheckpoint& checkpoint,
 [[nodiscard]] Status SaveCheckpoint(const TrainingCheckpoint& checkpoint,
                                     const std::string& path);
 
+/// SaveCheckpoint through a `path + ".tmp"` staging file renamed into place,
+/// so a crash mid-write (the exact event checkpoints exist for) can never
+/// leave a torn file at `path` — the previous checkpoint survives intact.
+/// rename(2) on one filesystem is atomic; the CRC32 still guards the rest.
+[[nodiscard]] Status SaveCheckpointAtomic(const TrainingCheckpoint& checkpoint,
+                                          const std::string& path);
+
 /// Loads a checkpoint saved by SaveCheckpoint.
 [[nodiscard]] Result<TrainingCheckpoint> LoadCheckpoint(
     const std::string& path);

@@ -1,0 +1,92 @@
+#ifndef FEDREC_SHARD_COORDINATOR_H_
+#define FEDREC_SHARD_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shard/socket_transport.h"
+
+/// \file
+/// The crash-recoverable federation coordinator behind the fedrec_coord
+/// binary: drives a Simulation's client stages over a fleet of fedrec_shardd
+/// processes (SocketShardTransport), autosaving an FRCK checkpoint every N
+/// rounds so a SIGKILL at any point loses at most the rounds since the last
+/// autosave — and loses them only transiently, because the restarted
+/// coordinator replays them against the same live shardd fleet and converges
+/// bit-identically to a run that never died (chaos_test enforces this).
+///
+/// Recovery state machine:
+///
+///   [fresh start]──checkpoint absent──▶ FRESH ──────────────┐
+///        │                                                  ▼
+///        └──checkpoint present──▶ RESTORE ──replay──▶ TRAINING ◀─┐
+///                 (fingerprint-validated)               │  │     │
+///                                                SIGTERM│  │autosave
+///                                                       ▼  └─────┘
+///                                                  DRAIN: finish round,
+///                                                  final checkpoint, exit 0
+///
+/// The shardd fleet needs no recovery protocol of its own: shard servers are
+/// stateless between rounds (every round's inputs arrive on the wire), so the
+/// restarted coordinator simply reconnects and the hello handshake's run
+/// fingerprint — the same CheckpointFingerprint stored in the FRCK file —
+/// re-validates that fleet and checkpoint describe one run.
+///
+/// Every run prints a machine-checkable transcript: one `epoch E loss L` line
+/// per closed epoch (%.17g — bit-exact doubles), a final `digest H` line
+/// hashing the item-factor bits, and a `ledger ...` line with the fault and
+/// wire-outage counters. Two transcripts agree iff the runs were
+/// bit-identical; chaos_test diffs them across kill/restart schedules.
+
+namespace fedrec {
+
+/// Drives a socket federation with periodic checkpoints; see file comment.
+class FederationCoordinator {
+ public:
+  struct Options {
+    /// One shardd endpoint per shard, in shard order.
+    std::vector<ShardEndpoint> endpoints;
+    // -- Deterministic workload (regenerated identically on every start) ----
+    std::size_t users = 120;
+    std::size_t dim = 16;
+    std::size_t clients_per_round = 24;
+    std::size_t epochs = 4;
+    std::uint64_t seed = 11;       ///< training seed (FedConfig::seed)
+    std::uint64_t data_seed = 7;   ///< synthetic dataset seed
+    double dropout_rate = 0.0;     ///< client dropout fault injection
+    double straggler_rate = 0.0;   ///< straggler fault injection
+    std::uint64_t fault_seed = 29;
+    // -- Crash recovery -----------------------------------------------------
+    /// Directory for the FRCK autosave ("" disables checkpointing). The
+    /// checkpoint lives at <dir>/coordinator.frck, replaced atomically.
+    std::string checkpoint_dir;
+    /// Autosave cadence in rounds (0 treated as 1).
+    std::size_t checkpoint_every = 1;
+    /// Chaos hook: raise(SIGKILL) once global_round() reaches this value
+    /// (0 = never). The crash is mid-run by construction — after the round
+    /// completed but before any non-scheduled checkpoint could be taken.
+    std::size_t kill_after_round = 0;
+    /// Socket io timeout handed to the transport.
+    std::uint32_t io_timeout_ms = 5000;
+  };
+
+  explicit FederationCoordinator(Options options);
+
+  /// Runs the federation to completion (or until RequestStop). Returns the
+  /// process exit code: 0 on success or graceful drain, 1 on setup failure.
+  int Run();
+
+  /// Async-signal-safe graceful stop: the round in flight finishes, a final
+  /// checkpoint is saved, and Run() returns 0 (satellite S1).
+  void RequestStop() { stop_requested_.store(true, std::memory_order_relaxed); }
+
+ private:
+  Options options_;
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_SHARD_COORDINATOR_H_

@@ -3,8 +3,11 @@
 #include <unistd.h>
 
 #include <array>
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "fed/aggregator.h"
 #include "shard/shard_protocol.h"
 #include "shard/wire.h"
@@ -16,6 +19,12 @@ namespace {
 /// Socket reads land in chunks of this size; each connection's frame buffer
 /// high-waters at the largest upload plus one chunk.
 constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Cap on the poll timeout while deadlines are armed.
+constexpr std::uint64_t kMaxWaitMs = 60 * 1000;
+
+/// Orderly-stop drain budget: flush attempts per connection, 1 ms apart.
+constexpr int kDrainFlushAttempts = 200;
 
 }  // namespace
 
@@ -77,6 +86,16 @@ void FederationService::RequestStop() {
   (void)written;  // a full pipe already guarantees a pending wakeup
 }
 
+int FederationService::NextWaitTimeout() const {
+  if (!deferred_.empty()) return 0;  // buffered frames are ready work
+  std::uint64_t next = 0;
+  if (!wheel_.NextDeadline(next)) return -1;
+  const std::uint64_t now = MonotonicMillis();
+  if (next <= now) return 0;
+  const std::uint64_t gap = next - now;
+  return static_cast<int>(gap < kMaxWaitMs ? gap : kMaxWaitMs);
+}
+
 void FederationService::Run() {
   FEDREC_CHECK(listen_fd_ >= 0) << "Listen() must succeed before Run()";
   loop_.Watch(listen_fd_, EPOLLIN, static_cast<std::uint64_t>(listen_fd_))
@@ -84,7 +103,7 @@ void FederationService::Run() {
   loop_.Watch(wake_read_, EPOLLIN, static_cast<std::uint64_t>(wake_read_))
       .CheckOK();
   while (!stop_.load(std::memory_order_acquire)) {
-    const std::span<const epoll_event> events = loop_.Wait(-1);
+    const std::span<const epoll_event> events = loop_.Wait(NextWaitTimeout());
     for (const epoll_event& event : events) {
       const int fd = static_cast<int>(event.data.u64);
       if (fd == wake_read_) {
@@ -99,7 +118,23 @@ void FederationService::Run() {
       }
       HandleConnectionEvent(fd, event.events);
     }
+    if (wheel_.armed_count() > 0) {
+      const std::uint64_t now = MonotonicMillis();
+      due_.clear();
+      wheel_.ExpireDue(now, due_);
+      for (const std::uint64_t tag : due_) {
+        HandleDeadline(static_cast<int>(tag), now);
+      }
+    }
+    if (!deferred_.empty()) {
+      deferred_scratch_.swap(deferred_);
+      for (const int fd : deferred_scratch_) {
+        ServeBufferedFrames(fd, /*drain_all=*/false);
+      }
+      deferred_scratch_.clear();
+    }
   }
+  DrainOnStop();
   loop_.Remove(listen_fd_);
   loop_.Remove(wake_read_);
 }
@@ -113,6 +148,11 @@ void FederationService::AcceptPending() {
       CloseSocket(fd);
       continue;
     }
+    if (options_.so_sndbuf > 0 &&
+        !SetSendBuffer(fd, options_.so_sndbuf).ok()) {
+      CloseSocket(fd);
+      continue;
+    }
     if (static_cast<std::size_t>(fd) >= conns_.size()) {
       conns_.resize(static_cast<std::size_t>(fd) + 1);
     }
@@ -120,11 +160,18 @@ void FederationService::AcceptPending() {
     if (slot == nullptr) slot = std::make_unique<Connection>();
     slot->fd = fd;
     slot->reader.Reset();
+    slot->reader.set_max_payload(options_.max_frame_payload);
     slot->out.Reset();
     slot->out_armed = false;
+    slot->shed_notified = false;
+    slot->live = PeerLiveness{};
     if (!loop_.Watch(fd, EPOLLIN, static_cast<std::uint64_t>(fd)).ok()) {
       CloseSocket(slot->fd);
       continue;
+    }
+    if (options_.liveness.enabled()) {
+      slot->live.last_activity_ms = MonotonicMillis();
+      ArmLiveness(*slot);
     }
     ++stats_.connections_accepted;
   }
@@ -141,6 +188,7 @@ void FederationService::HandleConnectionEvent(int fd, std::uint32_t events) {
   if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) == 0) return;
 
   bool peer_closed = false;
+  std::size_t received = 0;
   for (;;) {
     char* tail = conn->reader.PrepareWrite(kReadChunk);
     ReadOutcome outcome;
@@ -149,27 +197,67 @@ void FederationService::HandleConnectionEvent(int fd, std::uint32_t events) {
       return;
     }
     conn->reader.CommitWrite(outcome.bytes);
+    received += outcome.bytes;
     if (outcome.eof) {
       peer_closed = true;
       break;
     }
     if (outcome.would_block) break;
   }
+  if (options_.liveness.enabled() && received > 0) {
+    // Any inbound byte is proof of life: reset the silence window and allow
+    // the next idle gap its own (single) probe.
+    conn->live.last_activity_ms = MonotonicMillis();
+    conn->live.probe_sent = false;
+  }
+  // A closing peer gets its buffered frames served in full (nothing more is
+  // coming, so fairness deferral would strand them).
+  ServeBufferedFrames(fd, /*drain_all=*/peer_closed);
+  if (conn->fd != fd) return;  // serving closed the connection
+  if (peer_closed) {
+    CloseConnection(fd);
+    return;
+  }
+  if (options_.liveness.enabled()) {
+    // Track the age of a partially buffered frame for the read deadline.
+    if (conn->reader.pending() > 0) {
+      if (conn->live.read_start_ms == 0) {
+        conn->live.read_start_ms = MonotonicMillis();
+      }
+    } else {
+      conn->live.read_start_ms = 0;
+    }
+    ArmLiveness(*conn);
+  }
+}
+
+void FederationService::ServeBufferedFrames(int fd, bool drain_all) {
+  if (static_cast<std::size_t>(fd) >= conns_.size()) return;
+  Connection* conn = conns_[static_cast<std::size_t>(fd)].get();
+  if (conn == nullptr || conn->fd != fd) return;  // closed since queued
+  std::size_t served = 0;
   for (;;) {
+    if (!drain_all && options_.max_frames_per_drain != 0 &&
+        served >= options_.max_frames_per_drain) {
+      // Yield: other connections get the loop before this one's backlog.
+      ++stats_.drain_deferrals;
+      deferred_.push_back(fd);
+      return;
+    }
     FrameView frame;
     bool has_frame = false;
     if (!conn->reader.Next(frame, has_frame).ok()) {
       CloseConnection(fd);  // unframeable bytes: nothing left to trust
       return;
     }
-    if (!has_frame) break;
+    if (!has_frame) return;
+    ++served;
     if (!HandleFrame(fd, *conn, frame)) {
       CloseConnection(fd);
       return;
     }
     if (conn->fd != fd) return;  // RunRound closed this connection
   }
-  if (peer_closed) CloseConnection(fd);
 }
 
 bool FederationService::HandleFrame(int fd, Connection& conn,
@@ -179,6 +267,9 @@ bool FederationService::HandleFrame(int fd, Connection& conn,
       return HandleUpload(fd, conn, frame.payload);
     case FrameType::kShutdown:
       stop_.store(true, std::memory_order_release);
+      return true;
+    case FrameType::kHeartbeat:
+      // Proof of life only; the byte-level activity refresh already ran.
       return true;
     default:
       return false;  // clients send only uploads (and shutdown in tests)
@@ -263,9 +354,11 @@ void FederationService::RunRound() {
     if (fd < 0 || static_cast<std::size_t>(fd) >= conns_.size()) continue;
     Connection* conn = conns_[static_cast<std::size_t>(fd)].get();
     if (conn == nullptr || conn->fd != fd) continue;  // left mid-round
-    const std::array<std::string_view, 1> pieces = {
-        std::string_view(scratch_.buffer())};
-    conn->out.AppendFrame(FrameType::kRoundAck, pieces);
+    if (!ShedIfOverloaded(*conn)) {
+      const std::array<std::string_view, 1> pieces = {
+          std::string_view(scratch_.buffer())};
+      conn->out.AppendFrame(FrameType::kRoundAck, pieces);
+    }
     if (!FlushConnection(*conn)) CloseConnection(fd);
   }
   pending_ = 0;
@@ -275,7 +368,31 @@ void FederationService::RunRound() {
   }
 }
 
+// fedrec:hot — checked before every staged reply on the ack fan-out path.
+bool FederationService::ShedIfOverloaded(Connection& conn) {
+  if (options_.send_high_water == 0 ||
+      conn.out.pending() < options_.send_high_water) {
+    return false;
+  }
+  // High water: the peer is not draining. Stop growing its queue — every
+  // further reply is shed — and tell it once per breach to back off. The
+  // connection itself survives; a peer that resumes reading drains the
+  // queue and service resumes.
+  ++stats_.shed_frames;
+  if (!conn.shed_notified) {
+    conn.shed_notified = true;
+    ++stats_.retry_afters_sent;
+    shed_scratch_.Clear();
+    shed_scratch_.WriteU32(options_.retry_after_ms);
+    const std::array<std::string_view, 1> pieces = {
+        std::string_view(shed_scratch_.buffer())};
+    conn.out.AppendFrame(FrameType::kRetryAfter, pieces);
+  }
+  return true;
+}
+
 void FederationService::SendError(Connection& conn, const Status& status) {
+  if (ShedIfOverloaded(conn)) return;
   scratch_.Clear();
   EncodeErrorPayload(status, scratch_);
   const std::array<std::string_view, 1> pieces = {
@@ -286,6 +403,10 @@ void FederationService::SendError(Connection& conn, const Status& status) {
 bool FederationService::FlushConnection(Connection& conn) {
   bool blocked = false;
   if (!conn.out.Flush(conn.fd, blocked).ok()) return false;
+  if (conn.shed_notified &&
+      conn.out.pending() < options_.send_high_water) {
+    conn.shed_notified = false;  // drained below high water: breach over
+  }
   if (blocked != conn.out_armed) {
     const std::uint32_t events =
         blocked ? (EPOLLIN | EPOLLOUT) : static_cast<std::uint32_t>(EPOLLIN);
@@ -301,10 +422,71 @@ bool FederationService::FlushConnection(Connection& conn) {
 void FederationService::CloseConnection(int fd) {
   Connection* conn = conns_[static_cast<std::size_t>(fd)].get();
   loop_.Remove(fd);
+  wheel_.Disarm(static_cast<std::uint64_t>(fd));
   CloseSocket(conn->fd);
   conn->reader.Reset();
   conn->out.Reset();
   conn->out_armed = false;
+  conn->shed_notified = false;
+  conn->live = PeerLiveness{};
+}
+
+// fedrec:hot — re-armed on every inbound byte of every connection.
+void FederationService::ArmLiveness(Connection& conn) {
+  const std::uint64_t tag = static_cast<std::uint64_t>(conn.fd);
+  const std::uint64_t next = NextLivenessDeadline(options_.liveness, conn.live);
+  if (next == 0) {
+    wheel_.Disarm(tag);
+  } else {
+    wheel_.Arm(tag, next);
+  }
+}
+
+void FederationService::HandleDeadline(int fd, std::uint64_t now_ms) {
+  if (static_cast<std::size_t>(fd) >= conns_.size()) return;
+  Connection* conn = conns_[static_cast<std::size_t>(fd)].get();
+  if (conn == nullptr || conn->fd != fd) return;  // closed since expiry
+  switch (ClassifyDeadline(options_.liveness, conn->live, now_ms)) {
+    case LivenessVerdict::kSlowRead:
+      ++stats_.slow_reads_closed;
+      CloseConnection(fd);
+      return;
+    case LivenessVerdict::kReap:
+      ++stats_.peers_reaped;
+      CloseConnection(fd);
+      return;
+    case LivenessVerdict::kProbe:
+      conn->live.probe_sent = true;
+      ++stats_.heartbeats_sent;
+      if (!ShedIfOverloaded(*conn)) {
+        conn->out.AppendFrame(FrameType::kHeartbeat, {});
+      }
+      if (!FlushConnection(*conn)) {
+        CloseConnection(fd);
+        return;
+      }
+      break;
+    case LivenessVerdict::kNone:
+      break;  // state changed between arming and expiry
+  }
+  ArmLiveness(*conn);
+}
+
+void FederationService::DrainOnStop() {
+  // Orderly-stop drain (SIGTERM / kShutdown / max_rounds): give every
+  // connection a bounded window to flush queued acks, so clients of a
+  // gracefully stopped service see their final round acknowledged.
+  for (std::unique_ptr<Connection>& slot : conns_) {
+    if (slot == nullptr || slot->fd < 0) continue;
+    for (int attempt = 0; attempt < kDrainFlushAttempts; ++attempt) {
+      if (slot->out.empty()) break;
+      bool blocked = false;
+      if (!slot->out.Flush(slot->fd, blocked).ok()) break;
+      if (blocked) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
 }
 
 }  // namespace fedrec

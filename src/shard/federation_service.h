@@ -12,8 +12,10 @@
 #include "fed/client.h"
 #include "fed/config.h"
 #include "model/mf_model.h"
+#include "net/deadline_wheel.h"
 #include "net/epoll_loop.h"
 #include "net/frame.h"
+#include "net/liveness.h"
 #include "net/socket.h"
 #include "shard/transport.h"
 
@@ -48,6 +50,24 @@ class FederationService {
     float learning_rate = 0.01f;
     ShardRetryPolicy retry;        ///< shard delivery retry/backoff policy
     std::size_t max_rounds = 0;    ///< stop after this many rounds (0 = none)
+    /// Liveness knobs (see net/liveness.h); all default off, so the service
+    /// behaves exactly as before liveness existed unless configured.
+    LivenessOptions liveness;
+    /// Per-connection frame payload cap (see FrameReader::set_max_payload).
+    std::uint64_t max_frame_payload = kMaxFramePayload;
+    /// Frames served per connection per loop turn before yielding (0 = off).
+    std::size_t max_frames_per_drain = 64;
+    /// Send-queue high water in bytes (0 = unbounded). A connection whose
+    /// queue reaches this sheds further replies — one kRetryAfter is sent
+    /// per breach and later frames are dropped until the peer drains — so a
+    /// stalled reader bounds its own memory instead of growing the queue.
+    std::size_t send_high_water = 0;
+    /// Back-off hint carried in kRetryAfter payloads (milliseconds).
+    std::uint32_t retry_after_ms = 50;
+    /// SO_SNDBUF applied to accepted connections (0 = kernel default). The
+    /// overload tests set 1 so a stalled peer blocks writes within a few
+    /// frames instead of after megabytes of kernel buffering.
+    int so_sndbuf = 0;
   };
 
   struct Stats {
@@ -59,6 +79,12 @@ class FederationService {
     std::uint64_t shard_outages = 0;      ///< folded delivery outcomes
     std::uint64_t shard_retries = 0;
     std::uint64_t fallback_shards = 0;
+    std::uint64_t heartbeats_sent = 0;    ///< idle probes emitted
+    std::uint64_t peers_reaped = 0;       ///< half-open connections closed
+    std::uint64_t slow_reads_closed = 0;  ///< partial-frame deadline closes
+    std::uint64_t drain_deferrals = 0;    ///< fairness yields mid-drain
+    std::uint64_t shed_frames = 0;        ///< replies dropped at high water
+    std::uint64_t retry_afters_sent = 0;  ///< overload notices sent
   };
 
   /// `model` and `transport` are borrowed and must outlive the service;
@@ -86,20 +112,36 @@ class FederationService {
     int fd = -1;
     FrameReader reader;
     SendQueue out;
-    bool out_armed = false;  ///< EPOLLOUT currently in the epoll mask
+    bool out_armed = false;      ///< EPOLLOUT currently in the epoll mask
+    bool shed_notified = false;  ///< kRetryAfter sent for current breach
+    PeerLiveness live;           ///< activity timestamps for the wheel
   };
 
   void AcceptPending();
   void HandleConnectionEvent(int fd, std::uint32_t events);
+  /// Serves complete frames buffered on `fd`, up to max_frames_per_drain
+  /// (unbounded when `drain_all`); re-queues the connection on deferral.
+  void ServeBufferedFrames(int fd, bool drain_all);
   /// Returns false when the connection must be closed.
   bool HandleFrame(int fd, Connection& conn, const FrameView& frame);
   bool HandleUpload(int fd, Connection& conn, std::string_view payload);
   /// Closes the pending round: route, aggregate via the transport, merge,
   /// apply, ack every contributed upload.
   void RunRound();
+  /// True when `conn`'s send queue is at high water: the caller must not
+  /// stage its frame. Sends one kRetryAfter per breach.
+  bool ShedIfOverloaded(Connection& conn);
   void SendError(Connection& conn, const Status& status);
   bool FlushConnection(Connection& conn);
   void CloseConnection(int fd);
+  /// Re-arms (or disarms) `conn`'s slot on the deadline wheel.
+  void ArmLiveness(Connection& conn);
+  /// Acts on one due wheel deadline (probe / reap / slow-read close).
+  void HandleDeadline(int fd, std::uint64_t now_ms);
+  /// Poll timeout for the next loop turn (0 when deferred work is queued).
+  int NextWaitTimeout() const;
+  /// Orderly-stop drain: bounded flush window for queued acks/replies.
+  void DrainOnStop();
 
   MfModel* model_;
   ShardTransport* transport_;
@@ -119,6 +161,11 @@ class FederationService {
   std::uint64_t round_ = 0;
   SparseRoundDelta merged_;
   BinaryWriter scratch_;                ///< ack / error payload encode
+  BinaryWriter shed_scratch_;           ///< kRetryAfter payload encode
+  DeadlineWheel wheel_;                 ///< liveness deadlines keyed by fd
+  std::vector<std::uint64_t> due_;      ///< ExpireDue scratch (reused)
+  std::vector<int> deferred_;           ///< fds with frames still buffered
+  std::vector<int> deferred_scratch_;   ///< swap buffer for the above
   Stats stats_;
 };
 

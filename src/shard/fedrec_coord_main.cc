@@ -1,0 +1,107 @@
+/// fedrec_coord: the crash-recoverable coordinator of a socket federation.
+///
+///   ./fedrec_coord --shardd=127.0.0.1:7001,127.0.0.1:7002
+///                  [--checkpoint-dir=/var/lib/fedrec] [--checkpoint-every=4]
+///                  [--users=120] [--dim=16] [--clients-per-round=24]
+///                  [--epochs=4] [--seed=11] [--data-seed=7]
+///                  [--dropout=0.0] [--stragglers=0.0] [--fault-seed=29]
+///                  [--io-timeout-ms=5000] [--kill-after-round=0]
+///
+/// Drives the deterministic synthetic workload over the given fedrec_shardd
+/// fleet (see shard/coordinator.h for the recovery state machine and the
+/// transcript contract). With --checkpoint-dir set, an FRCK checkpoint is
+/// autosaved every --checkpoint-every rounds; SIGKILL the process at any
+/// point, rerun the identical command line, and it resumes from the last
+/// autosave and converges bit-identically to a run that never died.
+/// SIGTERM/SIGINT drain instead: the round in flight finishes, a final
+/// checkpoint lands, and the process exits 0. --kill-after-round=K is the
+/// chaos harness hook: the process SIGKILLs itself right after round K.
+
+#include <csignal>
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "shard/coordinator.h"
+
+namespace {
+
+fedrec::FederationCoordinator* g_coordinator = nullptr;
+
+void HandleSignal(int /*signum*/) {
+  // RequestStop is async-signal-safe: a relaxed atomic store.
+  if (g_coordinator != nullptr) g_coordinator->RequestStop();
+}
+
+/// Parses "host:port,host:port,..." (host may be omitted: ":7001" or bare
+/// "7001" both mean 127.0.0.1). Returns false on a malformed entry.
+bool ParseEndpoints(const std::string& spec,
+                    std::vector<fedrec::ShardEndpoint>& out) {
+  for (std::string_view entry : fedrec::SplitString(spec, ',')) {
+    if (entry.empty()) return false;
+    fedrec::ShardEndpoint endpoint;
+    const std::size_t colon = entry.rfind(':');
+    std::string_view port_text = entry;
+    if (colon != std::string_view::npos) {
+      if (colon > 0) endpoint.host = std::string(entry.substr(0, colon));
+      port_text = entry.substr(colon + 1);
+    }
+    unsigned port = 0;
+    for (const char c : port_text) {
+      if (c < '0' || c > '9') return false;
+      port = port * 10 + static_cast<unsigned>(c - '0');
+      if (port > 65535) return false;
+    }
+    if (port == 0) return false;
+    endpoint.port = static_cast<std::uint16_t>(port);
+    out.push_back(endpoint);
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fedrec::FlagParser flags;
+  flags.Parse(argc, argv).CheckOK();
+
+  fedrec::FederationCoordinator::Options options;
+  const std::string shardd = flags.GetString("shardd", "");
+  if (!ParseEndpoints(shardd, options.endpoints)) {
+    std::fprintf(stderr,
+                 "fedrec_coord: --shardd=host:port,host:port,... is required "
+                 "(got \"%s\")\n",
+                 shardd.c_str());
+    return 2;
+  }
+  options.users = static_cast<std::size_t>(flags.GetInt("users", 120));
+  options.dim = static_cast<std::size_t>(flags.GetInt("dim", 16));
+  options.clients_per_round =
+      static_cast<std::size_t>(flags.GetInt("clients-per-round", 24));
+  options.epochs = static_cast<std::size_t>(flags.GetInt("epochs", 4));
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 11));
+  options.data_seed = static_cast<std::uint64_t>(flags.GetInt("data-seed", 7));
+  options.dropout_rate = flags.GetDouble("dropout", 0.0);
+  options.straggler_rate = flags.GetDouble("stragglers", 0.0);
+  options.fault_seed =
+      static_cast<std::uint64_t>(flags.GetInt("fault-seed", 29));
+  options.checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  options.checkpoint_every =
+      static_cast<std::size_t>(flags.GetInt("checkpoint-every", 1));
+  options.kill_after_round =
+      static_cast<std::size_t>(flags.GetInt("kill-after-round", 0));
+  options.io_timeout_ms =
+      static_cast<std::uint32_t>(flags.GetInt("io-timeout-ms", 5000));
+
+  fedrec::FederationCoordinator coordinator(options);
+  g_coordinator = &coordinator;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::printf("fedrec_coord: %zu shards, %zu epochs, checkpoint %s\n",
+              options.endpoints.size(), options.epochs,
+              options.checkpoint_dir.empty() ? "(off)"
+                                             : options.checkpoint_dir.c_str());
+  std::fflush(stdout);
+  return coordinator.Run();
+}

@@ -1,14 +1,23 @@
 /// fedrec_shardd: one shard server process of a socket-deployed federation.
 ///
 ///   ./fedrec_shardd --shard=0 [--host=127.0.0.1] [--port=0]
+///                   [--heartbeat-interval-ms=0] [--peer-timeout-ms=0]
+///                   [--read-deadline-ms=0] [--max-frames-per-drain=64]
 ///
 /// Serves its shard's decode + aggregate + FRWD-encode step over TCP to a
 /// SocketShardTransport coordinator. Port 0 picks a free port; the bound
 /// port is printed on a line of its own (`listening on <port>`) so launch
 /// scripts can scrape it. The daemon adopts its run (geometry + FRCK run
 /// fingerprint) from the first coordinator hello and refuses mismatched
-/// coordinators afterwards. SIGINT/SIGTERM stop it cleanly, as does a
-/// kShutdown frame from the coordinator.
+/// coordinators afterwards. SIGINT/SIGTERM drain cleanly: buffered frames
+/// are served, pending replies flushed, and the process exits 0.
+///
+/// The liveness flags (all default-off, values in milliseconds) arm the
+/// deadline wheel: --heartbeat-interval-ms probes an idle coordinator,
+/// --peer-timeout-ms reaps a silent one, and --read-deadline-ms closes a
+/// connection that dribbles one frame slower than the deadline (slow-loris
+/// guard). --max-frames-per-drain bounds how many buffered frames one
+/// connection may serve before yielding to its peers.
 
 #include <csignal>
 #include <cstdio>
@@ -35,6 +44,14 @@ int main(int argc, char** argv) {
   options.host = flags.GetString("host", "127.0.0.1");
   options.port = static_cast<std::uint16_t>(flags.GetInt("port", 0));
   options.shard_index = static_cast<std::uint64_t>(flags.GetInt("shard", 0));
+  options.liveness.heartbeat_interval_ms =
+      static_cast<std::uint64_t>(flags.GetInt("heartbeat-interval-ms", 0));
+  options.liveness.peer_timeout_ms =
+      static_cast<std::uint64_t>(flags.GetInt("peer-timeout-ms", 0));
+  options.liveness.read_deadline_ms =
+      static_cast<std::uint64_t>(flags.GetInt("read-deadline-ms", 0));
+  options.max_frames_per_drain =
+      static_cast<std::size_t>(flags.GetInt("max-frames-per-drain", 64));
 
   fedrec::ShardDaemon daemon(options);
   daemon.Listen().CheckOK();
@@ -58,5 +75,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.connections_accepted),
       static_cast<unsigned long long>(stats.recoverable_errors),
       static_cast<unsigned long long>(stats.hellos_rejected));
+  std::printf(
+      "fedrec_shardd: liveness %llu heartbeats, %llu peers reaped, "
+      "%llu slow reads closed, %llu drain deferrals\n",
+      static_cast<unsigned long long>(stats.heartbeats_sent),
+      static_cast<unsigned long long>(stats.peers_reaped),
+      static_cast<unsigned long long>(stats.slow_reads_closed),
+      static_cast<unsigned long long>(stats.drain_deferrals));
   return 0;
 }

@@ -3,7 +3,11 @@
 #include <unistd.h>
 
 #include <array>
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "common/stopwatch.h"
 
 namespace fedrec {
 
@@ -12,6 +16,13 @@ namespace {
 /// Socket reads land in chunks of this size; each connection's frame buffer
 /// high-waters at the largest delivery plus one chunk.
 constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Cap on the poll timeout while deadlines are armed, so a clock hiccup can
+/// never park the loop much past the next wheel revolution.
+constexpr std::uint64_t kMaxWaitMs = 60 * 1000;
+
+/// SIGTERM drain budget: flush attempts per connection, 1 ms apart.
+constexpr int kDrainFlushAttempts = 200;
 
 }  // namespace
 
@@ -58,6 +69,16 @@ void ShardDaemon::RequestStop() {
   (void)written;  // a full pipe already guarantees a pending wakeup
 }
 
+int ShardDaemon::NextWaitTimeout() const {
+  if (!deferred_.empty()) return 0;  // buffered frames are ready work
+  std::uint64_t next = 0;
+  if (!wheel_.NextDeadline(next)) return -1;
+  const std::uint64_t now = MonotonicMillis();
+  if (next <= now) return 0;
+  const std::uint64_t gap = next - now;
+  return static_cast<int>(gap < kMaxWaitMs ? gap : kMaxWaitMs);
+}
+
 void ShardDaemon::Run() {
   FEDREC_CHECK(listen_fd_ >= 0) << "Listen() must succeed before Run()";
   loop_.Watch(listen_fd_, EPOLLIN, static_cast<std::uint64_t>(listen_fd_))
@@ -65,7 +86,7 @@ void ShardDaemon::Run() {
   loop_.Watch(wake_read_, EPOLLIN, static_cast<std::uint64_t>(wake_read_))
       .CheckOK();
   while (!stop_.load(std::memory_order_acquire)) {
-    const std::span<const epoll_event> events = loop_.Wait(-1);
+    const std::span<const epoll_event> events = loop_.Wait(NextWaitTimeout());
     for (const epoll_event& event : events) {
       const int fd = static_cast<int>(event.data.u64);
       if (fd == wake_read_) {
@@ -80,7 +101,25 @@ void ShardDaemon::Run() {
       }
       HandleConnectionEvent(fd, event.events);
     }
+    if (wheel_.armed_count() > 0) {
+      const std::uint64_t now = MonotonicMillis();
+      due_.clear();
+      wheel_.ExpireDue(now, due_);
+      for (const std::uint64_t tag : due_) {
+        HandleDeadline(static_cast<int>(tag), now);
+      }
+    }
+    if (!deferred_.empty()) {
+      // Serve the fds whose drain was cut short last turn, after fresh
+      // socket events — round-robin fairness between busy connections.
+      deferred_scratch_.swap(deferred_);
+      for (const int fd : deferred_scratch_) {
+        ServeBufferedFrames(fd, /*drain_all=*/false);
+      }
+      deferred_scratch_.clear();
+    }
   }
+  DrainOnStop();
   // Leave connections to the destructor (a stopped daemon may still be
   // inspected); deregister the long-lived fds so Run() can be re-entered.
   loop_.Remove(listen_fd_);
@@ -103,12 +142,18 @@ void ShardDaemon::AcceptPending() {
     if (slot == nullptr) slot = std::make_unique<Connection>();
     slot->fd = fd;
     slot->reader.Reset();
+    slot->reader.set_max_payload(options_.max_frame_payload);
     slot->out.Reset();
     slot->helloed = false;
     slot->out_armed = false;
+    slot->live = PeerLiveness{};
     if (!loop_.Watch(fd, EPOLLIN, static_cast<std::uint64_t>(fd)).ok()) {
       CloseSocket(slot->fd);
       continue;
+    }
+    if (options_.liveness.enabled()) {
+      slot->live.last_activity_ms = MonotonicMillis();
+      ArmLiveness(*slot);
     }
     ++stats_.connections_accepted;
   }
@@ -128,6 +173,7 @@ void ShardDaemon::HandleConnectionEvent(int fd, std::uint32_t events) {
   // every complete frame. A peer close is honoured only after the buffered
   // frames are served, so a shutdown frame followed by close still lands.
   bool peer_closed = false;
+  std::size_t received = 0;
   for (;;) {
     char* tail = conn->reader.PrepareWrite(kReadChunk);
     ReadOutcome outcome;
@@ -136,26 +182,66 @@ void ShardDaemon::HandleConnectionEvent(int fd, std::uint32_t events) {
       return;
     }
     conn->reader.CommitWrite(outcome.bytes);
+    received += outcome.bytes;
     if (outcome.eof) {
       peer_closed = true;
       break;
     }
     if (outcome.would_block) break;
   }
+  if (options_.liveness.enabled() && received > 0) {
+    // Any inbound byte is proof of life: reset the silence window and allow
+    // the next idle gap its own (single) probe.
+    conn->live.last_activity_ms = MonotonicMillis();
+    conn->live.probe_sent = false;
+  }
+  // A closing peer gets its buffered frames served in full (nothing more is
+  // coming, so fairness deferral would strand them).
+  ServeBufferedFrames(fd, /*drain_all=*/peer_closed);
+  if (conn->fd != fd) return;  // serving closed the connection
+  if (peer_closed) {
+    CloseConnection(fd);
+    return;
+  }
+  if (options_.liveness.enabled()) {
+    // Track the age of a partially buffered frame for the read deadline.
+    if (conn->reader.pending() > 0) {
+      if (conn->live.read_start_ms == 0) {
+        conn->live.read_start_ms = MonotonicMillis();
+      }
+    } else {
+      conn->live.read_start_ms = 0;
+    }
+    ArmLiveness(*conn);
+  }
+}
+
+void ShardDaemon::ServeBufferedFrames(int fd, bool drain_all) {
+  if (static_cast<std::size_t>(fd) >= conns_.size()) return;
+  Connection* conn = conns_[static_cast<std::size_t>(fd)].get();
+  if (conn == nullptr || conn->fd != fd) return;  // closed since queued
+  std::size_t served = 0;
   for (;;) {
+    if (!drain_all && options_.max_frames_per_drain != 0 &&
+        served >= options_.max_frames_per_drain) {
+      // Yield: other connections get the loop before this one's backlog.
+      ++stats_.drain_deferrals;
+      deferred_.push_back(fd);
+      return;
+    }
     FrameView frame;
     bool has_frame = false;
     if (!conn->reader.Next(frame, has_frame).ok()) {
       CloseConnection(fd);  // unframeable bytes: nothing left to trust
       return;
     }
-    if (!has_frame) break;
+    if (!has_frame) return;
+    ++served;
     if (!HandleFrame(*conn, frame)) {
       CloseConnection(fd);
       return;
     }
   }
-  if (peer_closed) CloseConnection(fd);
 }
 
 bool ShardDaemon::HandleFrame(Connection& conn, const FrameView& frame) {
@@ -168,8 +254,11 @@ bool ShardDaemon::HandleFrame(Connection& conn, const FrameView& frame) {
     case FrameType::kShutdown:
       stop_.store(true, std::memory_order_release);
       return true;
+    case FrameType::kHeartbeat:
+      // Proof of life only; the byte-level activity refresh already ran.
+      return true;
     default:
-      return false;  // a shardd receives only the three types above
+      return false;  // a shardd receives only the types above
   }
 }
 
@@ -287,11 +376,75 @@ bool ShardDaemon::FlushConnection(Connection& conn) {
 void ShardDaemon::CloseConnection(int fd) {
   Connection* conn = conns_[static_cast<std::size_t>(fd)].get();
   loop_.Remove(fd);
+  wheel_.Disarm(static_cast<std::uint64_t>(fd));
   CloseSocket(conn->fd);
   conn->reader.Reset();
   conn->out.Reset();
   conn->helloed = false;
   conn->out_armed = false;
+  conn->live = PeerLiveness{};
+}
+
+// fedrec:hot — re-armed on every inbound byte of every connection.
+void ShardDaemon::ArmLiveness(Connection& conn) {
+  const std::uint64_t tag = static_cast<std::uint64_t>(conn.fd);
+  const std::uint64_t next = NextLivenessDeadline(options_.liveness, conn.live);
+  if (next == 0) {
+    wheel_.Disarm(tag);
+  } else {
+    wheel_.Arm(tag, next);
+  }
+}
+
+void ShardDaemon::HandleDeadline(int fd, std::uint64_t now_ms) {
+  if (static_cast<std::size_t>(fd) >= conns_.size()) return;
+  Connection* conn = conns_[static_cast<std::size_t>(fd)].get();
+  if (conn == nullptr || conn->fd != fd) return;  // closed since expiry
+  switch (ClassifyDeadline(options_.liveness, conn->live, now_ms)) {
+    case LivenessVerdict::kSlowRead:
+      // A frame has trickled for longer than the read deadline: the peer is
+      // holding reassembly state hostage (half-open or malicious).
+      ++stats_.slow_reads_closed;
+      CloseConnection(fd);
+      return;
+    case LivenessVerdict::kReap:
+      ++stats_.peers_reaped;
+      CloseConnection(fd);
+      return;
+    case LivenessVerdict::kProbe:
+      conn->live.probe_sent = true;
+      ++stats_.heartbeats_sent;
+      conn->out.AppendFrame(FrameType::kHeartbeat, {});
+      if (!FlushConnection(*conn)) {
+        CloseConnection(fd);
+        return;
+      }
+      break;
+    case LivenessVerdict::kNone:
+      break;  // state changed between arming and expiry
+  }
+  ArmLiveness(*conn);
+}
+
+void ShardDaemon::DrainOnStop() {
+  // Orderly-stop drain (SIGTERM / kShutdown): every already-buffered frame
+  // is served — its reply joins the send queue — and each connection then
+  // gets a bounded window to flush. No new bytes are read; a coordinator
+  // mid-request sees an orderly close and retries elsewhere.
+  for (std::unique_ptr<Connection>& slot : conns_) {
+    if (slot == nullptr || slot->fd < 0) continue;
+    const int fd = slot->fd;
+    ServeBufferedFrames(fd, /*drain_all=*/true);
+    if (slot->fd != fd) continue;  // serving closed the connection
+    for (int attempt = 0; attempt < kDrainFlushAttempts; ++attempt) {
+      if (slot->out.empty()) break;
+      bool blocked = false;
+      if (!slot->out.Flush(slot->fd, blocked).ok()) break;
+      if (blocked) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
 }
 
 }  // namespace fedrec

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/deadline_wheel.h"
 #include "net/epoll_loop.h"
 #include "net/frame.h"
+#include "net/liveness.h"
 #include "net/socket.h"
 #include "shard/shard_protocol.h"
 #include "shard/shard_server.h"
@@ -43,6 +45,15 @@ class ShardDaemon {
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;          ///< 0 = pick a free port (see port())
     std::uint64_t shard_index = 0;   ///< which shard this daemon serves
+    /// Liveness knobs (see net/liveness.h); all default off, so the daemon
+    /// behaves exactly as before liveness existed unless configured.
+    LivenessOptions liveness;
+    /// Per-connection frame payload cap (see FrameReader::set_max_payload).
+    std::uint64_t max_frame_payload = kMaxFramePayload;
+    /// Frames served per connection per loop turn before yielding to other
+    /// connections (0 = unbounded). A peer that pipelines thousands of
+    /// frames then shares the loop instead of monopolising it.
+    std::size_t max_frames_per_drain = 64;
   };
 
   struct Stats {
@@ -51,6 +62,10 @@ class ShardDaemon {
     std::uint64_t hellos_rejected = 0;
     std::uint64_t connections_accepted = 0;
     std::uint64_t recoverable_errors = 0;  ///< kError replies sent
+    std::uint64_t heartbeats_sent = 0;     ///< idle probes emitted
+    std::uint64_t peers_reaped = 0;        ///< half-open connections closed
+    std::uint64_t slow_reads_closed = 0;   ///< partial-frame deadline closes
+    std::uint64_t drain_deferrals = 0;     ///< fairness yields mid-drain
   };
 
   explicit ShardDaemon(Options options);
@@ -81,10 +96,14 @@ class ShardDaemon {
     SendQueue out;
     bool helloed = false;
     bool out_armed = false;  ///< EPOLLOUT currently in the epoll mask
+    PeerLiveness live;       ///< activity timestamps for the deadline wheel
   };
 
   void AcceptPending();
   void HandleConnectionEvent(int fd, std::uint32_t events);
+  /// Serves complete frames buffered on `fd`, up to max_frames_per_drain
+  /// (unbounded when `drain_all`); re-queues the connection on deferral.
+  void ServeBufferedFrames(int fd, bool drain_all);
   /// Returns false when the connection must be closed.
   bool HandleFrame(Connection& conn, const FrameView& frame);
   bool HandleHello(Connection& conn, std::string_view payload);
@@ -96,6 +115,17 @@ class ShardDaemon {
   /// Flushes the send queue and (de)arms EPOLLOUT to match.
   bool FlushConnection(Connection& conn);
   void CloseConnection(int fd);
+  /// Re-arms (or disarms) `conn`'s slot on the deadline wheel from its
+  /// current liveness state.
+  void ArmLiveness(Connection& conn);
+  /// Acts on one due wheel deadline (probe / reap / slow-read close).
+  void HandleDeadline(int fd, std::uint64_t now_ms);
+  /// Poll timeout for the next loop turn: 0 while deferred drains are
+  /// queued, time-to-next-deadline while the wheel is armed, else -1.
+  int NextWaitTimeout() const;
+  /// SIGTERM path: serve already-buffered frames and give every connection
+  /// a bounded window to flush queued replies before Run() returns.
+  void DrainOnStop();
 
   Options options_;
   int listen_fd_ = -1;
@@ -111,6 +141,10 @@ class ShardDaemon {
 
   std::vector<std::unique_ptr<Connection>> conns_;  ///< indexed by fd
   BinaryWriter scratch_;           ///< error / ack payload encode scratch
+  DeadlineWheel wheel_;            ///< liveness deadlines keyed by fd
+  std::vector<std::uint64_t> due_;       ///< ExpireDue scratch (reused)
+  std::vector<int> deferred_;            ///< fds with frames still buffered
+  std::vector<int> deferred_scratch_;    ///< swap buffer for the above
   Stats stats_;
 };
 

@@ -43,6 +43,9 @@ Status SocketShardTransport::ReadFrame(Connection& conn, FrameView& out) {
   for (;;) {
     bool has_frame = false;
     FEDREC_RETURN_NOT_OK(conn.reader.Next(out, has_frame));
+    // Liveness probes may be interleaved anywhere in the reply stream; they
+    // carry no payload and answer no request, so skip past them.
+    if (has_frame && out.type == FrameType::kHeartbeat) continue;
     if (has_frame) return Status::OK();
     char* tail = conn.reader.PrepareWrite(kReadChunk);
     ReadOutcome outcome;

@@ -1,0 +1,497 @@
+/// Process-level chaos suite: forks the real `fedrec_shardd` and
+/// `fedrec_coord` binaries (paths injected by CMake as FEDREC_SHARDD_BIN /
+/// FEDREC_COORD_BIN), SIGKILLs them at seeded points, and asserts the
+/// recovery contract from shard/coordinator.h at the strongest possible
+/// level: the recovered run's transcript — final-model digest, per-epoch
+/// loss lines printed to 17 significant digits, fault ledger — is
+/// bit-identical to a run that never died.
+///
+/// Three scenarios:
+///  - coordinator SIGKILL mid-epoch (via --kill-after-round) + restart over
+///    the same live shardd fleet resumes from the FRCK autosave and matches
+///    the clean transcript line for line;
+///  - a shard endpoint that is dead before round 1 degrades every round to
+///    the local fallback without changing a single transcript byte (only the
+///    wire ledger differs);
+///  - two runs through ChaosProxy pairs with the same (seed, chaos_seed)
+///    produce identical transcripts AND identical proxy fault schedules.
+///
+/// Everything here runs real processes over real sockets; the only
+/// in-process pieces are the ChaosProxy relays (they expose Stats the replay
+/// scenario compares).
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/chaos_proxy.h"
+#include "net/socket.h"
+
+namespace fedrec {
+namespace {
+
+// --- Subprocess plumbing -----------------------------------------------------
+
+/// Forks `binary` with `args`, stdout+stderr redirected to `stdout_path`.
+pid_t Spawn(const std::string& binary, const std::vector<std::string>& args,
+            const std::string& stdout_path) {
+  std::vector<std::string> storage;
+  storage.push_back(binary);
+  for (const std::string& arg : args) storage.push_back(arg);
+  std::vector<char*> argv;
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int fd = ::open(stdout_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY,
+                          0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      ::close(fd);
+    }
+    ::execv(binary.c_str(), argv.data());
+    _exit(127);  // exec failed; the parent sees it as exit code 127
+  }
+  return pid;
+}
+
+/// Blocks until `pid` exits; returns the raw waitpid status.
+int WaitExit(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  return status;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Polls `stdout_path` for the daemon's `listening on <port>` line.
+std::uint16_t WaitForPort(const std::string& stdout_path) {
+  constexpr char kNeedle[] = "listening on ";
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    const std::string text = ReadFile(stdout_path);
+    const std::size_t pos = text.find(kNeedle);
+    if (pos != std::string::npos &&
+        text.find('\n', pos) != std::string::npos) {
+      return static_cast<std::uint16_t>(
+          std::atoi(text.c_str() + pos + sizeof(kNeedle) - 1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ADD_FAILURE() << "shardd never printed its port: " << stdout_path;
+  return 0;
+}
+
+/// A per-test scratch directory (checkpoints + process logs).
+std::string MakeScratchDir() {
+  std::string tmpl = ::testing::TempDir() + "fedrec_chaos_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return tmpl;
+}
+
+/// A fleet of real fedrec_shardd processes, one per shard index, killed on
+/// destruction. Endpoint order matches shard index (the coordinator's
+/// contiguous-range plan assigns shard i to endpoint i).
+class ShardFleet {
+ public:
+  ShardFleet(std::size_t count, const std::string& dir,
+             const std::string& tag) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::string log =
+          dir + "/" + tag + "_shardd_" + std::to_string(i) + ".log";
+      pids_.push_back(Spawn(FEDREC_SHARDD_BIN,
+                            {"--shard=" + std::to_string(i), "--port=0"},
+                            log));
+      ports_.push_back(WaitForPort(log));
+    }
+  }
+
+  ~ShardFleet() {
+    for (std::size_t i = 0; i < pids_.size(); ++i) KillShard(i);
+  }
+
+  ShardFleet(const ShardFleet&) = delete;
+  ShardFleet& operator=(const ShardFleet&) = delete;
+
+  void KillShard(std::size_t index) {
+    if (pids_[index] < 0) return;
+    ::kill(pids_[index], SIGKILL);
+    (void)WaitExit(pids_[index]);
+    pids_[index] = -1;
+  }
+
+  std::uint16_t port(std::size_t index) const { return ports_[index]; }
+
+  /// "127.0.0.1:p0,127.0.0.1:p1,..." for --shardd.
+  std::string EndpointSpec() const {
+    std::string spec;
+    for (const std::uint16_t port : ports_) {
+      if (!spec.empty()) spec += ',';
+      spec += "127.0.0.1:" + std::to_string(port);
+    }
+    return spec;
+  }
+
+ private:
+  std::vector<pid_t> pids_;
+  std::vector<std::uint16_t> ports_;
+};
+
+// --- Coordinator transcript --------------------------------------------------
+
+struct CoordRun {
+  int status = 0;                  ///< raw waitpid status
+  std::vector<std::string> lines;  ///< full stdout transcript
+};
+
+CoordRun RunCoordinator(const std::vector<std::string>& args,
+                        const std::string& log) {
+  CoordRun run;
+  run.status = WaitExit(Spawn(FEDREC_COORD_BIN, args, log));
+  run.lines = SplitLines(ReadFile(log));
+  return run;
+}
+
+/// The shared workload flags: small enough to finish in well under a second,
+/// large enough for 15 rounds (3 epochs x 60 users / 12 per round).
+std::vector<std::string> BaseArgs(const std::string& endpoints) {
+  return {"--shardd=" + endpoints, "--users=60",  "--dim=8",
+          "--clients-per-round=12", "--epochs=3", "--seed=21",
+          "--data-seed=9"};
+}
+
+/// Epoch-number -> full `epoch N loss ...` line.
+std::map<std::size_t, std::string> EpochLines(
+    const std::vector<std::string>& lines) {
+  std::map<std::size_t, std::string> epochs;
+  for (const std::string& line : lines) {
+    if (line.rfind("epoch ", 0) == 0) {
+      epochs[static_cast<std::size_t>(std::atoi(line.c_str() + 6))] = line;
+    }
+  }
+  return epochs;
+}
+
+/// First line starting with `prefix`, or "" when absent.
+std::string FindLine(const std::vector<std::string>& lines,
+                     const std::string& prefix) {
+  for (const std::string& line : lines) {
+    if (line.rfind(prefix, 0) == 0) return line;
+  }
+  return std::string();
+}
+
+bool HasLineContaining(const std::vector<std::string>& lines,
+                       const std::string& needle) {
+  for (const std::string& line : lines) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Parses `key=<number>` out of a ledger-style line; 0 when absent.
+std::uint64_t LedgerField(const std::string& line, const std::string& key) {
+  const std::size_t pos = line.find(key + "=");
+  if (pos == std::string::npos) return 0;
+  return static_cast<std::uint64_t>(
+      std::strtoull(line.c_str() + pos + key.size() + 1, nullptr, 10));
+}
+
+// --- Scenario A: coordinator SIGKILL + restart -------------------------------
+
+TEST(ChaosTest, KilledCoordinatorRecoversBitIdentically) {
+  const std::string dir = MakeScratchDir();
+  ShardFleet fleet(2, dir, "recover");
+  const std::string endpoints = fleet.EndpointSpec();
+
+  // Reference: the run that never dies.
+  const CoordRun clean = RunCoordinator(BaseArgs(endpoints), dir + "/clean.log");
+  ASSERT_TRUE(WIFEXITED(clean.status) && WEXITSTATUS(clean.status) == 0)
+      << ReadFile(dir + "/clean.log");
+  const std::string clean_digest = FindLine(clean.lines, "digest ");
+  const std::string clean_ledger = FindLine(clean.lines, "ledger ");
+  const std::string clean_wire = FindLine(clean.lines, "wire ");
+  ASSERT_FALSE(clean_digest.empty());
+  const std::map<std::size_t, std::string> clean_epochs =
+      EpochLines(clean.lines);
+  ASSERT_EQ(clean_epochs.size(), 3u);
+
+  // The doomed run: autosaves every 2 rounds, SIGKILLs itself right after
+  // round 7 — after the round, before its autosave, so recovery must replay
+  // round 7 from the round-6 checkpoint.
+  std::vector<std::string> killed_args = BaseArgs(endpoints);
+  killed_args.push_back("--checkpoint-dir=" + dir);
+  killed_args.push_back("--checkpoint-every=2");
+  killed_args.push_back("--kill-after-round=7");
+  const CoordRun killed = RunCoordinator(killed_args, dir + "/killed.log");
+  ASSERT_TRUE(WIFSIGNALED(killed.status));
+  ASSERT_EQ(WTERMSIG(killed.status), SIGKILL);
+  EXPECT_TRUE(FindLine(killed.lines, "digest ").empty())
+      << "a SIGKILLed run must not have reached completion";
+
+  // The successor: identical command line minus the kill switch, over the
+  // SAME live fleet (hellos re-validate against the pinned fingerprint).
+  std::vector<std::string> recover_args = BaseArgs(endpoints);
+  recover_args.push_back("--checkpoint-dir=" + dir);
+  recover_args.push_back("--checkpoint-every=2");
+  const CoordRun recovered =
+      RunCoordinator(recover_args, dir + "/recovered.log");
+  ASSERT_TRUE(WIFEXITED(recovered.status) && WEXITSTATUS(recovered.status) == 0)
+      << ReadFile(dir + "/recovered.log");
+  EXPECT_TRUE(HasLineContaining(recovered.lines, "restored checkpoint:"))
+      << "successor did not resume from the autosave";
+
+  // Bit-identity: the final model digest, the fault ledger (restored from
+  // the checkpoint's engine snapshot) and the wire ledger all match the
+  // uninterrupted run.
+  EXPECT_EQ(FindLine(recovered.lines, "digest "), clean_digest);
+  EXPECT_EQ(FindLine(recovered.lines, "ledger "), clean_ledger);
+  EXPECT_EQ(FindLine(recovered.lines, "wire "), clean_wire);
+
+  // Loss trajectory: every epoch line either process printed must be
+  // byte-identical to the clean run's line for that epoch, and between the
+  // doomed prefix and the recovered suffix every epoch is accounted for.
+  std::map<std::size_t, std::string> combined = EpochLines(killed.lines);
+  for (const auto& [epoch, line] : EpochLines(recovered.lines)) {
+    combined[epoch] = line;
+  }
+  EXPECT_EQ(combined.size(), clean_epochs.size());
+  for (const auto& [epoch, line] : clean_epochs) {
+    const auto it = combined.find(epoch);
+    ASSERT_NE(it, combined.end()) << "epoch " << epoch << " never reported";
+    EXPECT_EQ(it->second, line);
+  }
+  for (const auto& [epoch, line] : EpochLines(killed.lines)) {
+    EXPECT_EQ(line, clean_epochs.at(epoch))
+        << "pre-crash transcript diverged at epoch " << epoch;
+  }
+}
+
+// --- Scenario B: dead shard falls back bit-identically -----------------------
+
+TEST(ChaosTest, DeadShardFallsBackWithIdenticalTranscript) {
+  const std::string dir = MakeScratchDir();
+
+  std::string clean_digest;
+  std::string clean_ledger;
+  std::map<std::size_t, std::string> clean_epochs;
+  {
+    ShardFleet fleet(2, dir, "clean");
+    const CoordRun clean =
+        RunCoordinator(BaseArgs(fleet.EndpointSpec()), dir + "/clean.log");
+    ASSERT_TRUE(WIFEXITED(clean.status) && WEXITSTATUS(clean.status) == 0)
+        << ReadFile(dir + "/clean.log");
+    clean_digest = FindLine(clean.lines, "digest ");
+    clean_ledger = FindLine(clean.lines, "ledger ");
+    clean_epochs = EpochLines(clean.lines);
+    ASSERT_FALSE(clean_digest.empty());
+  }
+
+  // One live shardd for shard 0; shard 1's endpoint is a port nothing
+  // listens on (bound once to reserve it, then closed), so delivery to it
+  // is refused from round 1 and every round exercises the local fallback.
+  ShardFleet fleet(1, dir, "degraded");
+  Result<int> reserved = TcpListen("127.0.0.1", 0, 1);
+  ASSERT_TRUE(reserved.ok());
+  int reserved_fd = reserved.value();
+  Result<std::uint16_t> dead_port = BoundPort(reserved_fd);
+  ASSERT_TRUE(dead_port.ok());
+  CloseSocket(reserved_fd);
+
+  const std::string endpoints = fleet.EndpointSpec() + ",127.0.0.1:" +
+                                std::to_string(dead_port.value());
+  const CoordRun degraded =
+      RunCoordinator(BaseArgs(endpoints), dir + "/degraded.log");
+  ASSERT_TRUE(WIFEXITED(degraded.status) && WEXITSTATUS(degraded.status) == 0)
+      << ReadFile(dir + "/degraded.log");
+
+  // The model, losses and fault ledger do not change by a single byte; only
+  // the wire ledger records the outages and fallbacks.
+  EXPECT_EQ(FindLine(degraded.lines, "digest "), clean_digest);
+  EXPECT_EQ(FindLine(degraded.lines, "ledger "), clean_ledger);
+  EXPECT_EQ(EpochLines(degraded.lines), clean_epochs);
+  const std::string wire = FindLine(degraded.lines, "wire ");
+  EXPECT_GT(LedgerField(wire, "fallbacks"), 0u) << wire;
+  EXPECT_GT(LedgerField(wire, "outages"), 0u) << wire;
+}
+
+// --- Scenario C: chaos schedule replayability --------------------------------
+
+/// Everything one chaos run observes: the coordinator's transcript essence
+/// plus each proxy's injected-fault ledger.
+struct ChaosRunResult {
+  bool completed = false;
+  std::string digest;
+  std::string ledger;
+  std::string wire;
+  std::map<std::size_t, std::string> epochs;
+  std::vector<ChaosProxy::Stats> proxy_stats;
+};
+
+std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+           std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t>
+StatsTuple(const ChaosProxy::Stats& stats) {
+  return {stats.connections_accepted, stats.windows_drawn,
+          stats.bytes_forwarded,      stats.bytes_blackholed,
+          stats.resets_injected,      stats.corruptions_injected,
+          stats.delays_injected,      stats.partitions_injected};
+}
+
+/// One full coordinator run against a fresh fleet, each shardd fronted by a
+/// fresh ChaosProxy running `spec`. Fresh processes + fresh proxies mean
+/// connection ids and byte counts start from zero, so the fault schedule is
+/// a pure function of (workload seed, chaos_seed).
+ChaosRunResult RunUnderChaos(const std::string& dir, const std::string& tag,
+                             const ChaosSpec& spec) {
+  ChaosRunResult result;
+  ShardFleet fleet(2, dir, tag);
+
+  std::vector<std::unique_ptr<ChaosProxy>> proxies;
+  std::vector<std::thread> threads;
+  std::string endpoints;
+  for (std::size_t i = 0; i < 2; ++i) {
+    ChaosProxy::Options options;
+    options.upstream_port = fleet.port(i);
+    options.chaos = spec;
+    proxies.push_back(std::make_unique<ChaosProxy>(options));
+    if (!proxies.back()->Listen().ok()) {
+      ADD_FAILURE() << "proxy listen failed";
+      return result;
+    }
+    threads.emplace_back([proxy = proxies.back().get()] { proxy->Run(); });
+    if (!endpoints.empty()) endpoints += ',';
+    endpoints += "127.0.0.1:" + std::to_string(proxies.back()->port());
+  }
+
+  // A short io timeout keeps black-holed windows from stalling the run: the
+  // read times out, the delivery counts as an outage, the retry reconnects.
+  std::vector<std::string> args = BaseArgs(endpoints);
+  args.push_back("--io-timeout-ms=500");
+  const CoordRun run = RunCoordinator(args, dir + "/" + tag + ".log");
+
+  // The coordinator is dead, so every link drains to EOF and closes; wait
+  // for that before stopping, or the stop wakeup races the final window
+  // draws and windows_drawn flaps by one between replays.
+  for (const std::unique_ptr<ChaosProxy>& proxy : proxies) {
+    for (int attempt = 0; attempt < 2000 && proxy->open_links() > 0;
+         ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(proxy->open_links(), 0u) << "links never drained after exit";
+  }
+  for (std::unique_ptr<ChaosProxy>& proxy : proxies) proxy->RequestStop();
+  for (std::thread& thread : threads) thread.join();
+
+  result.completed = WIFEXITED(run.status) && WEXITSTATUS(run.status) == 0;
+  result.digest = FindLine(run.lines, "digest ");
+  result.ledger = FindLine(run.lines, "ledger ");
+  result.wire = FindLine(run.lines, "wire ");
+  result.epochs = EpochLines(run.lines);
+  for (const std::unique_ptr<ChaosProxy>& proxy : proxies) {
+    result.proxy_stats.push_back(proxy->stats());
+  }
+  return result;
+}
+
+/// Transcript essence must match between two runs; returns total faults the
+/// first run's proxies injected (so callers can reject a vacuous replay).
+std::uint64_t ExpectSameTranscript(const ChaosRunResult& first,
+                                   const ChaosRunResult& second) {
+  EXPECT_TRUE(first.completed) << "chaos run 1 did not finish cleanly";
+  EXPECT_TRUE(second.completed) << "chaos run 2 did not finish cleanly";
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.ledger, second.ledger);
+  EXPECT_EQ(first.wire, second.wire);
+  EXPECT_EQ(first.epochs, second.epochs);
+  std::uint64_t faults = 0;
+  for (const ChaosProxy::Stats& stats : first.proxy_stats) {
+    faults += stats.resets_injected + stats.corruptions_injected +
+              stats.delays_injected + stats.partitions_injected;
+  }
+  EXPECT_GT(faults, 0u) << "chaos rates never fired: vacuous replay";
+  return faults;
+}
+
+TEST(ChaosTest, ChaosScheduleReplaysBitIdentically) {
+  // Resets and delays only: both perturb connections exclusively at draw
+  // points the proxy itself controls, so even the proxies' byte-level Stats
+  // replay exactly. (Corruption and partitions can sever a connection while
+  // bytes are in flight, where kernel event order decides whether the
+  // doomed tail is ever drawn — their transcript determinism is covered
+  // below, their draw purity in net_test.)
+  ChaosSpec spec;
+  spec.chaos_seed = 4242;
+  spec.reset_rate = 0.05;
+  spec.delay_rate = 0.15;
+  spec.delay_max_ms = 2;
+  spec.window_bytes = 512;
+
+  const std::string dir = MakeScratchDir();
+  const ChaosRunResult first = RunUnderChaos(dir, "chaos_a", spec);
+  const ChaosRunResult second = RunUnderChaos(dir, "chaos_b", spec);
+  ExpectSameTranscript(first, second);
+  ASSERT_EQ(first.proxy_stats.size(), second.proxy_stats.size());
+  for (std::size_t i = 0; i < first.proxy_stats.size(); ++i) {
+    EXPECT_EQ(StatsTuple(first.proxy_stats[i]),
+              StatsTuple(second.proxy_stats[i]))
+        << "proxy " << i << " fault schedule diverged";
+  }
+}
+
+TEST(ChaosTest, CorruptionChaosKeepsTranscriptDeterministic) {
+  // Byte corruption severs connections at schedule-determined positions,
+  // but the *coordinator* only ever observes "this delivery attempt failed"
+  // — an outcome of the draw schedule alone — so the training transcript
+  // (model digest, losses, fault ledger, wire ledger) must still replay
+  // bit-identically even though proxy byte counts may not.
+  ChaosSpec spec;
+  spec.chaos_seed = 97;
+  spec.reset_rate = 0.03;
+  spec.corrupt_rate = 0.10;
+  spec.delay_rate = 0.05;
+  spec.delay_max_ms = 2;
+  spec.window_bytes = 512;
+
+  const std::string dir = MakeScratchDir();
+  const ChaosRunResult first = RunUnderChaos(dir, "corrupt_a", spec);
+  const ChaosRunResult second = RunUnderChaos(dir, "corrupt_b", spec);
+  ExpectSameTranscript(first, second);
+  std::uint64_t corruptions = 0;
+  for (const ChaosProxy::Stats& stats : first.proxy_stats) {
+    corruptions += stats.corruptions_injected;
+  }
+  EXPECT_GT(corruptions, 0u) << "corruption rate never fired";
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "common/matrix.h"
 #include "common/rng.h"
 #include "fed/aggregator.h"
 #include "net/frame.h"
@@ -99,6 +100,27 @@ class TestClient {
     return round.value();
   }
 
+  /// Raw bytes on the wire — corrupt frames, partial headers.
+  void SendRaw(std::string_view bytes) {
+    const std::array<std::string_view, 1> pieces = {bytes};
+    WriteAllVec(fd_, pieces).CheckOK();
+  }
+
+  /// Discards inbound bytes until the service closes the connection (orderly
+  /// or reset); false when the socket instead goes quiet for the io timeout.
+  bool WaitForClose() {
+    for (int i = 0; i < 1000; ++i) {
+      char buf[1024];
+      ReadOutcome outcome;
+      if (!ReadSome(fd_, buf, sizeof(buf), outcome).ok()) return true;
+      if (outcome.eof) return true;
+      if (outcome.would_block) return false;
+    }
+    return false;
+  }
+
+  int fd() const { return fd_; }
+
  private:
   int fd_ = -1;
   FrameReader reader_;
@@ -110,18 +132,31 @@ class ServiceHarness {
  public:
   ServiceHarness(MfModel* model, std::size_t num_shards,
                  std::size_t round_size, std::size_t max_rounds)
+      : ServiceHarness(model, num_shards,
+                       MakeOptions(round_size, max_rounds)) {}
+
+  /// Full-options variant for the liveness/backpressure suites.
+  ServiceHarness(MfModel* model, std::size_t num_shards,
+                 FederationService::Options options)
       : transport_(ShardPlan(kNumItems, num_shards,
                              ShardPolicy::kContiguousRange),
                    kDim) {
-    FederationService::Options options;
-    options.round_size = round_size;
-    options.learning_rate = kLearningRate;
-    options.max_rounds = max_rounds;
     service_ =
         std::make_unique<FederationService>(model, &transport_, options);
     service_->Listen().CheckOK();
     thread_ = std::thread([this] { service_->Run(); });
   }
+
+  static FederationService::Options MakeOptions(std::size_t round_size,
+                                                std::size_t max_rounds) {
+    FederationService::Options options;
+    options.round_size = round_size;
+    options.learning_rate = kLearningRate;
+    options.max_rounds = max_rounds;
+    return options;
+  }
+
+  void RequestStop() { service_->RequestStop(); }
 
   ~ServiceHarness() {
     if (thread_.joinable()) {
@@ -277,6 +312,182 @@ TEST(FederationServiceTest, WrongDimUploadIsRejected) {
   EXPECT_EQ(client.ExpectRoundAck(), 0u);
   harness.Join();
   EXPECT_EQ(harness.stats().rejected_uploads, 1u);
+}
+
+// --- S2 regression: byte-flip mid-stream ------------------------------------
+
+TEST(FederationServiceTest, ByteFlipMidStreamClosesAndSlotReusesClean) {
+  Rng init(10);
+  MfModel model(kNumItems, ModelParams(), init);
+  ServiceHarness harness(&model, /*num_shards=*/1, /*round_size=*/1,
+                         /*max_rounds=*/2);
+  {
+    TestClient victim(harness.port());
+    const std::array<std::size_t, 1> rows = {5};
+    victim.SendFrame(FrameType::kClientUpload,
+                     EncodeClientUpload(MakeGradients(1, 0, rows), 1));
+    EXPECT_EQ(victim.ExpectRoundAck(), 0u);
+
+    // A frame whose header magic took a bit flip in flight: framing is lost,
+    // so the service must drop the connection (an in-payload flip would be
+    // caught by the FRWU checksum instead and answered with kError).
+    std::string flipped =
+        EncodeClientUpload(MakeGradients(1, 1, rows), 1);
+    char header[kFrameHeaderBytes];
+    EncodeFrameHeader(FrameType::kClientUpload, flipped.size(), header);
+    header[2] ^= 0x10;
+    std::string wire(header, sizeof(header));
+    wire += flipped;
+    victim.SendRaw(wire);
+    EXPECT_TRUE(victim.WaitForClose()) << "poisoned stream kept the conn";
+  }
+
+  // The torn-down slot (likely the same fd number) must come back pristine:
+  // no reader poison, no partial-write carry from the dead connection.
+  TestClient fresh(harness.port());
+  const std::array<std::size_t, 1> rows = {6};
+  fresh.SendFrame(FrameType::kClientUpload,
+                  EncodeClientUpload(MakeGradients(2, 1, rows), 2));
+  EXPECT_EQ(fresh.ExpectRoundAck(), 1u);
+  harness.Join();
+  EXPECT_EQ(harness.stats().rounds_completed, 2u);
+}
+
+// --- S3: send-queue high water ----------------------------------------------
+
+namespace {
+
+struct OverloadOutcome {
+  std::uint64_t shed_frames = 0;
+  std::uint64_t retry_afters = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t allocations = 0;  ///< SparseAllocationCount delta of the run
+};
+
+/// One overload run: a client fires `uploads` rounds at a service whose
+/// accepted sockets have a one-byte SO_SNDBUF, and never reads a single
+/// reply. Returns the shed/allocation ledger of the run.
+OverloadOutcome RunOverload(std::size_t uploads) {
+  Rng init(11);
+  MfModel model(kNumItems, ModelParams(), init);
+  FederationService::Options options =
+      ServiceHarness::MakeOptions(/*round_size=*/1, /*max_rounds=*/uploads);
+  options.send_high_water = 1024;
+  options.retry_after_ms = 25;
+  options.so_sndbuf = 1;
+  ResetSparseAllocationCount();
+  OverloadOutcome outcome;
+  {
+    ServiceHarness harness(&model, /*num_shards=*/1, options);
+    TestClient client(harness.port());
+    const std::array<std::size_t, 1> rows = {7};
+    const std::string upload =
+        EncodeClientUpload(MakeGradients(3, 0, rows), 3);
+    for (std::size_t r = 0; r < uploads; ++r) {
+      client.SendFrame(FrameType::kClientUpload, upload);
+    }
+    harness.Join();  // self-stops at max_rounds; every round completed
+    outcome.shed_frames = harness.stats().shed_frames;
+    outcome.retry_afters = harness.stats().retry_afters_sent;
+    outcome.rounds = harness.stats().rounds_completed;
+  }
+  outcome.allocations = SparseAllocationCount();
+  return outcome;
+}
+
+}  // namespace
+
+TEST(FederationServiceTest, StalledPeerShedsWithRetryAfterNotUnboundedGrowth) {
+  const OverloadOutcome small = RunOverload(16000);
+  ASSERT_EQ(small.rounds, 16000u) << "shedding must not stall rounds";
+  EXPECT_GT(small.shed_frames, 0u) << "high water never breached";
+  // One notice per *breach*, not per shed frame: the peer's rcvbuf slowly
+  // absorbs bytes, so the queue can drain below high water and breach again,
+  // but the notice count must stay orders below the shed count.
+  EXPECT_GE(small.retry_afters, 1u) << "breach sent no overload notice";
+  EXPECT_LT(small.retry_afters * 100, small.shed_frames)
+      << "a notice per shed frame defeats the backpressure";
+
+  // Twice the sheddable traffic must not grow the queue further: past the
+  // high water every dropped reply is free, so the allocation ledger of the
+  // doubled run stays flat instead of doubling (one growth event per staged
+  // frame is what the broken, unbounded queue would record).
+  const OverloadOutcome big = RunOverload(32000);
+  ASSERT_EQ(big.rounds, 32000u);
+  EXPECT_GT(big.shed_frames, small.shed_frames);
+  EXPECT_LE(big.allocations, small.allocations + 128)
+      << "allocation count scaled with shed traffic: queue is growing";
+}
+
+// --- Liveness: probe, reap, slow read ---------------------------------------
+
+TEST(FederationServiceTest, IdleConnectionGetsHeartbeatProbe) {
+  Rng init(12);
+  MfModel model(kNumItems, ModelParams(), init);
+  FederationService::Options options =
+      ServiceHarness::MakeOptions(/*round_size=*/1, /*max_rounds=*/1);
+  options.liveness.heartbeat_interval_ms = 40;
+  ServiceHarness harness(&model, /*num_shards=*/1, options);
+
+  TestClient client(harness.port());
+  // Send nothing: the idle gap must draw exactly one probe, delivered as a
+  // payload-free kHeartbeat frame.
+  const auto [type, payload] = client.NextFrame();
+  EXPECT_EQ(type, FrameType::kHeartbeat);
+  EXPECT_TRUE(payload.empty());
+
+  const std::array<std::size_t, 1> rows = {9};
+  client.SendFrame(FrameType::kClientUpload,
+                   EncodeClientUpload(MakeGradients(4, 0, rows), 4));
+  EXPECT_EQ(client.ExpectRoundAck(), 0u);
+  harness.Join();
+  EXPECT_GE(harness.stats().heartbeats_sent, 1u);
+}
+
+TEST(FederationServiceTest, SilentPeerIsReaped) {
+  Rng init(13);
+  MfModel model(kNumItems, ModelParams(), init);
+  FederationService::Options options =
+      ServiceHarness::MakeOptions(/*round_size=*/1, /*max_rounds=*/1);
+  options.liveness.peer_timeout_ms = 60;
+  ServiceHarness harness(&model, /*num_shards=*/1, options);
+
+  TestClient silent(harness.port());
+  EXPECT_TRUE(silent.WaitForClose()) << "half-open connection not reaped";
+
+  // The reap freed the slot; a live client still completes the round.
+  TestClient live(harness.port());
+  const std::array<std::size_t, 1> rows = {11};
+  live.SendFrame(FrameType::kClientUpload,
+                 EncodeClientUpload(MakeGradients(5, 0, rows), 5));
+  EXPECT_EQ(live.ExpectRoundAck(), 0u);
+  harness.Join();
+  EXPECT_GE(harness.stats().peers_reaped, 1u);
+}
+
+TEST(FederationServiceTest, TricklingPartialFrameHitsReadDeadline) {
+  Rng init(14);
+  MfModel model(kNumItems, ModelParams(), init);
+  FederationService::Options options =
+      ServiceHarness::MakeOptions(/*round_size=*/1, /*max_rounds=*/1);
+  options.liveness.read_deadline_ms = 50;
+  ServiceHarness harness(&model, /*num_shards=*/1, options);
+
+  TestClient loris(harness.port());
+  // Half a frame header, then silence: reassembly state held hostage until
+  // the read deadline closes the connection (slow-loris guard).
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(FrameType::kClientUpload, 64, header);
+  loris.SendRaw(std::string_view(header, kFrameHeaderBytes / 2));
+  EXPECT_TRUE(loris.WaitForClose()) << "trickling frame not closed";
+
+  TestClient live(harness.port());
+  const std::array<std::size_t, 1> rows = {13};
+  live.SendFrame(FrameType::kClientUpload,
+                 EncodeClientUpload(MakeGradients(6, 0, rows), 6));
+  EXPECT_EQ(live.ExpectRoundAck(), 0u);
+  harness.Join();
+  EXPECT_GE(harness.stats().slow_reads_closed, 1u);
 }
 
 }  // namespace

@@ -10,8 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include "net/chaos_proxy.h"
+#include "net/deadline_wheel.h"
 #include "net/epoll_loop.h"
 #include "net/frame.h"
+#include "net/liveness.h"
 #include "net/socket.h"
 
 namespace fedrec {
@@ -47,7 +50,8 @@ TEST(FrameHeaderTest, RoundTripsEveryType) {
   for (const FrameType type :
        {FrameType::kHello, FrameType::kHelloAck, FrameType::kShardRound,
         FrameType::kShardDelta, FrameType::kError, FrameType::kClientUpload,
-        FrameType::kRoundAck, FrameType::kShutdown}) {
+        FrameType::kRoundAck, FrameType::kShutdown, FrameType::kHeartbeat,
+        FrameType::kRetryAfter}) {
     char header[kFrameHeaderBytes];
     EncodeFrameHeader(type, 0xBEEFCAFEull & (kMaxFramePayload - 1), header);
     FrameType decoded_type = FrameType::kError;
@@ -452,6 +456,342 @@ TEST(EpollLoopTest, ListenConnectAcceptEcho) {
   CloseSocket(server_fd);
   CloseSocket(client_fd);
   CloseSocket(listen_fd);
+}
+
+// --- FrameReader payload cap -------------------------------------------------
+
+TEST(FrameReaderTest, OverCapPayloadPoisonsBeforeBuffering) {
+  FrameReader reader;
+  reader.set_max_payload(16);
+  // Within the cap: passes.
+  reader.Feed(EncodeFrame(FrameType::kHello, "under-cap"));
+  auto frames = DrainFrames(reader);
+  ASSERT_EQ(frames.size(), 1u);
+  // One byte over: the header alone poisons the stream — the reader must not
+  // wait for (or buffer) a payload it already knows it will refuse.
+  const std::string big(17, 'b');
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(FrameType::kHello, big.size(), header);
+  reader.Feed(std::string_view(header, sizeof(header)));
+  FrameView view;
+  bool has_frame = false;
+  Status status = reader.Next(view, has_frame);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  // The cap survives Reset: it is connection policy, not stream state.
+  reader.Reset();
+  reader.Feed(std::string_view(header, sizeof(header)));
+  status = reader.Next(view, has_frame);
+  ASSERT_FALSE(status.ok());
+}
+
+// --- SendQueue reset (S2 regression) ----------------------------------------
+
+TEST(SendQueueTest, ResetClearsPartialWriteCarry) {
+  // Stage a frame too large for the tiny socket buffer, flush once so the
+  // queue is left mid-frame (partial-write carry), then Reset — the exact
+  // sequence a service runs when a byte-flipped stream poisons the reader
+  // and the connection slot is torn down for reuse.
+  TinyPipe stalled;
+  SendQueue queue;
+  std::string old_payload(1 << 20, 'o');
+  const std::string_view old_pieces[] = {std::string_view(old_payload)};
+  queue.AppendFrame(FrameType::kShardDelta, old_pieces);
+  bool blocked = false;
+  ASSERT_TRUE(queue.Flush(stalled.writer, blocked).ok());
+  ASSERT_TRUE(blocked);
+  ASSERT_GT(queue.pending(), 0u) << "frame fit the buffer; carry not covered";
+
+  queue.Reset();
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_TRUE(queue.empty());
+
+  // The queue now serves a fresh connection: the peer must see exactly the
+  // new frame, with no tail bytes of the abandoned one leaking in front.
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string_view new_pieces[] = {std::string_view("fresh-frame")};
+  queue.AppendFrame(FrameType::kRoundAck, new_pieces);
+  while (!queue.empty()) {
+    ASSERT_TRUE(queue.Flush(fds[0], blocked).ok());
+  }
+  FrameReader reader;
+  ReadOutcome outcome;
+  char* dst = reader.PrepareWrite(4096);
+  ReadSome(fds[1], dst, reader.writable(), outcome).CheckOK();
+  reader.CommitWrite(outcome.bytes);
+  const auto frames = DrainFrames(reader);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].first, FrameType::kRoundAck);
+  EXPECT_EQ(frames[0].second, "fresh-frame");
+  CloseSocket(fds[0]);
+  CloseSocket(fds[1]);
+}
+
+// --- DeadlineWheel -----------------------------------------------------------
+
+TEST(DeadlineWheelTest, ArmExpireDisarm) {
+  DeadlineWheel wheel(/*slot_ms=*/16, /*slot_count=*/8);
+  std::vector<std::uint64_t> due;
+  wheel.Arm(3, 100);
+  wheel.Arm(5, 40);
+  EXPECT_EQ(wheel.armed_count(), 2u);
+  std::uint64_t next = 0;
+  ASSERT_TRUE(wheel.NextDeadline(next));
+  EXPECT_EQ(next, 40u);
+
+  wheel.ExpireDue(39, due);
+  EXPECT_TRUE(due.empty());
+  wheel.ExpireDue(40, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 5u);
+  EXPECT_FALSE(wheel.armed(5));
+  EXPECT_TRUE(wheel.armed(3));
+
+  wheel.Disarm(3);
+  EXPECT_EQ(wheel.armed_count(), 0u);
+  due.clear();
+  wheel.ExpireDue(1000, due);
+  EXPECT_TRUE(due.empty()) << "disarmed tag still fired";
+  EXPECT_FALSE(wheel.NextDeadline(next));
+}
+
+TEST(DeadlineWheelTest, ReArmMovesTheDeadline) {
+  DeadlineWheel wheel(16, 8);
+  std::vector<std::uint64_t> due;
+  wheel.Arm(7, 50);
+  wheel.Arm(7, 500);  // push it out; only the new deadline may fire
+  EXPECT_EQ(wheel.armed_count(), 1u);
+  wheel.ExpireDue(499, due);
+  EXPECT_TRUE(due.empty());
+  wheel.ExpireDue(500, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 7u);
+}
+
+TEST(DeadlineWheelTest, WrappedDeadlineSurvivesEarlySweeps) {
+  // Span = 16 * 8 = 128 ms; a deadline 3 revolutions out shares a slot with
+  // near deadlines and must be re-inserted, not fired, by early sweeps.
+  DeadlineWheel wheel(16, 8);
+  std::vector<std::uint64_t> due;
+  wheel.Arm(1, 400);
+  for (std::uint64_t now = 0; now < 400; now += 16) {
+    wheel.ExpireDue(now, due);
+    EXPECT_TRUE(due.empty()) << "fired early at " << now;
+  }
+  wheel.ExpireDue(400, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 1u);
+}
+
+TEST(DeadlineWheelTest, PastDeadlineFiresOnNextSweep) {
+  DeadlineWheel wheel(16, 8);
+  std::vector<std::uint64_t> due;
+  wheel.ExpireDue(300, due);  // advance the cursor
+  wheel.Arm(2, 100);          // already in the past
+  wheel.ExpireDue(301, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 2u);
+}
+
+// --- Liveness policy ---------------------------------------------------------
+
+TEST(LivenessTest, NextDeadlineFoldsEarliestFeature) {
+  LivenessOptions options;
+  PeerLiveness peer;
+  peer.last_activity_ms = 1000;
+  EXPECT_EQ(NextLivenessDeadline(options, peer), 0u) << "all features off";
+
+  options.heartbeat_interval_ms = 500;
+  options.peer_timeout_ms = 2000;
+  EXPECT_EQ(NextLivenessDeadline(options, peer), 1500u) << "probe first";
+
+  peer.probe_sent = true;
+  EXPECT_EQ(NextLivenessDeadline(options, peer), 3000u)
+      << "one probe per silence: next is the reap";
+
+  options.read_deadline_ms = 100;
+  peer.read_start_ms = 2800;
+  EXPECT_EQ(NextLivenessDeadline(options, peer), 2900u)
+      << "overdue partial frame beats the reap";
+}
+
+TEST(LivenessTest, ClassifySeverityOrder) {
+  LivenessOptions options;
+  options.heartbeat_interval_ms = 100;
+  options.peer_timeout_ms = 300;
+  options.read_deadline_ms = 50;
+  PeerLiveness peer;
+  peer.last_activity_ms = 0;
+  peer.read_start_ms = 10;
+
+  // At t=400 every feature is due: slow-read outranks reap outranks probe.
+  EXPECT_EQ(ClassifyDeadline(options, peer, 400), LivenessVerdict::kSlowRead);
+  peer.read_start_ms = 0;
+  EXPECT_EQ(ClassifyDeadline(options, peer, 400), LivenessVerdict::kReap);
+  EXPECT_EQ(ClassifyDeadline(options, peer, 150), LivenessVerdict::kProbe);
+  peer.probe_sent = true;
+  EXPECT_EQ(ClassifyDeadline(options, peer, 150), LivenessVerdict::kNone);
+  peer.last_activity_ms = 140;
+  peer.probe_sent = false;
+  EXPECT_EQ(ClassifyDeadline(options, peer, 150), LivenessVerdict::kNone)
+      << "fresh activity: stale wheel expiry must be a no-op";
+}
+
+// --- ChaosProxy --------------------------------------------------------------
+
+TEST(ChaosDrawTest, PureFunctionOfKey) {
+  ChaosSpec spec;
+  spec.chaos_seed = 77;
+  spec.reset_rate = 0.1;
+  spec.corrupt_rate = 0.2;
+  spec.delay_rate = 0.2;
+  spec.partition_rate = 0.1;
+  for (std::uint64_t conn = 0; conn < 4; ++conn) {
+    for (std::uint64_t event = 0; event < 64; ++event) {
+      const ChaosDecision a = DrawChaos(spec, conn, event);
+      const ChaosDecision b = DrawChaos(spec, conn, event);
+      EXPECT_EQ(static_cast<int>(a.action), static_cast<int>(b.action));
+      EXPECT_EQ(a.corrupt_offset, b.corrupt_offset);
+      EXPECT_EQ(a.corrupt_bit, b.corrupt_bit);
+      EXPECT_EQ(a.delay_ms, b.delay_ms);
+    }
+  }
+}
+
+TEST(ChaosDrawTest, ZeroRatesAlwaysForward) {
+  ChaosSpec spec;
+  spec.chaos_seed = 99;
+  for (std::uint64_t event = 0; event < 256; ++event) {
+    EXPECT_EQ(static_cast<int>(DrawChaos(spec, 0, event).action),
+              static_cast<int>(ChaosAction::kForward));
+  }
+}
+
+TEST(ChaosDrawTest, RatesShapeTheDrawAndBoundsHold) {
+  ChaosSpec spec;
+  spec.chaos_seed = 5;
+  spec.corrupt_rate = 1.0;
+  std::size_t distinct_offsets = 0;
+  std::uint32_t last_offset = 0;
+  for (std::uint64_t event = 0; event < 128; ++event) {
+    const ChaosDecision d = DrawChaos(spec, 3, event);
+    ASSERT_EQ(static_cast<int>(d.action),
+              static_cast<int>(ChaosAction::kCorrupt));
+    EXPECT_LT(d.corrupt_offset, spec.window_bytes);
+    EXPECT_LT(d.corrupt_bit, 8u);
+    if (event == 0 || d.corrupt_offset != last_offset) ++distinct_offsets;
+    last_offset = d.corrupt_offset;
+  }
+  EXPECT_GT(distinct_offsets, 1u) << "offset stream is degenerate";
+
+  spec.corrupt_rate = 0.0;
+  spec.delay_rate = 1.0;
+  const ChaosDecision delay = DrawChaos(spec, 3, 0);
+  ASSERT_EQ(static_cast<int>(delay.action),
+            static_cast<int>(ChaosAction::kDelay));
+  EXPECT_GE(delay.delay_ms, 1u);
+  EXPECT_LE(delay.delay_ms, spec.delay_max_ms);
+}
+
+namespace {
+/// Echo server: accepts one connection, echoes until EOF.
+void EchoOnce(int listen_fd) {
+  int fd = -1;
+  while (fd < 0) {
+    if (!TcpAccept(listen_fd, fd).ok()) return;
+  }
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    ssize_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::send(fd, buf + off, static_cast<std::size_t>(n - off),
+                               MSG_NOSIGNAL);
+      if (w <= 0) break;
+      off += w;
+    }
+  }
+  CloseSocket(fd);
+}
+}  // namespace
+
+TEST(ChaosProxyTest, ZeroChaosIsATransparentRelay) {
+  Result<int> upstream = TcpListen("127.0.0.1", 0, 4);
+  ASSERT_TRUE(upstream.ok());
+  Result<std::uint16_t> upstream_port = BoundPort(upstream.value());
+  ASSERT_TRUE(upstream_port.ok());
+  std::thread echo([fd = upstream.value()] { EchoOnce(fd); });
+
+  ChaosProxy::Options options;
+  options.upstream_port = upstream_port.value();
+  ChaosProxy proxy(options);
+  ASSERT_TRUE(proxy.Listen().ok());
+  std::thread relay([&proxy] { proxy.Run(); });
+
+  Result<int> client = TcpConnect("127.0.0.1", proxy.port());
+  ASSERT_TRUE(client.ok());
+  SetIoTimeout(client.value(), 5000).CheckOK();
+  const std::string message = "through-the-looking-glass";
+  const std::string_view pieces[] = {std::string_view(message)};
+  ASSERT_TRUE(WriteAllVec(client.value(), pieces).ok());
+  std::string round_trip(message.size(), '\0');
+  ASSERT_TRUE(
+      ReadExact(client.value(), std::span<char>(round_trip.data(),
+                                                round_trip.size()))
+          .ok());
+  EXPECT_EQ(round_trip, message);
+
+  int client_fd = client.value();
+  CloseSocket(client_fd);
+  proxy.RequestStop();
+  relay.join();
+  int upstream_fd = upstream.value();
+  CloseSocket(upstream_fd);
+  echo.join();
+
+  EXPECT_EQ(proxy.stats().connections_accepted, 1u);
+  EXPECT_GE(proxy.stats().bytes_forwarded, 2 * message.size());
+  EXPECT_EQ(proxy.stats().resets_injected, 0u);
+  EXPECT_EQ(proxy.stats().corruptions_injected, 0u);
+}
+
+TEST(ChaosProxyTest, CertainResetKillsTheConnection) {
+  Result<int> upstream = TcpListen("127.0.0.1", 0, 4);
+  ASSERT_TRUE(upstream.ok());
+  Result<std::uint16_t> upstream_port = BoundPort(upstream.value());
+  ASSERT_TRUE(upstream_port.ok());
+  std::thread echo([fd = upstream.value()] { EchoOnce(fd); });
+
+  ChaosProxy::Options options;
+  options.upstream_port = upstream_port.value();
+  options.chaos.chaos_seed = 1;
+  options.chaos.reset_rate = 1.0;  // first window of either direction resets
+  ChaosProxy proxy(options);
+  ASSERT_TRUE(proxy.Listen().ok());
+  std::thread relay([&proxy] { proxy.Run(); });
+
+  Result<int> client = TcpConnect("127.0.0.1", proxy.port());
+  ASSERT_TRUE(client.ok());
+  SetIoTimeout(client.value(), 5000).CheckOK();
+  const std::string_view pieces[] = {std::string_view("doomed")};
+  // The write may land in the socket buffer before the RST arrives; the
+  // failure must surface on (at latest) the read.
+  (void)WriteAllVec(client.value(), pieces);
+  char byte = 0;
+  const Status read = ReadExact(client.value(), std::span<char>(&byte, 1));
+  EXPECT_FALSE(read.ok()) << "reset window still delivered bytes";
+
+  int client_fd = client.value();
+  CloseSocket(client_fd);
+  proxy.RequestStop();
+  relay.join();
+  int upstream_fd = upstream.value();
+  CloseSocket(upstream_fd);
+  echo.join();
+  EXPECT_EQ(proxy.stats().resets_injected, 1u);
+  EXPECT_EQ(proxy.stats().bytes_forwarded, 0u);
 }
 
 TEST(TcpConnectTest, RefusedConnectionIsIOError) {
