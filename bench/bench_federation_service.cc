@@ -42,6 +42,8 @@
 #include "net/epoll_loop.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/federation_service.h"
 #include "shard/shard_daemon.h"
 #include "shard/socket_transport.h"
@@ -51,12 +53,24 @@ using namespace fedrec;
 
 namespace {
 
+/// Coordinator stages surfaced as per-round mean costs ("stage_ms" rows),
+/// read back from the shared fedrec_stage_us registry series the service
+/// records while serving the measured rounds.
+constexpr std::size_t kNumStages = 4;
+constexpr const char* kStageLabels[kNumStages] = {
+    "stage=\"route\"", "stage=\"shard_aggregate\"", "stage=\"merge\"",
+    "stage=\"apply\""};
+constexpr const char* kStageRowNames[kNumStages] = {
+    "stage route ms", "stage shard_agg ms", "stage merge ms",
+    "stage apply ms"};
+
 struct LoadResult {
   double rounds_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double upload_mb_per_sec = 0.0;
   double allocs_per_round = 0.0;
+  double stage_ms[kNumStages] = {0.0, 0.0, 0.0, 0.0};
 };
 
 struct SimClient {
@@ -64,7 +78,7 @@ struct SimClient {
   FrameReader reader;
   SendQueue out;
   bool out_armed = false;
-  double send_seconds = 0.0;
+  std::uint64_t send_us = 0;
   std::string upload;  ///< pre-encoded FRWU payload, resent every round
 };
 
@@ -203,25 +217,40 @@ LoadResult RunLoad(std::size_t num_clients, std::size_t num_shards,
     client.upload = upload_writer.buffer();
   }
 
+  // Stage-cost probes: the coordinator thread observes every measured round
+  // into these shared histograms; the sum/count deltas over the measured
+  // window divide into per-round stage means.
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Histogram* stage_hists[kNumStages];
+  std::uint64_t stage_sum0[kNumStages] = {0, 0, 0, 0};
+  std::uint64_t stage_count0[kNumStages] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    stage_hists[i] = registry.GetHistogram("fedrec_stage_us", kStageLabels[i]);
+  }
+
   // Round loop. Warmup rounds grow every high-water buffer end to end; the
-  // allocation counter and the stopwatch start after them.
+  // allocation counter, the clock and the stage probes start after them.
   std::vector<double> samples(rounds * num_clients, 0.0);
   std::size_t sample_count = 0;
   std::uint64_t allocs_at_start = 0;
   std::uint64_t upload_bytes = 0;
-  Stopwatch watch;
+  std::uint64_t start_us = MonotonicMicros();
   for (std::size_t round = 0; round < warmup + rounds; ++round) {
     if (round == warmup) {
       ResetSparseAllocationCount();
       allocs_at_start = SparseAllocationCount();
-      watch.Reset();
+      for (std::size_t i = 0; i < kNumStages; ++i) {
+        stage_sum0[i] = stage_hists[i]->Sum();
+        stage_count0[i] = stage_hists[i]->Count();
+      }
+      start_us = MonotonicMicros();
     }
     const bool measured = round >= warmup;
     for (SimClient& client : clients) {
       const std::array<std::string_view, 1> pieces = {
           std::string_view(client.upload)};
       client.out.AppendFrame(FrameType::kClientUpload, pieces);
-      client.send_seconds = watch.ElapsedSeconds();
+      client.send_us = MonotonicMicros();
       bool blocked = false;
       client.out.Flush(client.fd, blocked).CheckOK();
       if (blocked != client.out_armed) {
@@ -270,8 +299,10 @@ LoadResult RunLoad(std::size_t num_clients, std::size_t num_shards,
           FEDREC_CHECK(frame.type == FrameType::kRoundAck)
               << "unexpected reply type " << static_cast<int>(frame.type);
           if (measured) {
+            // Round-trip latency in microseconds on the monotonic clock —
+            // the same MonotonicMicros source the obs spans are timed with.
             samples[sample_count] =
-                watch.ElapsedSeconds() - client.send_seconds;
+                static_cast<double>(MonotonicMicros() - client.send_us);
             ++sample_count;
           }
           --pending_acks;
@@ -279,7 +310,8 @@ LoadResult RunLoad(std::size_t num_clients, std::size_t num_shards,
       }
     }
   }
-  const double elapsed = watch.ElapsedSeconds();
+  const double elapsed =
+      static_cast<double>(MonotonicMicros() - start_us) * 1e-6;
   const std::uint64_t allocs = SparseAllocationCount() - allocs_at_start;
 
   // Teardown: the coordinator stops itself at max_rounds; daemons by signal.
@@ -295,12 +327,19 @@ LoadResult RunLoad(std::size_t num_clients, std::size_t num_shards,
                   static_cast<std::uint64_t>(warmup + rounds));
   LoadResult result;
   result.rounds_per_sec = static_cast<double>(rounds) / elapsed;
-  result.p50_ms = PercentileInPlace(samples, 50.0) * 1e3;
-  result.p99_ms = PercentileInPlace(samples, 99.0) * 1e3;
+  result.p50_ms = PercentileInPlace(samples, 50.0) / 1e3;
+  result.p99_ms = PercentileInPlace(samples, 99.0) / 1e3;
   result.upload_mb_per_sec =
       static_cast<double>(upload_bytes) / elapsed / (1024.0 * 1024.0);
   result.allocs_per_round =
       static_cast<double>(allocs) / static_cast<double>(rounds);
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const std::uint64_t count = stage_hists[i]->Count() - stage_count0[i];
+    const std::uint64_t sum = stage_hists[i]->Sum() - stage_sum0[i];
+    result.stage_ms[i] =
+        count > 0 ? static_cast<double>(sum) / static_cast<double>(count) / 1e3
+                  : 0.0;
+  }
   return result;
 }
 
@@ -319,6 +358,12 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.Parse(argc, argv).CheckOK();
   const BenchOptions options = ParseBenchOptions(flags);
+
+  // Metrics are always on (the serving loops record unconditionally); enable
+  // the trace ring too so the allocs/round and rounds/s columns price the
+  // fully instrumented configuration, not a stripped one. The ring is
+  // preallocated here, before any measured round.
+  obs::TraceRing::Global().Enable(1u << 15);
 
   const bool quick = flags.GetBool("quick", false);
   std::vector<std::size_t> client_counts =
@@ -353,6 +398,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> p99_row = {"p99 ms"};
   std::vector<std::string> mb_row = {"upload MB/s"};
   std::vector<std::string> alloc_row = {"allocs/round"};
+  std::vector<std::vector<std::string>> stage_rows;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    stage_rows.push_back({kStageRowNames[i]});
+  }
   for (std::size_t clients : client_counts) {
     for (std::size_t shards : shard_counts) {
       std::printf("running %zu clients x %zu shards (%zu rounds + %zu warmup)"
@@ -369,6 +418,9 @@ int main(int argc, char** argv) {
       p99_row.push_back(Fmt4(result.p99_ms));
       mb_row.push_back(Fmt4(result.upload_mb_per_sec));
       alloc_row.push_back(Fmt4(result.allocs_per_round));
+      for (std::size_t i = 0; i < kNumStages; ++i) {
+        stage_rows[i].push_back(Fmt4(result.stage_ms[i]));
+      }
     }
   }
 
@@ -395,6 +447,9 @@ int main(int argc, char** argv) {
     p99_row.push_back(Fmt4(result.p99_ms));
     mb_row.push_back(Fmt4(result.upload_mb_per_sec));
     alloc_row.push_back(Fmt4(result.allocs_per_round));
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+      stage_rows[i].push_back(Fmt4(result.stage_ms[i]));
+    }
   }
   table.SetHeader(header);
   table.AddRow(rounds_row);
@@ -402,6 +457,9 @@ int main(int argc, char** argv) {
   table.AddRow(p99_row);
   table.AddRow(mb_row);
   table.AddRow(alloc_row);
+  for (const std::vector<std::string>& row : stage_rows) {
+    table.AddRow(row);
+  }
   EmitTable(table, options);
   return 0;
 }

@@ -66,13 +66,18 @@ report = {
     "rows": rows,
 }
 
-# Surface the perf instrumentation rows (round throughput, and for the
-# load benches the round-latency percentiles) as top-level aggregates for
-# the perf trajectory.
+# Surface the perf instrumentation rows (round throughput, for the load
+# benches the round-latency percentiles, and the per-stage coordinator
+# costs scraped from the obs registry) as top-level aggregates for the
+# perf trajectory.
 surfaced = {
     "rounds/s": "rounds_per_sec_mean",
     "p50 ms": "p50_ms_mean",
     "p99 ms": "p99_ms_mean",
+    "stage route ms": "stage_route_ms_mean",
+    "stage shard_agg ms": "stage_shard_agg_ms_mean",
+    "stage merge ms": "stage_merge_ms_mean",
+    "stage apply ms": "stage_apply_ms_mean",
 }
 if label_key is not None:
     for row in rows:

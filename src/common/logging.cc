@@ -7,7 +7,7 @@
 namespace fedrec {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -25,11 +25,11 @@ const char* LevelTag(LogLevel level) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_min_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+  return g_min_level.load(std::memory_order_relaxed);
 }
 
 namespace internal_log {
@@ -38,7 +38,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) < g_min_level.load(std::memory_order_relaxed)) {
+  if (static_cast<int>(level_) <
+      static_cast<int>(g_min_level.load(std::memory_order_relaxed))) {
     return;
   }
   // Trim the path to its basename for compact output.

@@ -3,16 +3,21 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 /// \file
 /// Leveled stderr logging. The simulation and bench harness log progress at
-/// kInfo; tests set the level to kWarning to stay quiet.
+/// kInfo; tests set the level to kWarning to stay quiet. The level is a
+/// relaxed atomic: LogMessage reads it from service and epoll threads while
+/// tests mutate it, and a torn or stale read only costs one mislevelled
+/// line, never a data race.
 
 namespace fedrec {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the global minimum level that is actually emitted.
+/// Sets the global minimum level that is actually emitted (relaxed atomic;
+/// safe against concurrent LogMessage emission on other threads).
 void SetLogLevel(LogLevel level);
 
 /// Current global minimum level.
@@ -33,6 +38,15 @@ class LogMessage {
   template <typename T>
   LogMessage& operator<<(const T& value) {
     stream_ << value;
+    return *this;
+  }
+
+  /// Appends one structured ` key=value` field. Keys follow the metric label
+  /// vocabulary (snake_case), so service logs and registry labels can be
+  /// joined: `(FEDREC_LOG(Info) << "round done").Field("round", r)`.
+  template <typename T>
+  LogMessage& Field(std::string_view key, const T& value) {
+    stream_ << ' ' << key << '=' << value;
     return *this;
   }
 

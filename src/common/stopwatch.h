@@ -24,6 +24,17 @@ inline std::uint64_t MonotonicMillis() {
           .count());
 }
 
+/// Microseconds on the steady (monotonic) clock. The observability layer's
+/// spans are timed with this — millisecond resolution would quantize the
+/// ~2 ms round latencies its histograms must resolve. Observe-only, like
+/// MonotonicMillis: nothing trajectory-visible may consult it.
+inline std::uint64_t MonotonicMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Monotonic wall-clock timer started on construction.
 class Stopwatch {
  public:

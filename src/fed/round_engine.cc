@@ -4,6 +4,8 @@
 
 #include "common/kernels.h"
 #include "common/logging.h"
+#include "obs/stats_bridge.h"
+#include "obs/trace.h"
 
 namespace fedrec {
 
@@ -38,6 +40,18 @@ RoundEngine::RoundEngine(const FedConfig* config, MfModel* model,
     FEDREC_CHECK(coordinator_ != nullptr)
         << "malicious users configured without a coordinator";
   }
+  obs::Registry& registry = obs::Registry::Global();
+  stage_.select = registry.GetHistogram("fedrec_stage_us", "stage=\"select\"");
+  stage_.local_train =
+      registry.GetHistogram("fedrec_stage_us", "stage=\"local_train\"");
+  stage_.attack = registry.GetHistogram("fedrec_stage_us", "stage=\"attack\"");
+  stage_.observe =
+      registry.GetHistogram("fedrec_stage_us", "stage=\"observe\"");
+  stage_.transit_faults =
+      registry.GetHistogram("fedrec_stage_us", "stage=\"transit_faults\"");
+  stage_.aggregate =
+      registry.GetHistogram("fedrec_stage_us", "stage=\"aggregate\"");
+  stage_.apply = registry.GetHistogram("fedrec_stage_us", "stage=\"apply\"");
 }
 
 void RoundEngine::BeginEpoch(std::size_t epoch) {
@@ -330,6 +344,7 @@ double RoundEngine::RunRound(const RoundObserver& observer) {
   FEDREC_CHECK(HasNextRound()) << "epoch " << epoch_ << " has no rounds left";
   double loss = 0.0;
   if (have_next_selection_) {
+    obs::ScopedSpan span("select", stage_.select);
     std::swap(workspace_.selected_benign, workspace_.next_selected_benign);
     std::swap(workspace_.selected_malicious,
               workspace_.next_selected_malicious);
@@ -344,20 +359,35 @@ double RoundEngine::RunRound(const RoundObserver& observer) {
       loss = next_loss_;
       have_next_updates_ = false;
     } else {
+      obs::ScopedSpan train_span("local_train", stage_.local_train);
       loss = LocalTrain();
     }
   } else {
-    Select();
+    {
+      obs::ScopedSpan span("select", stage_.select);
+      Select();
+    }
+    obs::ScopedSpan train_span("local_train", stage_.local_train);
     loss = LocalTrain();
   }
-  Attack();
-  Observe(observer);
-  ApplyTransitFaults();
+  {
+    obs::ScopedSpan span("attack", stage_.attack);
+    Attack();
+  }
+  {
+    obs::ScopedSpan span("observe", stage_.observe);
+    Observe(observer);
+  }
+  {
+    obs::ScopedSpan span("transit_faults", stage_.transit_faults);
+    ApplyTransitFaults();
+  }
   if (faults_active() && BelowQuorum()) {
     // Too few surviving benign uploads to trust the round: skip aggregation
     // entirely (the model stays put) and move on.
     NoteSkippedRound();
     AdvanceRound();
+    obs::PublishFaultStats(fault_stats_, "engine");
     return loss;
   }
 
@@ -374,8 +404,14 @@ double RoundEngine::RunRound(const RoundObserver& observer) {
       // round t: Apply only writes rows of the current uploads, which the
       // conflict check proved invisible to the concurrent reads.
       LaunchNextLocalTrain();
-      AggregateWith(nullptr);
-      Apply();
+      {
+        obs::ScopedSpan span("aggregate", stage_.aggregate);
+        AggregateWith(nullptr);
+      }
+      {
+        obs::ScopedSpan span("apply", stage_.apply);
+        Apply();
+      }
       pool_->Wait();
       next_loss_ = 0.0;
       for (const ClientUpdate& update : workspace_.next_updates) {
@@ -387,10 +423,15 @@ double RoundEngine::RunRound(const RoundObserver& observer) {
     }
   }
   if (!overlapped) {
-    Aggregate();
+    {
+      obs::ScopedSpan span("aggregate", stage_.aggregate);
+      Aggregate();
+    }
+    obs::ScopedSpan span("apply", stage_.apply);
     Apply();
   }
   AdvanceRound();
+  if (faults_active()) obs::PublishFaultStats(fault_stats_, "engine");
   return loss;
 }
 

@@ -14,6 +14,7 @@
 #include "fed/client.h"
 #include "fed/config.h"
 #include "model/mf_model.h"
+#include "obs/metrics.h"
 
 /// \file
 /// The server's round loop, decomposed into its protocol stages:
@@ -294,6 +295,19 @@ class RoundEngine {
   VirtualClock clock_;
   std::size_t live_uploads_ = 0;
   std::size_t live_benign_ = 0;
+  // Per-stage latency histograms (fedrec_stage_us{stage=...}), fetched once
+  // from the global registry at construction; RunRound's spans observe into
+  // them and the trace ring. Observe-only — never read back.
+  struct StageMetrics {
+    obs::Histogram* select = nullptr;
+    obs::Histogram* local_train = nullptr;
+    obs::Histogram* attack = nullptr;
+    obs::Histogram* observe = nullptr;
+    obs::Histogram* transit_faults = nullptr;
+    obs::Histogram* aggregate = nullptr;
+    obs::Histogram* apply = nullptr;
+  };
+  StageMetrics stage_;
 };
 
 }  // namespace fedrec

@@ -12,7 +12,7 @@ constexpr std::uint32_t kFrameMagic = 0x544E5246;  // "FRNT"
 
 bool KnownFrameType(std::uint32_t type) {
   return type >= static_cast<std::uint32_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint32_t>(FrameType::kRetryAfter);
+         type <= static_cast<std::uint32_t>(FrameType::kStatsReply);
 }
 
 }  // namespace

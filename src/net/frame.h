@@ -38,6 +38,8 @@ enum class FrameType : std::uint32_t {
   kShutdown = 8,      ///< orderly stop request (tests, scripts)
   kHeartbeat = 9,     ///< liveness probe; either direction, empty payload
   kRetryAfter = 10,   ///< coordinator -> client: overloaded, back off (u32 ms)
+  kStatsRequest = 11, ///< scraper -> any daemon: metrics snapshot, empty
+  kStatsReply = 12,   ///< daemon -> scraper: text exposition payload
 };
 
 /// Fixed frame header size on the wire: magic + type + payload length.

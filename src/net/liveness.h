@@ -44,6 +44,7 @@ struct LivenessOptions {
 struct PeerLiveness {
   std::uint64_t last_activity_ms = 0;  ///< last inbound byte (or accept)
   std::uint64_t read_start_ms = 0;     ///< first byte of the partial frame
+  std::uint64_t probe_sent_ms = 0;     ///< when the probe left (RTT metric)
   bool probe_sent = false;             ///< heartbeat sent this silence
 };
 

@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "common/matrix.h"
+#include "obs/metrics.h"
 
 namespace fedrec {
 
@@ -21,6 +22,26 @@ namespace {
 /// errno -> IOError with context; callers add the operation name.
 Status ErrnoError(const char* what) {
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Net-layer wire counters, registered once on first use (handshake time,
+/// before any steady-state round) and recorded through cached pointers.
+struct NetMetrics {
+  obs::Counter* frames_staged;
+  obs::Counter* bytes_staged;
+  obs::Gauge* send_queue_depth;
+};
+
+NetMetrics& GetNetMetrics() {
+  static NetMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Global();
+    return NetMetrics{
+        registry.GetCounter("fedrec_net_frames_staged_total"),
+        registry.GetCounter("fedrec_net_bytes_staged_total"),
+        registry.GetGauge("fedrec_net_send_queue_depth_bytes"),
+    };
+  }();
+  return metrics;
 }
 
 Result<sockaddr_in> MakeAddress(const std::string& host, std::uint16_t port) {
@@ -250,6 +271,9 @@ void SendQueue::AppendFrame(FrameType type,
   for (const std::string_view piece : pieces) {
     StageBytes(piece.data(), piece.size());
   }
+  NetMetrics& metrics = GetNetMetrics();
+  metrics.frames_staged->Increment();
+  metrics.bytes_staged->Increment(payload_bytes + kFrameHeaderBytes);
 }
 
 // fedrec:hot
@@ -263,6 +287,8 @@ Status SendQueue::Flush(int fd, bool& blocked) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         blocked = true;
+        GetNetMetrics().send_queue_depth->Set(
+            static_cast<std::int64_t>(end_ - begin_));
         return Status::OK();
       }
       return ErrnoError("send");
@@ -270,6 +296,7 @@ Status SendQueue::Flush(int fd, bool& blocked) {
     begin_ += static_cast<std::size_t>(n);
   }
   begin_ = end_ = 0;
+  GetNetMetrics().send_queue_depth->Set(0);
   return Status::OK();
 }
 

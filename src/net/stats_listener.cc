@@ -1,0 +1,97 @@
+#include "net/stats_listener.h"
+
+#include <poll.h>
+
+#include <array>
+#include <span>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace fedrec {
+
+namespace {
+
+/// Poll granularity for the stop flag; scrapes are rare and latency-tolerant.
+constexpr int kAcceptPollMs = 100;
+
+/// A hung or hostile scraper is cut loose after this long mid-read/write.
+constexpr int kScrapeIoTimeoutMs = 2000;
+
+}  // namespace
+
+StatsListener::~StatsListener() { Stop(); }
+
+Status StatsListener::Start(const std::string& host, std::uint16_t port) {
+  FEDREC_CHECK(listen_fd_ < 0) << "Start() called twice";
+  Result<int> fd = TcpListen(host, port, /*backlog=*/16);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = fd.value();
+  Result<std::uint16_t> bound = BoundPort(listen_fd_);
+  if (!bound.ok()) {
+    CloseSocket(listen_fd_);
+    return bound.status();
+  }
+  port_ = bound.value();
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void StatsListener::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  CloseSocket(listen_fd_);
+}
+
+void StatsListener::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) continue;  // timeout (stop check) or EINTR
+    int fd = -1;
+    if (!TcpAccept(listen_fd_, fd).ok() || fd < 0) continue;
+    if (SetIoTimeout(fd, kScrapeIoTimeoutMs).ok()) ServeConnection(fd);
+    CloseSocket(fd);
+  }
+}
+
+void StatsListener::ServeConnection(int fd) {
+  // One scraper at a time, frames served in order until the peer closes.
+  // Blocking reads are bounded by the io timeout, so a stalled scraper can
+  // only hold the listener for kScrapeIoTimeoutMs, not forever.
+  for (;;) {
+    char header[kFrameHeaderBytes];
+    ReadOutcome first;
+    if (!ReadSome(fd, header, 1, first).ok() || first.eof) return;
+    if (first.bytes < 1) return;
+    if (!ReadExact(fd, std::span<char>(header + 1, sizeof(header) - 1))
+             .ok()) {
+      return;
+    }
+    FrameType type = FrameType::kError;
+    std::uint64_t payload_bytes = 0;
+    if (!DecodeFrameHeader(header, type, payload_bytes).ok()) return;
+    if (payload_bytes > 4096) return;  // requests are empty or near-empty
+    if (payload_bytes > 0) {
+      char discard[4096];
+      if (!ReadExact(fd, std::span<char>(discard, payload_bytes)).ok()) {
+        return;
+      }
+    }
+    if (type != FrameType::kStatsRequest) return;
+    text_.clear();
+    obs::Registry::Global().RenderText(text_);
+    char reply_header[kFrameHeaderBytes];
+    EncodeFrameHeader(FrameType::kStatsReply, text_.size(), reply_header);
+    const std::array<std::string_view, 2> pieces = {
+        std::string_view(reply_header, sizeof(reply_header)),
+        std::string_view(text_)};
+    if (!WriteAllVec(fd, pieces).ok()) return;
+  }
+}
+
+}  // namespace fedrec

@@ -1,0 +1,57 @@
+#ifndef FEDREC_NET_STATS_LISTENER_H_
+#define FEDREC_NET_STATS_LISTENER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+/// \file
+/// StatsListener: a minimal scrape endpoint for processes that have no
+/// serving loop of their own (fedrec_coord drives rounds from the main
+/// thread; its only sockets point at the shardd fleet). A background thread
+/// accepts one connection at a time, answers each kStatsRequest frame with
+/// the global registry's text exposition in a kStatsReply, and closes when
+/// the scraper does. Scrapes are observe-only by construction — the listener
+/// reads the registry's atomics and never touches round state — so attaching
+/// one to a deterministic run cannot perturb its trajectory.
+///
+/// The epoll daemons (fedrec_shardd, FederationService) do NOT use this:
+/// they serve kStatsRequest inline on their existing loops.
+
+namespace fedrec {
+
+class StatsListener {
+ public:
+  StatsListener() = default;
+  ~StatsListener();
+  StatsListener(const StatsListener&) = delete;
+  StatsListener& operator=(const StatsListener&) = delete;
+
+  /// Binds `host:port` (0 picks a free port; read it back with port()) and
+  /// starts the serving thread.
+  [[nodiscard]] Status Start(const std::string& host, std::uint16_t port);
+  std::uint16_t port() const { return port_; }
+
+  /// Stops the serving thread and closes the listener. Idempotent; also run
+  /// by the destructor.
+  void Stop();
+
+ private:
+  void Serve();
+  /// Serves kStatsRequest frames on one accepted connection until it closes
+  /// or errors.
+  void ServeConnection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::string text_;  ///< exposition render scratch (serving thread only)
+};
+
+}  // namespace fedrec
+
+#endif  // FEDREC_NET_STATS_LISTENER_H_

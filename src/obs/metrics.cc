@@ -1,0 +1,185 @@
+#include "obs/metrics.h"
+
+#include <limits>
+
+namespace fedrec::obs {
+
+std::size_t ThreadSlot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (const internal::PaddedAtomic& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Histogram::BucketUpperBound(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= kBuckets - 1) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << i) - 1;
+}
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    for (const std::atomic<std::uint64_t>& bucket : shard.buckets) {
+      total += bucket.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::uint64_t Histogram::Sum() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Snapshot(std::uint64_t out[kBuckets]) const {
+  for (std::size_t i = 0; i < kBuckets; ++i) out[i] = 0;
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t Histogram::PercentileUpperBound(double q) const {
+  std::uint64_t counts[kBuckets];
+  Snapshot(counts);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 100.0) q = 100.0;
+  auto rank = static_cast<std::uint64_t>(q / 100.0 *
+                                         static_cast<double>(total) +
+                                         0.9999999);
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::Entry* Registry::FindOrCreate(std::string_view name,
+                                        std::string_view labels, Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    if (entry->name == name && entry->labels == labels) return entry.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->labels = std::string(labels);
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view labels) {
+  return FindOrCreate(name, labels, Kind::kCounter)->counter.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view labels) {
+  return FindOrCreate(name, labels, Kind::kGauge)->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::string_view labels) {
+  return FindOrCreate(name, labels, Kind::kHistogram)->histogram.get();
+}
+
+namespace {
+
+void AppendMetricLine(std::string& out, const std::string& name,
+                      const std::string& labels, std::string_view suffix,
+                      std::string_view extra_label, std::uint64_t value) {
+  out.append(name);
+  out.append(suffix);
+  if (!labels.empty() || !extra_label.empty()) {
+    out.push_back('{');
+    out.append(labels);
+    if (!labels.empty() && !extra_label.empty()) out.push_back(',');
+    out.append(extra_label);
+    out.push_back('}');
+  }
+  out.push_back(' ');
+  out.append(std::to_string(value));
+  out.push_back('\n');
+}
+
+}  // namespace
+
+void Registry::RenderText(std::string& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        AppendMetricLine(out, entry->name, entry->labels, "", "",
+                         entry->counter->Value());
+        break;
+      case Kind::kGauge:
+        AppendMetricLine(
+            out, entry->name, entry->labels, "", "",
+            static_cast<std::uint64_t>(entry->gauge->Value()));
+        break;
+      case Kind::kHistogram: {
+        std::uint64_t counts[Histogram::kBuckets];
+        entry->histogram->Snapshot(counts);
+        // Render cumulative buckets up to the highest populated one; the
+        // +Inf bucket always closes the series.
+        std::size_t last = 0;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          if (counts[i] != 0) last = i;
+        }
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= last && i < Histogram::kBuckets - 1;
+             ++i) {
+          cumulative += counts[i];
+          std::string le = "le=\"";
+          le.append(std::to_string(Histogram::BucketUpperBound(i)));
+          le.push_back('"');
+          AppendMetricLine(out, entry->name, entry->labels, "_bucket", le,
+                           cumulative);
+        }
+        const std::uint64_t count = entry->histogram->Count();
+        AppendMetricLine(out, entry->name, entry->labels, "_bucket",
+                         "le=\"+Inf\"", count);
+        AppendMetricLine(out, entry->name, entry->labels, "_sum", "",
+                         entry->histogram->Sum());
+        AppendMetricLine(out, entry->name, entry->labels, "_count", "",
+                         count);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace fedrec::obs

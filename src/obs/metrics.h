@@ -1,0 +1,163 @@
+#ifndef FEDREC_OBS_METRICS_H_
+#define FEDREC_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Lock-free, steady-state-zero-allocation metrics registry. Three metric
+/// kinds — monotonic counters, gauges, fixed-bucket log2 latency histograms —
+/// share one design: the recording fast path is a relaxed atomic add into a
+/// per-thread shard (picked once per thread, cache-line padded so threads
+/// never contend on a line), and a scrape merges the shards. Registration
+/// happens once at startup under a mutex and may allocate; after that the
+/// record paths touch the heap zero times, which is what lets the serving
+/// loops and the round engine keep their `// fedrec:hot` regions and
+/// allocs/round assertions with instrumentation enabled.
+///
+/// Metrics are observe-only by construction: nothing here reads a clock or a
+/// random source, and no consumer of the registry feeds a value back into a
+/// training trajectory. Callers time spans with MonotonicMicros (confined to
+/// common/stopwatch.h) and hand the duration in.
+///
+/// Exposition is Prometheus-style text (`name{label="v"} value`), rendered in
+/// registration order so scrapes diff cleanly. Histograms render cumulative
+/// `_bucket{le="..."}` lines plus `_sum` and `_count`.
+
+namespace fedrec::obs {
+
+/// Number of per-thread shards per metric. Power of two; threads hash onto
+/// shards round-robin by creation order, so up to this many recording threads
+/// never share a cache line.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Stable small id for the calling thread, assigned on first use.
+std::size_t ThreadSlot();
+
+namespace internal {
+struct alignas(64) PaddedAtomic {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace internal
+
+/// Monotonic counter. Increment is wait-free and allocation-free.
+class Counter {
+ public:
+  // fedrec:hot — the recording fast path: one relaxed add, no branches.
+  void Increment(std::uint64_t n = 1) {
+    shards_[ThreadSlot() & (kMetricShards - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Merged value across shards (scrape path).
+  std::uint64_t Value() const;
+
+ private:
+  internal::PaddedAtomic shards_[kMetricShards];
+};
+
+/// Last-write-wins gauge (signed). Used for externally maintained ledgers —
+/// FaultStats fields, queue depths — republished on each round.
+class Gauge {
+ public:
+  // fedrec:hot — one relaxed store.
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket log2 histogram. Bucket i holds observations whose value's
+/// bit width is i, i.e. v in [2^(i-1), 2^i) — bucket 0 is exactly {0} — with
+/// the last bucket absorbing everything wider. 64 buckets cover the full
+/// uint64 range, so microsecond latencies from sub-µs to ~584 000 years land
+/// without configuration.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Bucket index for a value (exposed for the boundary tests).
+  static std::size_t BucketIndex(std::uint64_t value) {
+    const std::size_t width = static_cast<std::size_t>(std::bit_width(value));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket i (UINT64_MAX for the overflow bucket).
+  static std::uint64_t BucketUpperBound(std::size_t i);
+
+  // fedrec:hot — the recording fast path: two relaxed adds.
+  void Observe(std::uint64_t value) {
+    Shard& shard = shards_[ThreadSlot() & (kMetricShards - 1)];
+    shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Shard-merged totals (scrape path).
+  std::uint64_t Count() const;
+  std::uint64_t Sum() const;
+
+  /// Writes per-bucket counts (not cumulative) into `out[kBuckets]`.
+  void Snapshot(std::uint64_t out[kBuckets]) const;
+
+  /// Nearest-rank percentile estimate (`q` in [0,100]) from the log2 buckets:
+  /// returns the upper bound of the bucket holding the q-th observation, or 0
+  /// when empty. Coarse by design (factor-of-two resolution) but allocation-
+  /// free and good enough for one-screen fleet tables.
+  std::uint64_t PercentileUpperBound(double q) const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> buckets[kBuckets]{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Owning registry. Metric objects live at stable addresses for the life of
+/// the registry; Get* registers on first use (allocating, mutex-held) and
+/// returns the existing metric on every later call with the same name+labels.
+/// Callers fetch pointers once at construction time and record through them.
+class Registry {
+ public:
+  /// The process-wide registry every production consumer records into.
+  static Registry& Global();
+
+  /// `labels` is the pre-formatted inner label list, e.g. `stage="select"`,
+  /// or empty. The pair (name, labels) is the metric's identity.
+  Counter* GetCounter(std::string_view name, std::string_view labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view labels = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view labels = {});
+
+  /// Appends the full exposition text to `out` (registration order).
+  void RenderText(std::string& out) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(std::string_view name, std::string_view labels,
+                      Kind kind);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace fedrec::obs
+
+#endif  // FEDREC_OBS_METRICS_H_

@@ -1,0 +1,74 @@
+#include "obs/stats_bridge.h"
+
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fedrec::obs {
+
+namespace {
+
+struct FaultGauges {
+  Gauge* dropped_uploads;
+  Gauge* straggler_uploads;
+  Gauge* corrupt_messages;
+  Gauge* shard_outages;
+  Gauge* shard_retries;
+  Gauge* fallback_shards;
+  Gauge* skipped_rounds;
+  Gauge* virtual_ticks;
+};
+
+FaultGauges MakeGauges(std::string_view scope) {
+  std::string labels = "scope=\"";
+  labels.append(scope);
+  labels.push_back('"');
+  Registry& registry = Registry::Global();
+  return FaultGauges{
+      registry.GetGauge("fedrec_fault_dropped_uploads", labels),
+      registry.GetGauge("fedrec_fault_straggler_uploads", labels),
+      registry.GetGauge("fedrec_fault_corrupt_messages", labels),
+      registry.GetGauge("fedrec_fault_shard_outages", labels),
+      registry.GetGauge("fedrec_fault_shard_retries", labels),
+      registry.GetGauge("fedrec_fault_fallback_shards", labels),
+      registry.GetGauge("fedrec_fault_skipped_rounds", labels),
+      registry.GetGauge("fedrec_fault_virtual_ticks", labels),
+  };
+}
+
+/// Per-scope gauge cache: the label string is built once per scope, so the
+/// per-round republish stays allocation-free.
+const FaultGauges& CachedGauges(std::string_view scope) {
+  static std::mutex mutex;
+  // Heap-allocated entries: references stay valid across cache growth.
+  static std::vector<std::pair<std::string, FaultGauges*>>* cache =
+      new std::vector<std::pair<std::string, FaultGauges*>>();
+  std::lock_guard<std::mutex> lock(mutex);
+  for (const auto& entry : *cache) {
+    if (entry.first == scope) return *entry.second;
+  }
+  cache->emplace_back(std::string(scope), new FaultGauges(MakeGauges(scope)));
+  return *cache->back().second;
+}
+
+}  // namespace
+
+void PublishFaultStats(const FaultStats& stats, std::string_view scope) {
+  const FaultGauges& gauges = CachedGauges(scope);
+  gauges.dropped_uploads->Set(static_cast<std::int64_t>(stats.dropped_uploads));
+  gauges.straggler_uploads->Set(
+      static_cast<std::int64_t>(stats.straggler_uploads));
+  gauges.corrupt_messages->Set(
+      static_cast<std::int64_t>(stats.corrupt_messages));
+  gauges.shard_outages->Set(static_cast<std::int64_t>(stats.shard_outages));
+  gauges.shard_retries->Set(static_cast<std::int64_t>(stats.shard_retries));
+  gauges.fallback_shards->Set(
+      static_cast<std::int64_t>(stats.fallback_shards));
+  gauges.skipped_rounds->Set(static_cast<std::int64_t>(stats.skipped_rounds));
+  gauges.virtual_ticks->Set(static_cast<std::int64_t>(stats.virtual_ticks));
+}
+
+}  // namespace fedrec::obs

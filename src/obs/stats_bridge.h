@@ -1,0 +1,29 @@
+#ifndef FEDREC_OBS_STATS_BRIDGE_H_
+#define FEDREC_OBS_STATS_BRIDGE_H_
+
+#include <string_view>
+
+#include "common/fault.h"
+
+/// \file
+/// Bridges the deterministic FaultStats ledger into the metrics registry so
+/// chaos runs are diagnosable from a live scrape. The ledger stays the
+/// source of truth (it is checkpointed and compared bit-for-bit by the fault
+/// tests); the bridge republishes its cumulative fields as gauges after each
+/// round, which keeps the scrape in lock-step with the transcript without
+/// ever feeding observability state back into the trajectory.
+
+namespace fedrec::obs {
+
+/// Republishes every FaultStats field as a `fedrec_fault_*{scope="..."}`
+/// gauge in the global registry. Two ledgers coexist per process — the round
+/// engine's transit-fault ledger (`scope="engine"`) and the sharded wire
+/// ledger (`scope="wire"`) — so the scope label keeps them from overwriting
+/// each other. `scope` must be a string literal or otherwise stable for the
+/// process lifetime. Cheap after first registration (one relaxed store per
+/// field); call per round.
+void PublishFaultStats(const FaultStats& stats, std::string_view scope);
+
+}  // namespace fedrec::obs
+
+#endif  // FEDREC_OBS_STATS_BRIDGE_H_

@@ -1,0 +1,56 @@
+#include "obs/trace.h"
+
+#include <bit>
+
+namespace fedrec::obs {
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+void TraceRing::Enable(std::size_t capacity) {
+  if (capacity < 2) capacity = 2;
+  capacity = std::bit_ceil(capacity);
+  events_.assign(capacity, TraceEvent{});
+  mask_ = capacity - 1;
+  write_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRing::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRing::Clear() { write_.store(0, std::memory_order_relaxed); }
+
+void TraceRing::RenderJson(std::string& out) const {
+  out.append("{\"traceEvents\":[");
+  const std::uint64_t total = write_.load(std::memory_order_relaxed);
+  const std::uint64_t live =
+      events_.empty() ? 0
+                      : (total < events_.size()
+                             ? total
+                             : static_cast<std::uint64_t>(events_.size()));
+  bool first = true;
+  for (std::uint64_t i = 0; i < live; ++i) {
+    const TraceEvent& event = events_[i];
+    if (event.name == nullptr) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"");
+    out.append(event.name);
+    out.append("\",\"cat\":\"");
+    out.append(event.cat != nullptr ? event.cat : "round");
+    out.append("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+    out.append(std::to_string(event.tid));
+    out.append(",\"ts\":");
+    out.append(std::to_string(event.ts_us));
+    out.append(",\"dur\":");
+    out.append(std::to_string(event.dur_us));
+    out.append("}");
+  }
+  out.append("]}");
+}
+
+}  // namespace fedrec::obs

@@ -1,0 +1,114 @@
+#ifndef FEDREC_OBS_TRACE_H_
+#define FEDREC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+/// \file
+/// Span-based tracer: a preallocated ring of complete-span events
+/// (`ph:"X"` in Chrome trace_event terms), written lock-free from any
+/// thread and exported as chrome://tracing-loadable JSON after the run.
+///
+/// Recording is observe-only and allocation-free: a disabled ring costs one
+/// relaxed load per span; an enabled one additionally reads MonotonicMicros
+/// (the stopwatch.h-confined clock) twice and writes one preallocated slot.
+/// The ring wraps — a long run keeps the most recent `capacity` spans — and
+/// wrapped slots may tear while writers are live, so export only from a
+/// quiescent process (end of run, which is when the coordinator's
+/// --trace-out flag fires).
+
+namespace fedrec::obs {
+
+/// One complete span. `name` and `cat` must be string literals (the ring
+/// stores the pointers; no copies on the record path).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::uint32_t tid = 0;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+class TraceRing {
+ public:
+  /// The process-wide ring ScopedSpan records into.
+  static TraceRing& Global();
+
+  /// Allocates the ring (capacity rounded up to a power of two) and starts
+  /// accepting spans. Call before recording threads exist; not thread-safe
+  /// against concurrent Record.
+  void Enable(std::size_t capacity);
+
+  /// Stops accepting spans (recorded events are kept for export).
+  void Disable();
+
+  /// Drops every recorded event (ring memory is kept).
+  void Clear();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Spans recorded since Enable/Clear (monotonic; exceeds capacity once the
+  /// ring wraps).
+  std::uint64_t recorded() const {
+    return write_.load(std::memory_order_relaxed);
+  }
+
+  // fedrec:hot — per-span cost when enabled: one fetch_add + one slot write.
+  void Record(const char* name, const char* cat, std::uint64_t ts_us,
+              std::uint64_t dur_us) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    const std::uint64_t idx = write_.fetch_add(1, std::memory_order_relaxed);
+    TraceEvent& slot = events_[idx & mask_];
+    slot.name = name;
+    slot.cat = cat;
+    slot.tid = static_cast<std::uint32_t>(ThreadSlot());
+    slot.ts_us = ts_us;
+    slot.dur_us = dur_us;
+  }
+
+  /// Appends the Chrome trace_event JSON document to `out`. Only valid when
+  /// no thread is recording.
+  void RenderJson(std::string& out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t mask_ = 0;
+  std::atomic<std::uint64_t> write_{0};
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII span: times its scope with MonotonicMicros, observes the duration
+/// into an optional histogram, and records a trace event. The name must be a
+/// string literal.
+// fedrec:hot — constructor/destructor run inside the round loop's stages.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Histogram* hist = nullptr,
+                      const char* cat = "round")
+      : name_(name), cat_(cat), hist_(hist), start_us_(MonotonicMicros()) {}
+
+  ~ScopedSpan() {
+    const std::uint64_t dur = MonotonicMicros() - start_us_;
+    if (hist_ != nullptr) hist_->Observe(dur);
+    TraceRing::Global().Record(name_, cat_, start_us_, dur);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  Histogram* hist_;
+  std::uint64_t start_us_;
+};
+
+}  // namespace fedrec::obs
+
+#endif  // FEDREC_OBS_TRACE_H_

@@ -5,9 +5,13 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/csv.h"
 #include "common/rng.h"
 #include "data/synthetic.h"
 #include "fed/simulation.h"
+#include "net/stats_listener.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/checkpoint.h"
 #include "shard/shard_plan.h"
 #include "shard/sharded_round_engine.h"
@@ -81,6 +85,48 @@ int FederationCoordinator::Run() {
   Simulation sim(data, config, /*num_malicious=*/0, nullptr, nullptr);
   ShardedRoundEngine sharded(&sim.engine(), &sim.model(), &config, &transport,
                              nullptr);
+
+  if (!options_.trace_out.empty()) {
+    // ~32k spans of ring: the most recent few thousand rounds of stage
+    // coverage; older spans are overwritten, never reallocated.
+    obs::TraceRing::Global().Enable(1u << 15);
+  }
+  StatsListener stats_listener;
+  if (options_.stats_port != 0) {
+    const Status started =
+        stats_listener.Start("127.0.0.1", options_.stats_port);
+    if (!started.ok()) {
+      std::printf("stats listener failed: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("stats listening on %u\n",
+                static_cast<unsigned>(stats_listener.port()));
+    std::fflush(stdout);
+  }
+  const auto dump_observability = [&]() {
+    if (!options_.metrics_dump.empty()) {
+      std::string text;
+      obs::Registry::Global().RenderText(text);
+      if (options_.metrics_dump == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        std::fflush(stdout);
+      } else {
+        const Status written = WriteStringToFile(options_.metrics_dump, text);
+        if (!written.ok()) {
+          std::printf("metrics dump failed: %s\n",
+                      written.ToString().c_str());
+        }
+      }
+    }
+    if (!options_.trace_out.empty()) {
+      std::string json;
+      obs::TraceRing::Global().RenderJson(json);
+      const Status written = WriteStringToFile(options_.trace_out, json);
+      if (!written.ok()) {
+        std::printf("trace dump failed: %s\n", written.ToString().c_str());
+      }
+    }
+  };
 
   const std::string checkpoint_path =
       options_.checkpoint_dir.empty()
@@ -163,6 +209,7 @@ int FederationCoordinator::Run() {
     std::printf("drained: checkpoint at round %zu, exiting 0\n",
                 sim.global_round());
     std::fflush(stdout);
+    dump_observability();
     return 0;
   }
 
@@ -182,6 +229,7 @@ int FederationCoordinator::Run() {
               static_cast<unsigned long long>(wire.shard_retries),
               static_cast<unsigned long long>(wire.fallback_shards));
   std::fflush(stdout);
+  dump_observability();
   return 0;
 }
 

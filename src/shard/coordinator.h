@@ -70,6 +70,15 @@ class FederationCoordinator {
     std::size_t kill_after_round = 0;
     /// Socket io timeout handed to the transport.
     std::uint32_t io_timeout_ms = 5000;
+    // -- Observability (all observe-only; never feeds the trajectory) -------
+    /// Serve kStatsRequest scrapes on this port while running (0 = off).
+    std::uint16_t stats_port = 0;
+    /// Write the final metrics exposition here at exit ("-" = stdout,
+    /// "" = off).
+    std::string metrics_dump;
+    /// Record per-stage spans into the trace ring and write Chrome
+    /// trace_event JSON (chrome://tracing loadable) here at exit ("" = off).
+    std::string trace_out;
   };
 
   explicit FederationCoordinator(Options options);

@@ -9,6 +9,7 @@
 
 #include "common/stopwatch.h"
 #include "fed/aggregator.h"
+#include "obs/trace.h"
 #include "shard/shard_protocol.h"
 #include "shard/wire.h"
 
@@ -42,6 +43,32 @@ FederationService::FederationService(MfModel* model, ShardTransport* transport,
     update.item_gradients.Reset(model_->dim());
   }
   participants_.assign(options_.round_size, -1);
+  // One-time metric registration (never on the upload or round paths).
+  obs::Registry& registry = obs::Registry::Global();
+  metrics_.rounds_completed = registry.GetGauge("fedrec_coord_rounds_completed");
+  metrics_.uploads_received = registry.GetGauge("fedrec_coord_uploads_received");
+  metrics_.upload_bytes = registry.GetGauge("fedrec_coord_upload_bytes");
+  metrics_.rejected_uploads = registry.GetGauge("fedrec_coord_rejected_uploads");
+  metrics_.connections_accepted =
+      registry.GetGauge("fedrec_coord_connections_accepted");
+  metrics_.shard_outages = registry.GetGauge("fedrec_coord_shard_outages");
+  metrics_.shard_retries = registry.GetGauge("fedrec_coord_shard_retries");
+  metrics_.fallback_shards = registry.GetGauge("fedrec_coord_fallback_shards");
+  metrics_.heartbeats_sent = registry.GetGauge("fedrec_coord_heartbeats_sent");
+  metrics_.peers_reaped = registry.GetGauge("fedrec_coord_peers_reaped");
+  metrics_.slow_reads_closed =
+      registry.GetGauge("fedrec_coord_slow_reads_closed");
+  metrics_.drain_deferrals = registry.GetGauge("fedrec_coord_drain_deferrals");
+  metrics_.shed_frames = registry.GetGauge("fedrec_coord_shed_frames");
+  metrics_.retry_afters_sent =
+      registry.GetGauge("fedrec_coord_retry_afters_sent");
+  metrics_.heartbeat_rtt_ms =
+      registry.GetHistogram("fedrec_heartbeat_rtt_ms", "shard=\"coord\"");
+  metrics_.route = registry.GetHistogram("fedrec_stage_us", "stage=\"route\"");
+  metrics_.shard_aggregate =
+      registry.GetHistogram("fedrec_stage_us", "stage=\"shard_aggregate\"");
+  metrics_.merge = registry.GetHistogram("fedrec_stage_us", "stage=\"merge\"");
+  metrics_.apply = registry.GetHistogram("fedrec_stage_us", "stage=\"apply\"");
   int pipe_fds[2];
   FEDREC_CHECK_EQ(::pipe(pipe_fds), 0) << "self-pipe creation failed";
   wake_read_ = pipe_fds[0];
@@ -207,7 +234,12 @@ void FederationService::HandleConnectionEvent(int fd, std::uint32_t events) {
   if (options_.liveness.enabled() && received > 0) {
     // Any inbound byte is proof of life: reset the silence window and allow
     // the next idle gap its own (single) probe.
-    conn->live.last_activity_ms = MonotonicMillis();
+    const std::uint64_t now = MonotonicMillis();
+    if (conn->live.probe_sent && now >= conn->live.probe_sent_ms) {
+      // First activity after a probe ~ probe round trip (observe-only).
+      metrics_.heartbeat_rtt_ms->Observe(now - conn->live.probe_sent_ms);
+    }
+    conn->live.last_activity_ms = now;
     conn->live.probe_sent = false;
   }
   // A closing peer gets its buffered frames served in full (nothing more is
@@ -271,9 +303,49 @@ bool FederationService::HandleFrame(int fd, Connection& conn,
     case FrameType::kHeartbeat:
       // Proof of life only; the byte-level activity refresh already ran.
       return true;
+    case FrameType::kStatsRequest:
+      return HandleStatsRequest(conn);
     default:
       return false;  // clients send only uploads (and shutdown in tests)
   }
+}
+
+void FederationService::PublishStats() {
+  metrics_.rounds_completed->Set(
+      static_cast<std::int64_t>(stats_.rounds_completed));
+  metrics_.uploads_received->Set(
+      static_cast<std::int64_t>(stats_.uploads_received));
+  metrics_.upload_bytes->Set(static_cast<std::int64_t>(stats_.upload_bytes));
+  metrics_.rejected_uploads->Set(
+      static_cast<std::int64_t>(stats_.rejected_uploads));
+  metrics_.connections_accepted->Set(
+      static_cast<std::int64_t>(stats_.connections_accepted));
+  metrics_.shard_outages->Set(
+      static_cast<std::int64_t>(stats_.shard_outages));
+  metrics_.shard_retries->Set(
+      static_cast<std::int64_t>(stats_.shard_retries));
+  metrics_.fallback_shards->Set(
+      static_cast<std::int64_t>(stats_.fallback_shards));
+  metrics_.heartbeats_sent->Set(
+      static_cast<std::int64_t>(stats_.heartbeats_sent));
+  metrics_.peers_reaped->Set(static_cast<std::int64_t>(stats_.peers_reaped));
+  metrics_.slow_reads_closed->Set(
+      static_cast<std::int64_t>(stats_.slow_reads_closed));
+  metrics_.drain_deferrals->Set(
+      static_cast<std::int64_t>(stats_.drain_deferrals));
+  metrics_.shed_frames->Set(static_cast<std::int64_t>(stats_.shed_frames));
+  metrics_.retry_afters_sent->Set(
+      static_cast<std::int64_t>(stats_.retry_afters_sent));
+}
+
+bool FederationService::HandleStatsRequest(Connection& conn) {
+  PublishStats();
+  stats_text_.clear();
+  obs::Registry::Global().RenderText(stats_text_);
+  const std::array<std::string_view, 1> pieces = {
+      std::string_view(stats_text_)};
+  conn.out.AppendFrame(FrameType::kStatsReply, pieces);
+  return FlushConnection(conn);
 }
 
 // fedrec:hot — upload fan-in: one FRWU decode in place from the connection
@@ -313,7 +385,10 @@ void FederationService::RunRound() {
   const std::span<const ClientUpdate> updates(updates_.data(),
                                               options_.round_size);
   ShardServer& server = transport_->server();
-  server.RouteRound(updates, /*pool=*/nullptr);
+  {
+    obs::ScopedSpan span("route", metrics_.route);
+    server.RouteRound(updates, /*pool=*/nullptr);
+  }
   // Krum is a whole-round selection: decide here, broadcast the winner's
   // round sequence number to the shards (mirrors ShardedRoundEngine).
   std::uint64_t krum_source = 0;
@@ -322,24 +397,35 @@ void FederationService::RunRound() {
                              options_.aggregator.krum_honest);
   }
   if (!transport_->fallible()) {
-    server
-        .AggregateRound(options_.aggregator, updates.size(), krum_source,
-                        /*pool=*/nullptr)
-        .CheckOK();
+    {
+      obs::ScopedSpan span("shard_aggregate", metrics_.shard_aggregate);
+      server
+          .AggregateRound(options_.aggregator, updates.size(), krum_source,
+                          /*pool=*/nullptr)
+          .CheckOK();
+    }
+    obs::ScopedSpan span("merge", metrics_.merge);
     server.MergeRoundDelta(merged_).CheckOK();
   } else {
-    const std::size_t num_shards = server.plan().num_shards();
-    for (std::size_t s = 0; s < num_shards; ++s) {
-      const ShardRoundOutcome outcome = DeliverShardWithRetries(
-          *transport_, updates, s, options_.aggregator, updates.size(),
-          krum_source, round_, options_.retry);
-      stats_.shard_outages += outcome.outages;
-      stats_.shard_retries += outcome.retries;
-      if (outcome.fallback) ++stats_.fallback_shards;
+    {
+      obs::ScopedSpan span("shard_aggregate", metrics_.shard_aggregate);
+      const std::size_t num_shards = server.plan().num_shards();
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        const ShardRoundOutcome outcome = DeliverShardWithRetries(
+            *transport_, updates, s, options_.aggregator, updates.size(),
+            krum_source, round_, options_.retry);
+        stats_.shard_outages += outcome.outages;
+        stats_.shard_retries += outcome.retries;
+        if (outcome.fallback) ++stats_.fallback_shards;
+      }
     }
+    obs::ScopedSpan span("merge", metrics_.merge);
     server.MergeReceived(merged_).CheckOK();
   }
-  model_->ApplySparseGradient(merged_, options_.learning_rate);
+  {
+    obs::ScopedSpan span("apply", metrics_.apply);
+    model_->ApplySparseGradient(merged_, options_.learning_rate);
+  }
   ++stats_.rounds_completed;
 
   // Ack every contributed upload on its (still-open) connection. An fd
@@ -457,6 +543,7 @@ void FederationService::HandleDeadline(int fd, std::uint64_t now_ms) {
       return;
     case LivenessVerdict::kProbe:
       conn->live.probe_sent = true;
+      conn->live.probe_sent_ms = now_ms;
       ++stats_.heartbeats_sent;
       if (!ShedIfOverloaded(*conn)) {
         conn->out.AppendFrame(FrameType::kHeartbeat, {});

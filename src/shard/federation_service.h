@@ -17,6 +17,7 @@
 #include "net/frame.h"
 #include "net/liveness.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "shard/transport.h"
 
 /// \file
@@ -131,6 +132,11 @@ class FederationService {
   /// True when `conn`'s send queue is at high water: the caller must not
   /// stage its frame. Sends one kRetryAfter per breach.
   bool ShedIfOverloaded(Connection& conn);
+  /// Serves a metrics scrape: mirrors Stats into the registry and replies
+  /// with the full text exposition (never on the round path).
+  bool HandleStatsRequest(Connection& conn);
+  /// Republishes the serving counters as `fedrec_coord_*` gauges.
+  void PublishStats();
   void SendError(Connection& conn, const Status& status);
   bool FlushConnection(Connection& conn);
   void CloseConnection(int fd);
@@ -167,6 +173,33 @@ class FederationService {
   std::vector<int> deferred_;           ///< fds with frames still buffered
   std::vector<int> deferred_scratch_;   ///< swap buffer for the above
   Stats stats_;
+  std::string stats_text_;              ///< kStatsReply render scratch
+  /// Scrape-facing mirrors of Stats plus the probe round-trip histogram;
+  /// registered once in the constructor.
+  struct ServingMetrics {
+    obs::Gauge* rounds_completed = nullptr;
+    obs::Gauge* uploads_received = nullptr;
+    obs::Gauge* upload_bytes = nullptr;
+    obs::Gauge* rejected_uploads = nullptr;
+    obs::Gauge* connections_accepted = nullptr;
+    obs::Gauge* shard_outages = nullptr;
+    obs::Gauge* shard_retries = nullptr;
+    obs::Gauge* fallback_shards = nullptr;
+    obs::Gauge* heartbeats_sent = nullptr;
+    obs::Gauge* peers_reaped = nullptr;
+    obs::Gauge* slow_reads_closed = nullptr;
+    obs::Gauge* drain_deferrals = nullptr;
+    obs::Gauge* shed_frames = nullptr;
+    obs::Gauge* retry_afters_sent = nullptr;
+    obs::Histogram* heartbeat_rtt_ms = nullptr;
+    // Server-side stage histograms — the same fedrec_stage_us series the
+    // round engines record, so bench and deployment share one vocabulary.
+    obs::Histogram* route = nullptr;
+    obs::Histogram* shard_aggregate = nullptr;
+    obs::Histogram* merge = nullptr;
+    obs::Histogram* apply = nullptr;
+  };
+  ServingMetrics metrics_;
 };
 
 }  // namespace fedrec

@@ -6,6 +6,8 @@
 ///                  [--epochs=4] [--seed=11] [--data-seed=7]
 ///                  [--dropout=0.0] [--stragglers=0.0] [--fault-seed=29]
 ///                  [--io-timeout-ms=5000] [--kill-after-round=0]
+///                  [--stats-port=0] [--metrics-dump=PATH|-]
+///                  [--trace-out=PATH]
 ///
 /// Drives the deterministic synthetic workload over the given fedrec_shardd
 /// fleet (see shard/coordinator.h for the recovery state machine and the
@@ -92,6 +94,10 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("kill-after-round", 0));
   options.io_timeout_ms =
       static_cast<std::uint32_t>(flags.GetInt("io-timeout-ms", 5000));
+  options.stats_port =
+      static_cast<std::uint16_t>(flags.GetInt("stats-port", 0));
+  options.metrics_dump = flags.GetString("metrics-dump", "");
+  options.trace_out = flags.GetString("trace-out", "");
 
   fedrec::FederationCoordinator coordinator(options);
   g_coordinator = &coordinator;

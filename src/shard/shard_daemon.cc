@@ -27,6 +27,32 @@ constexpr int kDrainFlushAttempts = 200;
 }  // namespace
 
 ShardDaemon::ShardDaemon(Options options) : options_(std::move(options)) {
+  // One-time metric registration (allocates label strings; never on the
+  // serving path). The shard label keeps co-located daemons distinguishable.
+  std::string label = "shard=\"";
+  label += std::to_string(options_.shard_index);
+  label += '"';
+  obs::Registry& registry = obs::Registry::Global();
+  metrics_.rounds_served =
+      registry.GetGauge("fedrec_shardd_rounds_served", label);
+  metrics_.hellos_accepted =
+      registry.GetGauge("fedrec_shardd_hellos_accepted", label);
+  metrics_.hellos_rejected =
+      registry.GetGauge("fedrec_shardd_hellos_rejected", label);
+  metrics_.connections_accepted =
+      registry.GetGauge("fedrec_shardd_connections_accepted", label);
+  metrics_.recoverable_errors =
+      registry.GetGauge("fedrec_shardd_recoverable_errors", label);
+  metrics_.heartbeats_sent =
+      registry.GetGauge("fedrec_shardd_heartbeats_sent", label);
+  metrics_.peers_reaped =
+      registry.GetGauge("fedrec_shardd_peers_reaped", label);
+  metrics_.slow_reads_closed =
+      registry.GetGauge("fedrec_shardd_slow_reads_closed", label);
+  metrics_.drain_deferrals =
+      registry.GetGauge("fedrec_shardd_drain_deferrals", label);
+  metrics_.heartbeat_rtt_ms =
+      registry.GetHistogram("fedrec_heartbeat_rtt_ms", label);
   int pipe_fds[2];
   FEDREC_CHECK_EQ(::pipe(pipe_fds), 0) << "self-pipe creation failed";
   wake_read_ = pipe_fds[0];
@@ -192,7 +218,12 @@ void ShardDaemon::HandleConnectionEvent(int fd, std::uint32_t events) {
   if (options_.liveness.enabled() && received > 0) {
     // Any inbound byte is proof of life: reset the silence window and allow
     // the next idle gap its own (single) probe.
-    conn->live.last_activity_ms = MonotonicMillis();
+    const std::uint64_t now = MonotonicMillis();
+    if (conn->live.probe_sent && now >= conn->live.probe_sent_ms) {
+      // First activity after a probe ~ probe round trip (observe-only).
+      metrics_.heartbeat_rtt_ms->Observe(now - conn->live.probe_sent_ms);
+    }
+    conn->live.last_activity_ms = now;
     conn->live.probe_sent = false;
   }
   // A closing peer gets its buffered frames served in full (nothing more is
@@ -257,9 +288,41 @@ bool ShardDaemon::HandleFrame(Connection& conn, const FrameView& frame) {
     case FrameType::kHeartbeat:
       // Proof of life only; the byte-level activity refresh already ran.
       return true;
+    case FrameType::kStatsRequest:
+      return HandleStatsRequest(conn);
     default:
       return false;  // a shardd receives only the types above
   }
+}
+
+void ShardDaemon::PublishStats() {
+  metrics_.rounds_served->Set(
+      static_cast<std::int64_t>(stats_.rounds_served));
+  metrics_.hellos_accepted->Set(
+      static_cast<std::int64_t>(stats_.hellos_accepted));
+  metrics_.hellos_rejected->Set(
+      static_cast<std::int64_t>(stats_.hellos_rejected));
+  metrics_.connections_accepted->Set(
+      static_cast<std::int64_t>(stats_.connections_accepted));
+  metrics_.recoverable_errors->Set(
+      static_cast<std::int64_t>(stats_.recoverable_errors));
+  metrics_.heartbeats_sent->Set(
+      static_cast<std::int64_t>(stats_.heartbeats_sent));
+  metrics_.peers_reaped->Set(static_cast<std::int64_t>(stats_.peers_reaped));
+  metrics_.slow_reads_closed->Set(
+      static_cast<std::int64_t>(stats_.slow_reads_closed));
+  metrics_.drain_deferrals->Set(
+      static_cast<std::int64_t>(stats_.drain_deferrals));
+}
+
+bool ShardDaemon::HandleStatsRequest(Connection& conn) {
+  PublishStats();
+  stats_text_.clear();
+  obs::Registry::Global().RenderText(stats_text_);
+  const std::array<std::string_view, 1> pieces = {
+      std::string_view(stats_text_)};
+  conn.out.AppendFrame(FrameType::kStatsReply, pieces);
+  return FlushConnection(conn);
 }
 
 bool ShardDaemon::HandleHello(Connection& conn, std::string_view payload) {
@@ -413,6 +476,7 @@ void ShardDaemon::HandleDeadline(int fd, std::uint64_t now_ms) {
       return;
     case LivenessVerdict::kProbe:
       conn->live.probe_sent = true;
+      conn->live.probe_sent_ms = now_ms;
       ++stats_.heartbeats_sent;
       conn->out.AppendFrame(FrameType::kHeartbeat, {});
       if (!FlushConnection(*conn)) {

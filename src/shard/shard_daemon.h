@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "net/deadline_wheel.h"
+#include "obs/metrics.h"
 #include "net/epoll_loop.h"
 #include "net/frame.h"
 #include "net/liveness.h"
@@ -108,6 +109,13 @@ class ShardDaemon {
   bool HandleFrame(Connection& conn, const FrameView& frame);
   bool HandleHello(Connection& conn, std::string_view payload);
   bool HandleRound(Connection& conn, std::string_view payload);
+  /// Serves a metrics scrape: mirrors Stats into the registry and replies
+  /// with the full text exposition. Allowed pre-hello — scrapers are not
+  /// coordinators and never touch round state.
+  bool HandleStatsRequest(Connection& conn);
+  /// Republishes the serving counters as `fedrec_shardd_*{shard="N"}`
+  /// gauges (scrape-time only; the hot paths keep their plain counters).
+  void PublishStats();
   /// Validates `hello` against the adopted geometry (adopting it first if
   /// this is the run's first coordinator).
   [[nodiscard]] Status CheckHello(const ShardHello& hello);
@@ -146,6 +154,23 @@ class ShardDaemon {
   std::vector<int> deferred_;            ///< fds with frames still buffered
   std::vector<int> deferred_scratch_;    ///< swap buffer for the above
   Stats stats_;
+  std::string stats_text_;               ///< kStatsReply render scratch
+  /// Scrape-facing mirrors of Stats plus the probe round-trip histogram;
+  /// registered once in the constructor, labelled by shard index so
+  /// multi-daemon processes (tests) keep their fleets apart.
+  struct ServingMetrics {
+    obs::Gauge* rounds_served = nullptr;
+    obs::Gauge* hellos_accepted = nullptr;
+    obs::Gauge* hellos_rejected = nullptr;
+    obs::Gauge* connections_accepted = nullptr;
+    obs::Gauge* recoverable_errors = nullptr;
+    obs::Gauge* heartbeats_sent = nullptr;
+    obs::Gauge* peers_reaped = nullptr;
+    obs::Gauge* slow_reads_closed = nullptr;
+    obs::Gauge* drain_deferrals = nullptr;
+    obs::Histogram* heartbeat_rtt_ms = nullptr;
+  };
+  ServingMetrics metrics_;
 };
 
 }  // namespace fedrec

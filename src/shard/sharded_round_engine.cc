@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/stats_bridge.h"
+#include "obs/trace.h"
+
 namespace fedrec {
 
 ShardedRoundEngine::ShardedRoundEngine(RoundEngine* engine, MfModel* model,
@@ -18,6 +21,7 @@ ShardedRoundEngine::ShardedRoundEngine(RoundEngine* engine, MfModel* model,
   FEDREC_CHECK(model_ != nullptr);
   FEDREC_CHECK(config_ != nullptr);
   FEDREC_CHECK_EQ(plan.num_items(), model->num_items());
+  InitStageMetrics();
 }
 
 ShardedRoundEngine::ShardedRoundEngine(RoundEngine* engine, MfModel* model,
@@ -36,16 +40,56 @@ ShardedRoundEngine::ShardedRoundEngine(RoundEngine* engine, MfModel* model,
   FEDREC_CHECK_EQ(transport_->server().plan().num_items(),
                   model->num_items());
   FEDREC_CHECK_EQ(transport_->server().dim(), model->dim());
+  InitStageMetrics();
+}
+
+void ShardedRoundEngine::InitStageMetrics() {
+  obs::Registry& registry = obs::Registry::Global();
+  stage_.select = registry.GetHistogram("fedrec_stage_us", "stage=\"select\"");
+  stage_.local_train =
+      registry.GetHistogram("fedrec_stage_us", "stage=\"local_train\"");
+  stage_.attack = registry.GetHistogram("fedrec_stage_us", "stage=\"attack\"");
+  stage_.observe =
+      registry.GetHistogram("fedrec_stage_us", "stage=\"observe\"");
+  stage_.transit_faults =
+      registry.GetHistogram("fedrec_stage_us", "stage=\"transit_faults\"");
+  stage_.route = registry.GetHistogram("fedrec_stage_us", "stage=\"route\"");
+  stage_.shard_aggregate =
+      registry.GetHistogram("fedrec_stage_us", "stage=\"shard_aggregate\"");
+  stage_.merge = registry.GetHistogram("fedrec_stage_us", "stage=\"merge\"");
+  stage_.apply = registry.GetHistogram("fedrec_stage_us", "stage=\"apply\"");
+  stage_.shard_retries =
+      registry.GetCounter("fedrec_shard_retries_total");
+  stage_.shard_outages =
+      registry.GetCounter("fedrec_shard_outages_total");
+  stage_.fallback_shards =
+      registry.GetCounter("fedrec_shard_fallbacks_total");
 }
 
 double ShardedRoundEngine::RunRound(const RoundObserver& observer) {
   FEDREC_CHECK(HasNextRound()) << "epoch " << engine_->epoch()
                                << " has no rounds left";
-  engine_->Select();
-  const double loss = engine_->LocalTrain();
-  engine_->Attack();
-  engine_->Observe(observer);
-  engine_->ApplyTransitFaults();
+  {
+    obs::ScopedSpan span("select", stage_.select);
+    engine_->Select();
+  }
+  double loss = 0.0;
+  {
+    obs::ScopedSpan span("local_train", stage_.local_train);
+    loss = engine_->LocalTrain();
+  }
+  {
+    obs::ScopedSpan span("attack", stage_.attack);
+    engine_->Attack();
+  }
+  {
+    obs::ScopedSpan span("observe", stage_.observe);
+    engine_->Observe(observer);
+  }
+  {
+    obs::ScopedSpan span("transit_faults", stage_.transit_faults);
+    engine_->ApplyTransitFaults();
+  }
   const bool faults = engine_->faults_active();
   if (faults && engine_->BelowQuorum()) {
     engine_->NoteSkippedRound();
@@ -57,7 +101,10 @@ double ShardedRoundEngine::RunRound(const RoundObserver& observer) {
   // the historical path byte-identical).
   const std::span<const ClientUpdate> updates(
       engine_->workspace().updates.data(), engine_->live_uploads());
-  server().RouteRound(updates, pool_);
+  {
+    obs::ScopedSpan span("route", stage_.route);
+    server().RouteRound(updates, pool_);
+  }
 
   // Krum is a whole-round selection: decide on the coordinator (which holds
   // the full uploads before routing anyway) and broadcast the winner's
@@ -73,18 +120,30 @@ double ShardedRoundEngine::RunRound(const RoundObserver& observer) {
   if (!faults && !transport_->fallible()) {
     // In-process wire corruption is a programming error, not an environmental
     // failure: fail fast instead of threading Status through the round loop.
-    server()
-        .AggregateRound(config_->aggregator, updates.size(), krum_source,
-                        pool_)
-        .CheckOK();
+    {
+      obs::ScopedSpan span("shard_aggregate", stage_.shard_aggregate);
+      server()
+          .AggregateRound(config_->aggregator, updates.size(), krum_source,
+                          pool_)
+          .CheckOK();
+    }
+    obs::ScopedSpan span("merge", stage_.merge);
     server().MergeRoundDelta(merged_).CheckOK();
   } else {
-    AggregateDegraded(updates, krum_source);
+    {
+      obs::ScopedSpan span("shard_aggregate", stage_.shard_aggregate);
+      AggregateDegraded(updates, krum_source);
+    }
+    obs::ScopedSpan span("merge", stage_.merge);
     server().MergeReceived(merged_).CheckOK();
   }
 
-  model_->ApplySparseGradient(merged_, config_->model.learning_rate);
+  {
+    obs::ScopedSpan span("apply", stage_.apply);
+    model_->ApplySparseGradient(merged_, config_->model.learning_rate);
+  }
   engine_->AdvanceRound();
+  obs::PublishFaultStats(wire_stats_, "wire");
   return loss;
 }
 
@@ -109,6 +168,9 @@ void ShardedRoundEngine::AggregateDegraded(
     wire_stats_.shard_outages += outcome.outages;
     wire_stats_.shard_retries += outcome.retries;
     if (outcome.fallback) ++wire_stats_.fallback_shards;
+    stage_.shard_outages->Increment(outcome.outages);
+    stage_.shard_retries->Increment(outcome.retries);
+    if (outcome.fallback) stage_.fallback_shards->Increment();
     max_backoff = std::max(max_backoff, outcome.backoff_ticks);
   }
   // Shards retry concurrently; the round pays the slowest shard's backoff.

@@ -11,6 +11,7 @@
 #include "fed/config.h"
 #include "fed/round_engine.h"
 #include "model/mf_model.h"
+#include "obs/metrics.h"
 #include "shard/shard_server.h"
 #include "shard/transport.h"
 
@@ -101,6 +102,10 @@ class ShardedRoundEngine {
   void AggregateDegraded(std::span<const ClientUpdate> updates,
                          std::uint64_t krum_source);
 
+  /// Fetches the server-stage histograms from the global registry (shared
+  /// constructor tail).
+  void InitStageMetrics();
+
   RoundEngine* engine_;
   MfModel* model_;
   const FedConfig* config_;
@@ -110,6 +115,25 @@ class ShardedRoundEngine {
   SparseRoundDelta merged_;
   FaultStats wire_stats_;
   std::vector<ShardRoundOutcome> outcome_scratch_;
+  // Stage histograms (fedrec_stage_us{stage=...}) plus the
+  // degraded-protocol counters; observe-only. The client-stage entries
+  // resolve to the same registry instances RoundEngine registers, so the
+  // single-server and sharded paths share one per-stage series.
+  struct StageMetrics {
+    obs::Histogram* select = nullptr;
+    obs::Histogram* local_train = nullptr;
+    obs::Histogram* attack = nullptr;
+    obs::Histogram* observe = nullptr;
+    obs::Histogram* transit_faults = nullptr;
+    obs::Histogram* route = nullptr;
+    obs::Histogram* shard_aggregate = nullptr;
+    obs::Histogram* merge = nullptr;
+    obs::Histogram* apply = nullptr;
+    obs::Counter* shard_retries = nullptr;
+    obs::Counter* shard_outages = nullptr;
+    obs::Counter* fallback_shards = nullptr;
+  };
+  StageMetrics stage_;
 };
 
 }  // namespace fedrec

@@ -3,6 +3,7 @@
 #include <array>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "net/socket.h"
 
 namespace fedrec {
@@ -22,6 +23,12 @@ SocketShardTransport::SocketShardTransport(const ShardPlan& plan,
       conns_(plan.num_shards()) {
   FEDREC_CHECK_EQ(options_.endpoints.size(), plan.num_shards())
       << "one shardd endpoint per shard";
+  obs::Registry& registry = obs::Registry::Global();
+  metrics_.reconnects = registry.GetCounter("fedrec_socket_reconnects_total");
+  metrics_.roundtrips = registry.GetCounter("fedrec_socket_roundtrips_total");
+  metrics_.io_failures =
+      registry.GetCounter("fedrec_socket_io_failures_total");
+  metrics_.roundtrip_us = registry.GetHistogram("fedrec_socket_roundtrip_us");
 }
 
 SocketShardTransport::~SocketShardTransport() {
@@ -138,10 +145,17 @@ Status SocketShardTransport::ExecuteShardRound(
     std::uint64_t krum_source, std::uint64_t round, std::uint64_t attempt) {
   (void)attempt;  // reconnects key off connection state, not the attempt id
   Connection& conn = conns_[s];
+  const bool fresh_connect = conn.fd < 0;
   Status status = EnsureConnected(conn, s);
-  if (status.ok()) status = RoundTrip(conn, s, options, round_size,
-                                      krum_source, round);
+  if (status.ok() && fresh_connect) metrics_.reconnects->Increment();
+  if (status.ok()) {
+    const std::uint64_t start_us = MonotonicMicros();
+    status = RoundTrip(conn, s, options, round_size, krum_source, round);
+    metrics_.roundtrip_us->Observe(MonotonicMicros() - start_us);
+    metrics_.roundtrips->Increment();
+  }
   if (!status.ok()) {
+    metrics_.io_failures->Increment();
     // Tear the connection down on any failure: framing may be lost, and the
     // next attempt's reconnect doubles as the shardd-rejoin path.
     CloseSocket(conn.fd);

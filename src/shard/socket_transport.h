@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "obs/metrics.h"
 #include "shard/shard_protocol.h"
 #include "shard/transport.h"
 
@@ -92,6 +93,16 @@ class SocketShardTransport final : public ShardTransport {
   ShardServer server_;
   Options options_;
   std::vector<Connection> conns_;
+  /// Wire diagnostics (observe-only): (re)connect + handshake count, delivery
+  /// outcomes, and the blocking round-trip latency as seen from the
+  /// coordinator. Registered once in the constructor.
+  struct WireMetrics {
+    obs::Counter* reconnects = nullptr;
+    obs::Counter* roundtrips = nullptr;
+    obs::Counter* io_failures = nullptr;
+    obs::Histogram* roundtrip_us = nullptr;
+  };
+  WireMetrics metrics_;
 };
 
 }  // namespace fedrec

@@ -120,6 +120,30 @@ TEST(LintTest, PushBackInHotRegionOnly) {
   EXPECT_NE(diagnostics[0].message.find("push_back"), std::string::npos);
 }
 
+TEST(LintTest, ObsRecordPathAllocationIsRejected) {
+  // The obs registry's contract is an allocation-free record path; a metric
+  // Record that builds a std::string or grows a vector inside its
+  // `// fedrec:hot` region must fail the lint gate.
+  const auto diagnostics =
+      LintFixture("obs_hot_metric.cc", "src/obs/obs_hot_metric.cc");
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].rule, "hot-alloc");
+  EXPECT_EQ(diagnostics[0].line, 14u);  // std::string construction
+  EXPECT_EQ(diagnostics[1].rule, "hot-alloc");
+  EXPECT_EQ(diagnostics[1].line, 15u);  // push_back
+}
+
+TEST(LintTest, ObsLayerMayNotIncludeUpward) {
+  // obs ranks between common and the data/model/net tiers, so the fixture
+  // that reaches up into model/ fails from src/obs exactly as from src/data.
+  const auto diagnostics =
+      LintFixture("upward_include.cc", "src/obs/upward_include.cc");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "layering");
+  EXPECT_NE(diagnostics[0].message.find("model/mf_model.h"),
+            std::string::npos);
+}
+
 TEST(LintTest, UnorderedRangeForInShardIsADeterminismDiagnostic) {
   const auto diagnostics =
       LintFixture("unordered_range.cc", "src/shard/unordered_range.cc");

@@ -1,5 +1,9 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace fedrec {
@@ -44,6 +48,40 @@ TEST_F(LoggingTest, ErrorAlwaysPassesInfoThreshold) {
   FEDREC_LOG(Error) << "boom";
   const std::string output = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(output.find("ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FieldAppendsStructuredKeyValuePairs) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  (FEDREC_LOG(Info) << "round done").Field("round", 7).Field("shard", "2");
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("round done round=7 shard=2"), std::string::npos)
+      << output;
+}
+
+TEST_F(LoggingTest, LevelMutationIsSafeAgainstConcurrentEmission) {
+  // The level is a relaxed atomic: flipping it from one thread while others
+  // emit must be race-free (the tsan job runs this suite). The worst allowed
+  // outcome is a mislevelled line, so only absence of races is asserted.
+  SetLogLevel(LogLevel::kError);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        FEDREC_LOG(Debug) << "spin";
+      }
+    });
+  }
+  for (int flip = 0; flip < 1000; ++flip) {
+    SetLogLevel(flip % 2 == 0 ? LogLevel::kError : LogLevel::kWarning);
+    (void)GetLogLevel();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& writer : writers) writer.join();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
 }
 
 }  // namespace

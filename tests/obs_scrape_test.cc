@@ -1,0 +1,164 @@
+/// End-to-end scrape test: forks a real `fedrec_shardd` process (path
+/// injected by CMake as FEDREC_SHARDD_BIN), sends FRNT kStatsRequest frames
+/// over a live TCP connection, and asserts the kStatsReply exposition text —
+/// the same wire round trip `tools/obs/fedrec_stats` performs against a
+/// deployed fleet, pinned here as a test contract: a shardd must answer a
+/// scrape pre-hello, keep the connection open across scrapes, and name its
+/// gauges with the shard label.
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace fedrec {
+namespace {
+
+pid_t Spawn(const std::string& binary, const std::vector<std::string>& args,
+            const std::string& stdout_path) {
+  // Drop any log left by a previous run before forking: WaitForPort polls
+  // this path from the parent, and a stale "listening on N" line would win
+  // the race against the child's O_TRUNC.
+  ::unlink(stdout_path.c_str());
+  std::vector<std::string> storage;
+  storage.push_back(binary);
+  for (const std::string& arg : args) storage.push_back(arg);
+  std::vector<char*> argv;
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int fd =
+        ::open(stdout_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      ::close(fd);
+    }
+    ::execv(binary.c_str(), argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::uint16_t WaitForPort(const std::string& stdout_path) {
+  constexpr char kNeedle[] = "listening on ";
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    const std::string text = ReadFile(stdout_path);
+    const std::size_t pos = text.find(kNeedle);
+    if (pos != std::string::npos && text.find('\n', pos) != std::string::npos) {
+      return static_cast<std::uint16_t>(
+          std::atoi(text.c_str() + pos + sizeof(kNeedle) - 1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ADD_FAILURE() << "shardd never printed its port: " << stdout_path;
+  return 0;
+}
+
+/// One kStatsRequest round trip on an already connected socket. The
+/// connection stays open, so calling this twice exercises repeat scrapes.
+Status ScrapeOn(int sock, std::string& text) {
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(FrameType::kStatsRequest, 0, header);
+  const std::array<std::string_view, 1> pieces = {
+      std::string_view(header, sizeof(header))};
+  Status status = WriteAllVec(sock, pieces);
+  FrameReader reader;
+  while (status.ok()) {
+    FrameView frame;
+    bool has_frame = false;
+    status = reader.Next(frame, has_frame);
+    if (!status.ok()) break;
+    if (has_frame) {
+      if (frame.type == FrameType::kHeartbeat) continue;
+      if (frame.type != FrameType::kStatsReply) {
+        return Status::Corruption("expected kStatsReply");
+      }
+      text.assign(frame.payload);
+      return Status::OK();
+    }
+    char* tail = reader.PrepareWrite(64 * 1024);
+    ReadOutcome outcome;
+    status = ReadSome(sock, tail, reader.writable(), outcome);
+    if (status.ok() && outcome.eof) {
+      status = Status::IOError("peer closed before replying");
+    }
+    if (status.ok()) reader.CommitWrite(outcome.bytes);
+  }
+  return status;
+}
+
+TEST(ObsScrapeTest, LiveSharddAnswersStatsRequestsOverTcp) {
+  const std::string log = ::testing::TempDir() + "obs_scrape_shardd.log";
+  const pid_t pid =
+      Spawn(FEDREC_SHARDD_BIN, {"--shard=3", "--port=0"}, log);
+  ASSERT_GT(pid, 0);
+  const std::uint16_t port = WaitForPort(log);
+  ASSERT_NE(port, 0);
+
+  Result<int> fd = TcpConnect("127.0.0.1", port);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  int sock = fd.value();
+  ASSERT_TRUE(SetIoTimeout(sock, 5000).ok());
+
+  // First scrape: pre-hello, empty-payload request must be served, and the
+  // shardd's serving gauges must carry its shard label.
+  std::string text;
+  Status status = ScrapeOn(sock, text);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(text.find("fedrec_shardd_rounds_served{shard=\"3\"} 0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fedrec_shardd_connections_accepted{shard=\"3\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fedrec_heartbeat_rtt_ms_count{shard=\"3\"} 0"),
+            std::string::npos)
+      << text;
+
+  // Second scrape on the same connection: the reply to the first one staged
+  // a frame on the daemon's send queue, so the net counters must now exist
+  // and be nonzero.
+  std::string second;
+  status = ScrapeOn(sock, second);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  const std::size_t frames_pos = second.find("fedrec_net_frames_staged_total ");
+  ASSERT_NE(frames_pos, std::string::npos) << second;
+  EXPECT_EQ(second.find("fedrec_net_frames_staged_total 0"),
+            std::string::npos)
+      << second;
+
+  CloseSocket(sock);
+  ::kill(pid, SIGTERM);
+  int wait_status = 0;
+  while (::waitpid(pid, &wait_status, 0) < 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+}  // namespace fedrec

@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+// Suite for the observability layer: the log2 histogram's bucket math at its
+// boundaries, shard merging under real threads, the golden text exposition a
+// scrape returns, registry identity semantics, and the trace ring's Chrome
+// JSON export. The concurrent cases double as the tsan job's race probes for
+// the record-during-scrape path.
+
+namespace fedrec::obs {
+namespace {
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  // Bucket 0 is exactly {0}; bucket i holds [2^(i-1), 2^i); the last bucket
+  // absorbs everything wider.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  for (std::size_t i = 1; i < 63; ++i) {
+    const std::uint64_t top = (std::uint64_t{1} << i) - 1;
+    EXPECT_EQ(Histogram::BucketIndex(top), i) << "top of bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(top + 1), i + 1)
+        << "bottom of bucket " << i + 1;
+  }
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, BucketUpperBoundBoundaries) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  for (std::size_t i = 1; i < Histogram::kBuckets - 1; ++i) {
+    EXPECT_EQ(Histogram::BucketUpperBound(i), (std::uint64_t{1} << i) - 1);
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+  // Upper bounds must tile the index mapping: every value lands in the
+  // first bucket whose bound covers it.
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{7},
+                          std::uint64_t{8}, std::uint64_t{1023}}) {
+    EXPECT_LE(v, Histogram::BucketUpperBound(Histogram::BucketIndex(v)));
+  }
+}
+
+TEST(HistogramTest, ObservationsMergeAcrossThreadShards) {
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) hist.Observe(i);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(hist.Count(), kThreads * kPerThread);
+  EXPECT_EQ(hist.Sum(), kThreads * (kPerThread * (kPerThread - 1) / 2));
+  std::uint64_t buckets[Histogram::kBuckets];
+  hist.Snapshot(buckets);
+  EXPECT_EQ(buckets[0], static_cast<std::uint64_t>(kThreads));  // the zeros
+  std::uint64_t total = 0;
+  for (std::uint64_t bucket : buckets) total += bucket;
+  EXPECT_EQ(total, hist.Count());
+}
+
+TEST(HistogramTest, PercentileUpperBoundIsNearestRankOnBuckets) {
+  Histogram hist;
+  EXPECT_EQ(hist.PercentileUpperBound(50.0), 0u);  // empty
+  hist.Observe(7);   // bucket 3 (le 7)
+  hist.Observe(8);   // bucket 4 (le 15)
+  EXPECT_EQ(hist.PercentileUpperBound(50.0), 7u);
+  EXPECT_EQ(hist.PercentileUpperBound(100.0), 15u);
+}
+
+TEST(RegistryTest, SameNameAndLabelsIsTheSameMetric) {
+  Registry registry;
+  Counter* a = registry.GetCounter("fedrec_x_total", "shard=\"0\"");
+  Counter* b = registry.GetCounter("fedrec_x_total", "shard=\"0\"");
+  Counter* c = registry.GetCounter("fedrec_x_total", "shard=\"1\"");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(registry.GetHistogram("fedrec_h_us"), nullptr);
+}
+
+TEST(RegistryTest, GoldenTextExposition) {
+  Registry registry;
+  registry.GetCounter("fedrec_test_total")->Increment(3);
+  registry.GetGauge("fedrec_queue_depth", "shard=\"1\"")->Set(42);
+  Histogram* hist = registry.GetHistogram("fedrec_lat_us", "stage=\"x\"");
+  hist->Observe(0);
+  hist->Observe(1);
+  hist->Observe(5);
+  hist->Observe(1000);
+
+  std::string text;
+  registry.RenderText(text);
+  EXPECT_EQ(text,
+            "fedrec_test_total 3\n"
+            "fedrec_queue_depth{shard=\"1\"} 42\n"
+            "fedrec_lat_us_bucket{stage=\"x\",le=\"0\"} 1\n"
+            "fedrec_lat_us_bucket{stage=\"x\",le=\"1\"} 2\n"
+            "fedrec_lat_us_bucket{stage=\"x\",le=\"3\"} 2\n"
+            "fedrec_lat_us_bucket{stage=\"x\",le=\"7\"} 3\n"
+            "fedrec_lat_us_bucket{stage=\"x\",le=\"15\"} 3\n"
+            "fedrec_lat_us_bucket{stage=\"x\",le=\"31\"} 3\n"
+            "fedrec_lat_us_bucket{stage=\"x\",le=\"63\"} 3\n"
+            "fedrec_lat_us_bucket{stage=\"x\",le=\"127\"} 3\n"
+            "fedrec_lat_us_bucket{stage=\"x\",le=\"255\"} 3\n"
+            "fedrec_lat_us_bucket{stage=\"x\",le=\"511\"} 3\n"
+            "fedrec_lat_us_bucket{stage=\"x\",le=\"1023\"} 4\n"
+            "fedrec_lat_us_bucket{stage=\"x\",le=\"+Inf\"} 4\n"
+            "fedrec_lat_us_sum{stage=\"x\"} 1006\n"
+            "fedrec_lat_us_count{stage=\"x\"} 4\n");
+}
+
+TEST(RegistryTest, EmptyHistogramStillRendersAClosedSeries) {
+  Registry registry;
+  registry.GetHistogram("fedrec_idle_us");
+  std::string text;
+  registry.RenderText(text);
+  EXPECT_EQ(text,
+            "fedrec_idle_us_bucket{le=\"0\"} 0\n"
+            "fedrec_idle_us_bucket{le=\"+Inf\"} 0\n"
+            "fedrec_idle_us_sum 0\n"
+            "fedrec_idle_us_count 0\n");
+}
+
+TEST(RegistryTest, ConcurrentRecordDuringScrapeIsRaceFree) {
+  // Writers hammer the lock-free record paths while the scrape thread
+  // renders; tsan asserts the absence of races, the final totals assert no
+  // increment was lost.
+  Registry registry;
+  Counter* counter = registry.GetCounter("fedrec_spin_total");
+  Histogram* hist = registry.GetHistogram("fedrec_spin_us");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::atomic<bool> scraping{true};
+  std::thread scraper([&registry, &scraping] {
+    while (scraping.load(std::memory_order_relaxed)) {
+      std::string text;
+      registry.RenderText(text);
+      EXPECT_NE(text.find("fedrec_spin_total"), std::string::npos);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([counter, hist] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        hist->Observe(i & 1023);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  scraping.store(false, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+  EXPECT_EQ(hist->Count(), kThreads * kPerThread);
+}
+
+TEST(TraceRingTest, RecordsSpansAndRendersChromeJson) {
+  TraceRing ring;
+  EXPECT_FALSE(ring.enabled());
+  ring.Record("dropped", "round", 1, 1);  // disabled: must be a no-op
+  EXPECT_EQ(ring.recorded(), 0u);
+
+  ring.Enable(8);
+  ring.Record("route", "round", 100, 20);
+  ring.Record("apply", "round", 130, 5);
+  EXPECT_EQ(ring.recorded(), 2u);
+
+  std::string json;
+  ring.RenderJson(json);
+  // The recording thread's slot id depends on how many threads ran before
+  // this test, so splice it into the golden string.
+  const std::string tid = std::to_string(ThreadSlot());
+  EXPECT_EQ(json,
+            "{\"traceEvents\":["
+            "{\"name\":\"route\",\"cat\":\"round\",\"ph\":\"X\",\"pid\":1,"
+            "\"tid\":" + tid + ",\"ts\":100,\"dur\":20},"
+            "{\"name\":\"apply\",\"cat\":\"round\",\"ph\":\"X\",\"pid\":1,"
+            "\"tid\":" + tid + ",\"ts\":130,\"dur\":5}]}");
+}
+
+TEST(TraceRingTest, RingWrapsKeepingCapacityMostRecentSpans) {
+  TraceRing ring;
+  ring.Enable(4);
+  for (std::uint64_t i = 0; i < 6; ++i) ring.Record("span", "round", i, 1);
+  EXPECT_EQ(ring.recorded(), 6u);
+  std::string json;
+  ring.RenderJson(json);
+  // 4 slots live after the wrap: count the "ph" keys.
+  std::size_t events = 0;
+  for (std::size_t pos = json.find("\"ph\""); pos != std::string::npos;
+       pos = json.find("\"ph\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 4u);
+}
+
+TEST(TraceRingTest, ScopedSpanObservesDurationIntoHistogram) {
+  // ScopedSpan writes the global ring; enable it locally and restore.
+  TraceRing& ring = TraceRing::Global();
+  const bool was_enabled = ring.enabled();
+  ring.Enable(8);
+  Histogram hist;
+  {
+    ScopedSpan span("unit_test_span", &hist);
+  }
+  EXPECT_EQ(hist.Count(), 1u);
+  EXPECT_GE(ring.recorded(), 1u);
+  std::string json;
+  ring.RenderJson(json);
+  EXPECT_NE(json.find("unit_test_span"), std::string::npos);
+  if (!was_enabled) ring.Disable();
+}
+
+}  // namespace
+}  // namespace fedrec::obs

@@ -67,16 +67,18 @@ bool HasPrefix(std::string_view path, std::string_view prefix) {
   return path.compare(0, prefix.size(), prefix) == 0;
 }
 
-/// Layer rank in the include DAG: common < data < {model, net} < fed <
-/// {attack, shard}. model and net are siblings (equal rank, no cross edge:
-/// the socket/framing layer knows nothing about models and vice versa), as
-/// are the attack and shard leaves.
+/// Layer rank in the include DAG: common < obs < data < {model, net} < fed
+/// < {attack, shard}. obs (metrics + tracing) sees only common; every layer
+/// above may record into it. model and net are siblings (equal rank, no
+/// cross edge: the socket/framing layer knows nothing about models and vice
+/// versa), as are the attack and shard leaves.
 int LayerRank(std::string_view layer) {
   if (layer == "common") return 0;
-  if (layer == "data") return 1;
-  if (layer == "model" || layer == "net") return 2;
-  if (layer == "fed") return 3;
-  if (layer == "attack" || layer == "shard") return 4;
+  if (layer == "obs") return 1;
+  if (layer == "data") return 2;
+  if (layer == "model" || layer == "net") return 3;
+  if (layer == "fed") return 4;
+  if (layer == "attack" || layer == "shard") return 5;
   return -1;
 }
 
@@ -314,8 +316,8 @@ class FileLinter {
     if (target_layer == layer_ || target_rank < LayerRank(layer_)) return;
     Report(line_no, "layering",
            Cat({"src/", layer_, "/ must not include \"", target,
-                "\": layer DAG is common < data < {model, net} < fed < "
-                "{attack, shard} with no upward or cross edges"}));
+                "\": layer DAG is common < obs < data < {model, net} < fed "
+                "< {attack, shard} with no upward or cross edges"}));
   }
 
   void CheckDeterminism(std::string_view code, std::string_view comment,

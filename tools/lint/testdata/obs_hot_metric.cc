@@ -1,0 +1,23 @@
+// Fixture: an obs-style metric record path that allocates per observation.
+// Linted under the path key "src/obs/obs_hot_metric.cc".
+#include <string>
+#include <vector>
+
+namespace fedrec::obs {
+
+struct Sample {
+  unsigned long long value = 0;
+};
+
+// fedrec:hot — a record path must not touch the heap.
+void RecordSample(std::vector<Sample>& sink, unsigned long long value) {
+  std::string series("fedrec_stage_us");
+  sink.push_back(Sample{value + series.size()});
+}
+
+// Registration is cold (runs once, mutex-held): allocation is fine here.
+void RegisterSeries(std::vector<Sample>& sink) {
+  sink.push_back(Sample{0});
+}
+
+}  // namespace fedrec::obs

@@ -1,0 +1,346 @@
+/// fedrec_stats: scrapes the metrics exposition from a live fedrec fleet and
+/// prints a one-screen summary table.
+///
+///   ./fedrec_stats [--require=name,name,...] [--timeout-ms=3000] [--raw]
+///                  host:port [host:port ...]
+///
+/// Each endpoint (a fedrec_shardd, a FederationService, or a fedrec_coord
+/// run with --stats-port) is sent one FRNT kStatsRequest frame; the
+/// kStatsReply payload is the Prometheus-style text exposition rendered by
+/// src/obs. Counters and gauges print as one row per metric with one column
+/// per endpoint; histograms are condensed to `count / p50 / p99` (upper
+/// bounds of the log2 buckets). Rows that are zero everywhere are elided.
+///
+/// --require=a,b,... turns the scrape into a health gate: the process exits
+/// 1 unless every named metric is present with a nonzero value (for
+/// histograms: a nonzero observation count) on at least one endpoint. CI
+/// uses this to prove the fleet actually recorded stage timings and fault
+/// counters during a run. --raw dumps each endpoint's exposition verbatim
+/// instead of the table.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace fedrec {
+namespace {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string label;  ///< "host:port" for table headers
+};
+
+bool ParseEndpoint(std::string_view entry, Endpoint& out) {
+  if (entry.empty()) return false;
+  const std::size_t colon = entry.rfind(':');
+  std::string_view port_text = entry;
+  if (colon != std::string_view::npos) {
+    if (colon > 0) out.host = std::string(entry.substr(0, colon));
+    port_text = entry.substr(colon + 1);
+  }
+  unsigned port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') return false;
+    port = port * 10 + static_cast<unsigned>(c - '0');
+    if (port > 65535) return false;
+  }
+  if (port == 0) return false;
+  out.port = static_cast<std::uint16_t>(port);
+  out.label = out.host + ":" + std::to_string(out.port);
+  return true;
+}
+
+/// One kStatsRequest round trip; fills `text` with the exposition payload.
+Status Scrape(const Endpoint& endpoint, int timeout_ms, std::string& text) {
+  Result<int> fd = TcpConnect(endpoint.host, endpoint.port);
+  if (!fd.ok()) return fd.status();
+  int sock = fd.value();
+  Status status = SetIoTimeout(sock, timeout_ms);
+  if (status.ok()) {
+    char header[kFrameHeaderBytes];
+    EncodeFrameHeader(FrameType::kStatsRequest, 0, header);
+    const std::array<std::string_view, 1> pieces = {
+        std::string_view(header, sizeof(header))};
+    status = WriteAllVec(sock, pieces);
+  }
+  FrameReader reader;
+  while (status.ok()) {
+    FrameView frame;
+    bool has_frame = false;
+    status = reader.Next(frame, has_frame);
+    if (!status.ok()) break;
+    if (has_frame) {
+      if (frame.type == FrameType::kHeartbeat) continue;  // liveness noise
+      if (frame.type != FrameType::kStatsReply) {
+        status = Status::Corruption("expected kStatsReply");
+        break;
+      }
+      text.assign(frame.payload);
+      break;
+    }
+    char* tail = reader.PrepareWrite(64 * 1024);
+    ReadOutcome outcome;
+    status = ReadSome(sock, tail, reader.writable(), outcome);
+    if (status.ok() && outcome.eof) {
+      status = Status::IOError("peer closed before replying");
+    }
+    if (status.ok()) reader.CommitWrite(outcome.bytes);
+  }
+  CloseSocket(sock);
+  return status;
+}
+
+/// A histogram reassembled from its cumulative `_bucket{le=...}` lines.
+struct HistogramCell {
+  std::vector<std::pair<double, double>> buckets;  ///< (le, cumulative)
+  double count = 0;
+  double sum = 0;
+
+  double PercentileUpperBound(double q) const {
+    if (count <= 0) return 0;
+    const double rank = std::ceil(q * count);
+    for (const auto& [le, cumulative] : buckets) {
+      if (cumulative >= rank) return le;
+    }
+    return buckets.empty() ? 0 : buckets.back().first;
+  }
+};
+
+/// One endpoint's parsed exposition.
+struct Snapshot {
+  bool ok = false;
+  std::string error;
+  std::map<std::string, double> scalars;          ///< "name{labels}" -> value
+  std::map<std::string, HistogramCell> histograms;  ///< base "name{labels}"
+};
+
+/// Strips one `key="..."` pair out of a label block like
+/// `{a="1",le="3",b="2"}`, returning the block without it.
+std::string DropLabel(std::string_view labels, std::string_view key) {
+  // labels includes the braces.
+  std::string inner(labels.substr(1, labels.size() - 2));
+  std::string out;
+  for (std::string_view part : SplitString(inner, ',')) {
+    if (part.substr(0, key.size() + 1) ==
+        std::string(key) + "=") {
+      continue;
+    }
+    if (!out.empty()) out.push_back(',');
+    out.append(part);
+  }
+  if (out.empty()) return "";
+  return "{" + out + "}";
+}
+
+/// Extracts the value of `key` from a label block, or "" when absent.
+std::string LabelValue(std::string_view labels, std::string_view key) {
+  const std::string needle = std::string(key) + "=\"";
+  const std::size_t at = labels.find(needle);
+  if (at == std::string_view::npos) return "";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = labels.find('"', begin);
+  if (end == std::string_view::npos) return "";
+  return std::string(labels.substr(begin, end - begin));
+}
+
+void ParseExposition(std::string_view text, Snapshot& snap) {
+  for (std::string_view line : SplitString(text, '\n')) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string_view::npos) continue;
+    const std::string_view key = line.substr(0, space);
+    const double value = std::strtod(std::string(line.substr(space + 1)).c_str(),
+                                     nullptr);
+    const std::size_t brace = key.find('{');
+    const std::string_view name =
+        brace == std::string_view::npos ? key : key.substr(0, brace);
+    const std::string_view labels =
+        brace == std::string_view::npos ? std::string_view()
+                                        : key.substr(brace);
+    const auto strip_suffix = [&](std::string_view suffix) {
+      return std::string(name.substr(0, name.size() - suffix.size()));
+    };
+    if (name.size() > 7 && name.substr(name.size() - 7) == "_bucket") {
+      const std::string le = LabelValue(labels, "le");
+      const double bound = le == "+Inf"
+                               ? std::numeric_limits<double>::infinity()
+                               : std::strtod(le.c_str(), nullptr);
+      const std::string base = strip_suffix("_bucket") +
+                               (labels.empty() ? "" : DropLabel(labels, "le"));
+      snap.histograms[base].buckets.emplace_back(bound, value);
+    } else if (name.size() > 4 && name.substr(name.size() - 4) == "_sum" &&
+               snap.histograms.count(strip_suffix("_sum") +
+                                     std::string(labels)) != 0) {
+      snap.histograms[strip_suffix("_sum") + std::string(labels)].sum = value;
+    } else if (name.size() > 6 && name.substr(name.size() - 6) == "_count" &&
+               snap.histograms.count(strip_suffix("_count") +
+                                     std::string(labels)) != 0) {
+      snap.histograms[strip_suffix("_count") + std::string(labels)].count =
+          value;
+    } else {
+      snap.scalars[std::string(key)] = value;
+    }
+  }
+}
+
+/// Base metric name of a "name{labels}" row key.
+std::string BaseName(const std::string& key) {
+  const std::size_t brace = key.find('{');
+  return brace == std::string::npos ? key : key.substr(0, brace);
+}
+
+}  // namespace
+}  // namespace fedrec
+
+int main(int argc, char** argv) {
+  using namespace fedrec;
+  FlagParser flags;
+  flags.Parse(argc, argv).CheckOK();
+  const int timeout_ms = static_cast<int>(flags.GetInt("timeout-ms", 3000));
+  const bool raw = flags.GetBool("raw", false);
+  const std::string require = flags.GetString("require", "");
+
+  std::vector<Endpoint> endpoints;
+  for (const std::string& arg : flags.positional()) {
+    Endpoint endpoint;
+    if (!ParseEndpoint(arg, endpoint)) {
+      std::fprintf(stderr, "fedrec_stats: bad endpoint \"%s\"\n", arg.c_str());
+      return 2;
+    }
+    endpoints.push_back(endpoint);
+  }
+  if (endpoints.empty()) {
+    std::fprintf(stderr,
+                 "usage: fedrec_stats [--require=a,b] [--timeout-ms=N] "
+                 "[--raw] host:port [host:port ...]\n");
+    return 2;
+  }
+
+  std::vector<Snapshot> snaps(endpoints.size());
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    std::string text;
+    const Status status = Scrape(endpoints[i], timeout_ms, text);
+    if (!status.ok()) {
+      snaps[i].error = status.ToString();
+      continue;
+    }
+    snaps[i].ok = true;
+    if (raw) {
+      std::printf("== %s ==\n%s\n", endpoints[i].label.c_str(), text.c_str());
+      continue;
+    }
+    ParseExposition(text, snaps[i]);
+  }
+  if (raw) return 0;
+
+  // Row order: union of keys, first-seen across endpoints in scrape order.
+  std::vector<std::string> scalar_rows;
+  std::vector<std::string> histogram_rows;
+  for (const Snapshot& snap : snaps) {
+    for (const auto& [key, value] : snap.scalars) {
+      (void)value;
+      if (std::find(scalar_rows.begin(), scalar_rows.end(), key) ==
+          scalar_rows.end()) {
+        scalar_rows.push_back(key);
+      }
+    }
+    for (const auto& [key, cell] : snap.histograms) {
+      (void)cell;
+      if (std::find(histogram_rows.begin(), histogram_rows.end(), key) ==
+          histogram_rows.end()) {
+        histogram_rows.push_back(key);
+      }
+    }
+  }
+
+  std::printf("%-52s", "metric");
+  for (const Endpoint& endpoint : endpoints) {
+    std::printf(" %20s", endpoint.label.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    if (!snaps[i].ok) {
+      std::printf("!! %s unreachable: %s\n", endpoints[i].label.c_str(),
+                  snaps[i].error.c_str());
+    }
+  }
+  for (const std::string& row : scalar_rows) {
+    double total = 0;
+    for (const Snapshot& snap : snaps) {
+      const auto it = snap.scalars.find(row);
+      if (it != snap.scalars.end()) total += std::fabs(it->second);
+    }
+    if (total == 0) continue;  // zero everywhere: elide for one-screen output
+    std::printf("%-52s", row.c_str());
+    for (const Snapshot& snap : snaps) {
+      const auto it = snap.scalars.find(row);
+      if (it == snap.scalars.end()) {
+        std::printf(" %20s", "-");
+      } else {
+        std::printf(" %20.6g", it->second);
+      }
+    }
+    std::printf("\n");
+  }
+  for (const std::string& row : histogram_rows) {
+    double total = 0;
+    for (const Snapshot& snap : snaps) {
+      const auto it = snap.histograms.find(row);
+      if (it != snap.histograms.end()) total += it->second.count;
+    }
+    if (total == 0) continue;
+    std::printf("%-52s", row.c_str());
+    for (const Snapshot& snap : snaps) {
+      const auto it = snap.histograms.find(row);
+      if (it == snap.histograms.end() || it->second.count == 0) {
+        std::printf(" %20s", "-");
+      } else {
+        const HistogramCell& cell = it->second;
+        char summary[64];
+        std::snprintf(summary, sizeof(summary), "n=%.0f p50<%.0f p99<%.0f",
+                      cell.count, cell.PercentileUpperBound(0.5),
+                      cell.PercentileUpperBound(0.99));
+        std::printf(" %20s", summary);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Health gate: every required metric must be nonzero somewhere.
+  int missing = 0;
+  if (!require.empty()) {
+    for (std::string_view name : SplitString(require, ',')) {
+      bool found = false;
+      for (const Snapshot& snap : snaps) {
+        for (const auto& [key, value] : snap.scalars) {
+          if (BaseName(key) == name && value != 0) found = true;
+        }
+        for (const auto& [key, cell] : snap.histograms) {
+          if (BaseName(key) == name && cell.count != 0) found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "fedrec_stats: required metric %.*s absent or "
+                     "zero on every endpoint\n",
+                     static_cast<int>(name.size()), name.data());
+        ++missing;
+      }
+    }
+  }
+  for (const Snapshot& snap : snaps) {
+    if (!snap.ok) return 1;
+  }
+  return missing == 0 ? 0 : 1;
+}
